@@ -1,0 +1,253 @@
+// Package-level benchmarks: one per table/figure of the paper's evaluation
+// (Sec. 9). Each benchmark runs a reduced-scale version of the experiment
+// and reports the simulated cluster seconds of the relevant series as
+// custom metrics (sim-s/<series>), alongside the usual wall-clock ns/op of
+// actually executing the workload.
+//
+// The full sweeps — the paper's parameter ranges and the printed tables —
+// live in cmd/matbench; run `go run ./cmd/matbench` to regenerate every
+// figure. These benchmarks pin one representative point per figure so
+// `go test -bench=.` exercises all of them quickly and regressions in
+// either real execution speed or simulated shape are visible.
+package matryoshka
+
+import (
+	"testing"
+
+	"matryoshka/internal/bench"
+	"matryoshka/internal/core"
+	"matryoshka/internal/engine"
+	"matryoshka/internal/tasks"
+)
+
+// benchScale keeps benchmark inputs small; shapes are scale-invariant.
+var benchScale = bench.Scale{RecordsPerGB: 500}
+
+func report(b *testing.B, series string, o tasks.Outcome) {
+	b.Helper()
+	if o.Err != nil && !o.OOM {
+		b.Fatalf("%s: %v", series, o.Err)
+	}
+	if o.OOM {
+		b.ReportMetric(1, "OOM/"+series)
+		return
+	}
+	b.ReportMetric(o.Seconds, "sim-s/"+series)
+}
+
+// BenchmarkFig1_KMeansWorkarounds is the motivating experiment: the two
+// workarounds at 64 initial configurations vs the single-configuration
+// ideal.
+func BenchmarkFig1_KMeansWorkarounds(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	for i := 0; i < b.N; i++ {
+		spec := tasks.KMeansSpec{TotalPoints: benchScale.Records(20), K: 4, Configs: 64, Eps: 1e-6, MaxIters: 8, Seed: 1}
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+		spec.Configs = 1
+		report(b, "ideal", spec.Run(tasks.InnerParallel, cc))
+	}
+}
+
+// BenchmarkFig3_WeakScalingKMeans pins the 64-configuration point of the
+// K-means weak-scaling panel.
+func BenchmarkFig3_WeakScalingKMeans(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.KMeansSpec{TotalPoints: benchScale.Records(20), K: 4, Configs: 64, Eps: 1e-6, MaxIters: 8, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+	}
+}
+
+// BenchmarkFig3_WeakScalingPageRank pins the 64-group point of the
+// PageRank weak-scaling panel.
+func BenchmarkFig3_WeakScalingPageRank(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.PageRankSpec{Groups: 64, TotalEdges: benchScale.Records(20), TotalVertices: benchScale.Records(20) / 5, Eps: 1e-6, MaxIters: 6, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+	}
+}
+
+// BenchmarkFig3_WeakScalingAvgDist pins the 16-component point of the
+// three-level Average Distances panel.
+func BenchmarkFig3_WeakScalingAvgDist(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.AvgDistSpec{Components: 16, VerticesPerComp: 32, ExtraEdgesPerComp: 16, Seed: 3, Weight: 64}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+	}
+}
+
+// BenchmarkFig4_ScaleOut compares 5 vs 25 machines for PageRank.
+func BenchmarkFig4_ScaleOut(b *testing.B) {
+	spec := tasks.PageRankSpec{Groups: 64, TotalEdges: benchScale.Records(20), TotalVertices: benchScale.Records(20) / 5, Eps: 1e-6, MaxIters: 6, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka-5m", spec.Run(tasks.Matryoshka, benchScale.Cluster(5, 16, 22)))
+		report(b, "matryoshka-25m", spec.Run(tasks.Matryoshka, benchScale.Cluster(25, 16, 22)))
+		report(b, "inner-25m", spec.Run(tasks.InnerParallel, benchScale.Cluster(25, 16, 22)))
+	}
+}
+
+// BenchmarkFig5_BounceRate is the no-control-flow task at 48 GB, where
+// outer-parallel and DIQL OOM.
+func BenchmarkFig5_BounceRate(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.BounceRateSpec{Visits: benchScale.Records(48), Days: 64, Seed: 4}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+		report(b, "diql", spec.Run(tasks.DIQL, cc))
+	}
+}
+
+// BenchmarkFig6_DIQL is the reduced 12 GB input where DIQL completes.
+func BenchmarkFig6_DIQL(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.BounceRateSpec{Visits: benchScale.Records(12), Days: 64, Seed: 4}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "diql", spec.Run(tasks.DIQL, cc))
+	}
+}
+
+// BenchmarkFig7_Skew compares Matryoshka on Zipf vs uniform keys (the
+// paper reports a gap within 15%) and shows outer-parallel's OOM.
+func BenchmarkFig7_Skew(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	skew := tasks.BounceRateSpec{Visits: benchScale.Records(24), Days: 1024, Skewed: true, Seed: 4}
+	flat := skew
+	flat.Skewed = false
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka-skew", skew.Run(tasks.Matryoshka, cc))
+		report(b, "matryoshka-uniform", flat.Run(tasks.Matryoshka, cc))
+		report(b, "outer-skew", skew.Run(tasks.OuterParallel, cc))
+	}
+}
+
+// BenchmarkFig8_JoinStrategies ablates the InnerBag-InnerScalar join
+// algorithm on PageRank (optimizer vs forced choices).
+func BenchmarkFig8_JoinStrategies(b *testing.B) {
+	cc := benchScale.LargeCluster()
+	spec := tasks.PageRankSpec{Groups: 256, TotalEdges: benchScale.Records(40), TotalVertices: benchScale.Records(40) / 5, Eps: 1e-6, MaxIters: 4, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		report(b, "optimizer", spec.RunMatryoshka(cc, core.Options{}))
+		report(b, "broadcast", spec.RunMatryoshka(cc, core.Options{ForceScalarJoin: core.ForceJoin(engine.JoinBroadcastLeft)}))
+		report(b, "repartition", spec.RunMatryoshka(cc, core.Options{ForceScalarJoin: core.ForceJoin(engine.JoinRepartition)}))
+	}
+}
+
+// BenchmarkFig8_HalfLifted ablates the half-lifted mapWithClosure
+// broadcast side on K-means.
+func BenchmarkFig8_HalfLifted(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.KMeansSpec{TotalPoints: benchScale.Records(40), K: 4, Configs: 64, Eps: 1e-6, MaxIters: 6, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		report(b, "optimizer", spec.RunMatryoshka(cc, core.Options{}))
+		report(b, "bcast-scalar", spec.RunMatryoshka(cc, core.Options{ForceHalfLifted: core.ForceHalf(core.BroadcastScalar)}))
+		report(b, "bcast-primary", spec.RunMatryoshka(cc, core.Options{ForceHalfLifted: core.ForceHalf(core.BroadcastPrimary)}))
+	}
+}
+
+// BenchmarkFig9_Larger is the 8x-input run on the Sec. 9.7 cluster.
+func BenchmarkFig9_Larger(b *testing.B) {
+	cc := benchScale.LargeCluster()
+	spec := tasks.BounceRateSpec{Visits: benchScale.Records(384), Days: 128, Seed: 4}
+	for i := 0; i < b.N; i++ {
+		report(b, "matryoshka", spec.Run(tasks.Matryoshka, cc))
+		report(b, "inner", spec.Run(tasks.InnerParallel, cc))
+		report(b, "outer", spec.Run(tasks.OuterParallel, cc))
+	}
+}
+
+// BenchmarkEngine_ShuffleThroughput is a substrate micro-benchmark: real
+// wall-clock of a reduceByKey over 100k pairs through the full stage/
+// shuffle machinery.
+func BenchmarkEngine_ShuffleThroughput(b *testing.B) {
+	cfg := engine.DefaultConfig()
+	cfg.Cluster.Machines = 4
+	cfg.Cluster.CoresPerMachine = 4
+	sess := engine.NewSession(cfg)
+	pairs := make([]engine.Pair[int64, int64], 100_000)
+	for i := range pairs {
+		pairs[i] = engine.KV(int64(i%997), int64(1))
+	}
+	d := engine.Parallelize(sess, pairs, 0).Cache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		red := engine.ReduceByKey(d, func(a, b int64) int64 { return a + b })
+		if _, err := engine.Count(red); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100_000*b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+// BenchmarkCore_LiftedLoop measures the per-superstep cost of the lifted
+// while loop machinery itself (Listing 4) on a small population.
+func BenchmarkCore_LiftedLoop(b *testing.B) {
+	cfg := engine.DefaultConfig()
+	cfg.Cluster.Machines = 4
+	cfg.Cluster.CoresPerMachine = 4
+	sess := engine.NewSession(cfg)
+	var pairs []engine.Pair[int64, int64]
+	for g := int64(0); g < 32; g++ {
+		for v := int64(0); v < 8; v++ {
+			pairs = append(pairs, engine.KV(g, v))
+		}
+	}
+	nb, err := core.GroupByKeyIntoNestedBag(engine.Parallelize(sess, pairs, 0), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iters := core.Pure(nb.Ctx(), int64(0))
+		out, err := core.While(nb.Ctx(), iters, core.ScalarState[int64](),
+			func(c *core.Ctx, v core.InnerScalar[int64]) (core.InnerScalar[int64], core.InnerScalar[bool]) {
+				next := core.UnaryScalarOp(v, func(i int64) int64 { return i + 1 })
+				cond := core.UnaryScalarOp(next, func(i int64) bool { return i < 5 })
+				return next, cond
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := out.Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_CoPartitioning isolates the engine's co-partitioning
+// optimization (DESIGN.md §4.0b): the same lifted PageRank with the
+// loop's static join inputs pre-partitioned once vs re-shuffled every
+// superstep.
+func BenchmarkAblation_CoPartitioning(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.PageRankSpec{Groups: 64, TotalEdges: benchScale.Records(20), TotalVertices: benchScale.Records(20) / 5, Eps: 1e-6, MaxIters: 6, Seed: 2}
+	for i := 0; i < b.N; i++ {
+		report(b, "co-partitioned", spec.RunMatryoshka(cc, core.Options{}))
+		ablated := spec
+		ablated.NoCoPartition = true
+		report(b, "reshuffled", ablated.RunMatryoshka(cc, core.Options{}))
+	}
+}
+
+// BenchmarkAblation_PartitionCounts isolates the Sec. 8.1 partition-count
+// optimization: scalar bags sized by the LiftingContext vs spread over the
+// engine default (TargetScalarsPerPartition=1 forces maximal spreading).
+func BenchmarkAblation_PartitionCounts(b *testing.B) {
+	cc := benchScale.PaperCluster()
+	spec := tasks.KMeansSpec{TotalPoints: benchScale.Records(20), K: 4, Configs: 64, Eps: 1e-6, MaxIters: 8, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		report(b, "sized", spec.RunMatryoshka(cc, core.Options{}))
+		report(b, "spread", spec.RunMatryoshka(cc, core.Options{TargetScalarsPerPartition: 1}))
+	}
+}

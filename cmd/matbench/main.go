@@ -1,0 +1,123 @@
+// Command matbench regenerates the paper's evaluation figures on the
+// simulated cluster and prints each as a text table.
+//
+// Usage:
+//
+//	matbench                 # run every experiment at the default scale
+//	matbench -exp fig3-kmeans
+//	matbench -list
+//	matbench -records-per-gb 2000   # smaller/faster sweep
+//	matbench -csv rows.csv          # raw rows for external plotting
+//
+// Reported times are simulated cluster seconds (see internal/cluster);
+// absolute values depend on the scale, the relative shapes are the result.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"matryoshka/internal/bench"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		perGB   = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		csvPath = flag.String("csv", "", "also write raw rows as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	sc := bench.Scale{RecordsPerGB: *perGB}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.Registry()
+	} else {
+		e, ok := bench.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "matbench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	var csvW *csvWriter
+	if *csvPath != "" {
+		w, err := newCSVWriter(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		csvW = w
+	}
+	for _, e := range exps {
+		start := time.Now()
+		rows := e.Run(sc)
+		fmt.Println(bench.Table(e, rows))
+		if csvW != nil {
+			if err := csvW.writeRows(rows); err != nil {
+				fmt.Fprintf(os.Stderr, "matbench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !*quiet {
+			fmt.Printf("  [%s: %d rows in %.1fs wall]\n\n", e.ID, len(rows), time.Since(start).Seconds())
+		}
+	}
+}
+
+// csvWriter appends experiment rows to a CSV file for external plotting.
+type csvWriter struct {
+	f *os.File
+	w *csv.Writer
+}
+
+func newCSVWriter(path string) (*csvWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"experiment", "series", "x", "seconds", "jobs", "oom", "err"}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &csvWriter{f: f, w: w}, nil
+}
+
+func (c *csvWriter) writeRows(rows []bench.Row) error {
+	for _, r := range rows {
+		rec := []string{
+			r.Exp, r.Series,
+			strconv.FormatFloat(r.X, 'g', -1, 64),
+			strconv.FormatFloat(r.Seconds, 'f', 3, 64),
+			strconv.Itoa(r.Jobs),
+			strconv.FormatBool(r.OOM),
+			r.Err,
+		}
+		if err := c.w.Write(rec); err != nil {
+			return err
+		}
+	}
+	c.w.Flush()
+	return c.w.Error()
+}
+
+func (c *csvWriter) Close() error {
+	c.w.Flush()
+	return c.f.Close()
+}

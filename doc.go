@@ -1,0 +1,26 @@
+// Package matryoshka is a from-scratch Go reproduction of "The Power of
+// Nested Parallelism in Big Data Processing" (Gévay, Quiané-Ruiz, Markl;
+// SIGMOD 2021): a system that flattens nested-parallel dataflow programs —
+// parallel operations launched inside the UDFs of other parallel
+// operations, including loops — into flat-parallel programs that run on a
+// standard dataflow engine.
+//
+// The implementation is organized as:
+//
+//   - internal/engine — a Spark-like flat dataflow engine (lazy DAG,
+//     stages, shuffles, broadcast joins, caching, actions-as-jobs);
+//   - internal/cluster — a deterministic cluster simulator providing the
+//     virtual clock, memory model and cost accounting the experiments
+//     report;
+//   - internal/core — the paper's contribution: nesting primitives
+//     (InnerScalar, InnerBag, NestedBag), lifted operations and control
+//     flow, and the runtime optimizer of the lowering phase;
+//   - internal/ir — the nested-program front end with the compile-time
+//     parsing phase;
+//   - internal/tasks, internal/bench, cmd/matbench — the four evaluation
+//     workloads under every execution strategy, and one experiment per
+//     figure of the paper.
+//
+// See README.md for a tour, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package matryoshka

@@ -1,0 +1,68 @@
+// Hyperparameter optimization (paper Sec. 2.3): train K-means from many
+// random initializations *in parallel*, while each training is itself
+// parallel — two levels of parallelism in one dataflow job, with the
+// training loop lifted per Sec. 6.
+//
+// The same search also runs under the two workarounds so you can see the
+// job counts and simulated runtimes the paper's Fig. 1 is about.
+//
+//	go run ./examples/hyperparam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/datagen"
+	"matryoshka/internal/ml"
+	"matryoshka/internal/tasks"
+)
+
+func main() {
+	spec := tasks.KMeansSpec{
+		TotalPoints: 40_000,
+		K:           4,
+		Configs:     32, // 32 random centroid initializations
+		Eps:         1e-6,
+		MaxIters:    20,
+		Seed:        7,
+	}
+	cc := cluster.DefaultConfig()
+
+	fmt.Printf("K-means hyperparameter search: %d configs x %d points, k=%d\n\n",
+		spec.Configs, spec.TotalPoints/spec.Configs, spec.K)
+
+	var best []ml.Point
+	for _, strat := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel} {
+		o := spec.Run(strat, cc)
+		if o.Err != nil {
+			log.Fatalf("%s failed: %v", strat, o.Err)
+		}
+		fmt.Printf("%-15s %8.1f simulated s, %5d jobs, %6d tasks\n",
+			strat, o.Seconds, o.Jobs, o.Tasks)
+		if strat == tasks.Matryoshka {
+			best = pickBest(spec, o.Value.(tasks.KMeansValue))
+		}
+	}
+
+	fmt.Println("\nbest model's centroids (lowest within-cluster sum of squares):")
+	for _, m := range best {
+		fmt.Printf("  (%7.2f, %7.2f)\n", m.X, m.Y)
+	}
+}
+
+// pickBest scores every configuration's converged model and returns the
+// winner — the "find the setting that works best" step of Sec. 2.3.
+func pickBest(spec tasks.KMeansSpec, value tasks.KMeansValue) []ml.Point {
+	points := datagen.GaussianPoints(spec.TotalPoints/spec.Configs, 4, spec.Seed)
+	bestID, bestScore := -1, 0.0
+	for id, means := range value {
+		score := ml.WCSS(points, means)
+		if bestID < 0 || score < bestScore {
+			bestID, bestScore = id, score
+		}
+	}
+	fmt.Printf("\nconfig %d wins with WCSS %.1f\n", bestID, bestScore)
+	return value[bestID]
+}

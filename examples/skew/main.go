@@ -1,0 +1,45 @@
+// Data skew (paper Sec. 9.5): bounce rate over 256 days whose sizes follow
+// a Zipf distribution — a few huge days, many tiny ones. The outer-parallel
+// workaround materializes whole days in single tasks and OOMs on the head
+// group; Matryoshka's flat representation spreads every group across the
+// cluster and barely notices the skew.
+//
+//	go run ./examples/skew
+package main
+
+import (
+	"fmt"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/tasks"
+)
+
+func main() {
+	cc := cluster.DefaultConfig()
+	cc.Machines = 8
+	cc.MemoryPerMachine = 24 << 20 // small machines make the head group bite
+
+	skewed := tasks.BounceRateSpec{Visits: 200_000, Days: 256, Skewed: true, Seed: 3}
+	uniform := skewed
+	uniform.Skewed = false
+
+	fmt.Println("bounce rate, 256 groups, 200k visits:")
+	fmt.Printf("%-28s %12s %8s %s\n", "run", "sim seconds", "jobs", "outcome")
+	report := func(name string, o tasks.Outcome) {
+		out := "ok"
+		if o.OOM {
+			out = "OUT OF MEMORY"
+		} else if o.Err != nil {
+			out = o.Err.Error()
+		}
+		fmt.Printf("%-28s %12.1f %8d %s\n", name, o.Seconds, o.Jobs, out)
+	}
+
+	report("matryoshka / uniform", uniform.Run(tasks.Matryoshka, cc))
+	report("matryoshka / zipf", skewed.Run(tasks.Matryoshka, cc))
+	report("inner-parallel / zipf", skewed.Run(tasks.InnerParallel, cc))
+	report("outer-parallel / zipf", skewed.Run(tasks.OuterParallel, cc))
+
+	fmt.Println("\nMatryoshka's runtime under skew stays close to the uniform run;")
+	fmt.Println("the workarounds pay per-group overheads or hold whole groups in memory.")
+}

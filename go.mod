@@ -1,0 +1,3 @@
+module matryoshka
+
+go 1.24

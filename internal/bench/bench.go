@@ -1,0 +1,176 @@
+// Package bench defines one reproducible experiment per table/figure of
+// the paper's evaluation (Sec. 9). Each experiment sweeps the paper's
+// parameter, runs the relevant task/strategy combinations on the simulated
+// cluster, and returns rows whose *shape* (who wins, by what factor, where
+// OOMs and crossovers fall) mirrors the published plots.
+//
+// Dataset sizes are given in the paper's units (GB) and mapped to element
+// counts by Scale, which also scales the simulated machines' memory by the
+// same ratio, so memory-pressure effects (outer-parallel/DIQL OOMs,
+// broadcast-join failures) land where the paper reports them.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"matryoshka/internal/cluster"
+)
+
+// realBytesPerRecord is the bytes one record contributes to the paper's
+// "GB" dataset sizes. It is set to the engine's typical boxed-record
+// estimate so that a simulated dataset declared as N GB also *measures* as
+// N GB inside the memory model (estimated bytes x record weight) — which
+// keeps OOM boundaries invariant under the RecordsPerGB scale knob.
+const realBytesPerRecord = 48
+
+// Scale shrinks the paper's dataset sizes to laptop-runnable element
+// counts while preserving all data:memory and data:group ratios.
+type Scale struct {
+	// RecordsPerGB is how many simulated records stand in for one paper
+	// gigabyte. The default (10 000) turns the 48 GB Bounce Rate input
+	// into 480 000 records.
+	RecordsPerGB int
+}
+
+// DefaultScale is used by the CLI and benchmarks.
+func DefaultScale() Scale { return Scale{RecordsPerGB: 10_000} }
+
+// Records converts a paper dataset size to a record count.
+func (s Scale) Records(gb float64) int {
+	n := int(gb * float64(s.RecordsPerGB))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Cluster builds a simulated cluster of the given machine count whose
+// per-machine memory corresponds to memGB paper-gigabytes under this
+// scale.
+func (s Scale) Cluster(machines, cores int, memGB float64) cluster.Config {
+	cc := cluster.DefaultConfig()
+	cc.Machines = machines
+	cc.CoresPerMachine = cores
+	cc.MemoryPerMachine = int64(memGB * float64(1<<30))
+	cc.RecordWeight = float64(1<<30) / realBytesPerRecord / float64(s.RecordsPerGB)
+	return cc
+}
+
+// PaperCluster is the paper's 25-machine cluster (Sec. 9.1) under this
+// scale: 16 cores and 22 GB Spark memory per machine.
+func (s Scale) PaperCluster() cluster.Config { return s.Cluster(25, 16, 22) }
+
+// LargeCluster is the Sec. 9.7 cluster: 36 machines, 40 threads, 100 GB,
+// 10 Gb network.
+func (s Scale) LargeCluster() cluster.Config {
+	cc := cluster.LargeConfig()
+	cc.RecordWeight = float64(1<<30) / realBytesPerRecord / float64(s.RecordsPerGB)
+	return cc
+}
+
+// Row is one measured point of an experiment.
+type Row struct {
+	Exp     string  // experiment id, e.g. "fig3-kmeans"
+	Series  string  // line in the plot, e.g. "matryoshka"
+	X       float64 // the swept parameter (inner computations, machines, ...)
+	Seconds float64 // simulated runtime
+	Jobs    int
+	OOM     bool
+	Err     string // non-OOM failure, if any
+}
+
+// Experiment is a runnable reproduction of one figure.
+type Experiment struct {
+	ID    string
+	Title string
+	XName string
+	Run   func(Scale) []Row
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Title: "Fig. 1: K-means runtimes (workarounds vs ideal)", XName: "initial configurations", Run: Fig1},
+		{ID: "fig3-kmeans", Title: "Fig. 3: weak scaling, K-means", XName: "inner computations", Run: Fig3KMeans},
+		{ID: "fig3-pagerank", Title: "Fig. 3: weak scaling, PageRank", XName: "inner computations", Run: Fig3PageRank},
+		{ID: "fig3-avgdist", Title: "Fig. 3: weak scaling, Average Distances", XName: "inner computations", Run: Fig3AvgDist},
+		{ID: "fig4", Title: "Fig. 4: scale-out (all tasks, 64 inner computations)", XName: "machines", Run: Fig4},
+		{ID: "fig5-weak", Title: "Fig. 5 (left): Bounce Rate weak scaling, 48 GB", XName: "inner computations", Run: Fig5Weak},
+		{ID: "fig5-scaleout", Title: "Fig. 5 (right): Bounce Rate scale-out, 256 groups", XName: "machines", Run: Fig5ScaleOut},
+		{ID: "fig6", Title: "Fig. 6: Bounce Rate vs DIQL at 12 GB", XName: "inner computations", Run: Fig6},
+		{ID: "fig7-bounce", Title: "Fig. 7: data skew, Bounce Rate (Zipf keys, 1024 groups)", XName: "groups", Run: Fig7Bounce},
+		{ID: "fig7-pagerank", Title: "Fig. 7: data skew, PageRank (Zipf keys, 1024 groups)", XName: "groups", Run: Fig7PageRank},
+		{ID: "fig8a", Title: "Fig. 8 (left): InnerBag-InnerScalar join strategies, PageRank 160 GB", XName: "inner computations", Run: Fig8a},
+		{ID: "fig8b", Title: "Fig. 8 (right): half-lifted mapWithClosure strategies, K-means", XName: "inner computations", Run: Fig8b},
+		{ID: "fig9-pagerank", Title: "Fig. 9: 8x input, large cluster, PageRank", XName: "inner computations", Run: Fig9PageRank},
+		{ID: "fig9-bounce", Title: "Fig. 9: 8x input, large cluster, Bounce Rate", XName: "inner computations", Run: Fig9Bounce},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table renders rows as an aligned text table: one line per X value, one
+// column per series, matching how the paper's plots are read.
+func Table(e Experiment, rows []Row) string {
+	seriesSet := map[string]bool{}
+	xs := map[float64]bool{}
+	cell := map[string]string{}
+	for _, r := range rows {
+		seriesSet[r.Series] = true
+		xs[r.X] = true
+		v := fmt.Sprintf("%.1f", r.Seconds)
+		if r.OOM {
+			v = "OOM"
+		} else if r.Err != "" {
+			v = "ERR"
+		}
+		cell[fmt.Sprintf("%v|%s", r.X, r.Series)] = v
+	}
+	var series []string
+	for s := range seriesSet {
+		series = append(series, s)
+	}
+	sort.Strings(series)
+	var xvals []float64
+	for x := range xs {
+		xvals = append(xvals, x)
+	}
+	sort.Float64s(xvals)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", e.Title)
+	fmt.Fprintf(&b, "%-18s", e.XName)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%16s", s)
+	}
+	b.WriteString("\n")
+	for _, x := range xvals {
+		fmt.Fprintf(&b, "%-18v", trimFloat(x))
+		for _, s := range series {
+			v := cell[fmt.Sprintf("%v|%s", x, s)]
+			if v == "" {
+				v = "-"
+			}
+			fmt.Fprintf(&b, "%16s", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleRecords(t *testing.T) {
+	sc := Scale{RecordsPerGB: 1000}
+	if got := sc.Records(48); got != 48_000 {
+		t.Fatalf("Records(48) = %d", got)
+	}
+	if got := sc.Records(0.0001); got != 1 {
+		t.Fatalf("tiny sizes clamp to 1, got %d", got)
+	}
+}
+
+func TestScaleClusterWeightAndMemory(t *testing.T) {
+	sc := Scale{RecordsPerGB: 2000}
+	cc := sc.Cluster(25, 16, 22)
+	if cc.Machines != 25 || cc.CoresPerMachine != 16 {
+		t.Fatalf("cluster shape: %+v", cc)
+	}
+	if cc.MemoryPerMachine != 22<<30 {
+		t.Fatalf("memory = %d, want 22 GiB (real bytes)", cc.MemoryPerMachine)
+	}
+	// One sim record stands for (1 GiB / realBytesPerRecord) / 2000 real records.
+	want := float64(1<<30) / realBytesPerRecord / 2000
+	if cc.RecordWeight != want {
+		t.Fatalf("weight = %v, want %v", cc.RecordWeight, want)
+	}
+}
+
+func TestLargeClusterUsesFasterNetwork(t *testing.T) {
+	sc := DefaultScale()
+	small, large := sc.PaperCluster(), sc.LargeCluster()
+	if large.PerByteShuffle >= small.PerByteShuffle {
+		t.Fatal("the Sec. 9.7 cluster has a faster network")
+	}
+	if large.Slots() <= small.Slots() {
+		t.Fatal("the Sec. 9.7 cluster has more slots")
+	}
+}
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{
+		"fig1", "fig3-kmeans", "fig3-pagerank", "fig3-avgdist", "fig4",
+		"fig5-weak", "fig5-scaleout", "fig6", "fig7-bounce", "fig7-pagerank",
+		"fig8a", "fig8b", "fig9-pagerank", "fig9-bounce",
+	} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("fig1"); !ok {
+		t.Error("fig1 should exist")
+	}
+	if _, ok := Find("fig99"); ok {
+		t.Error("fig99 should not exist")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	e := Experiment{ID: "x", Title: "Title", XName: "groups"}
+	rows := []Row{
+		{Exp: "x", Series: "a", X: 4, Seconds: 1.25},
+		{Exp: "x", Series: "b", X: 4, OOM: true},
+		{Exp: "x", Series: "a", X: 16, Seconds: 2.5},
+		{Exp: "x", Series: "b", X: 16, Err: "boom"},
+	}
+	out := Table(e, rows)
+	for _, want := range []string{"Title", "groups", "1.2", "OOM", "ERR", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cells render as "-": series a at x=4 and series b at x=16
+	// leave two holes in the grid.
+	out2 := Table(e, []Row{rows[0], rows[3]})
+	if strings.Count(out2, "               -") < 2 {
+		t.Errorf("missing cells should render dashes:\n%s", out2)
+	}
+}
+
+// TestFig6Smoke runs the fastest experiment end to end at a reduced scale
+// (large enough that fixed per-job overheads do not drown the data costs
+// the figure is about).
+func TestFig6Smoke(t *testing.T) {
+	rows := Fig6(Scale{RecordsPerGB: 1000})
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" || r.OOM {
+			t.Errorf("row failed: %+v", r)
+		}
+		if r.Seconds <= 0 {
+			t.Errorf("no time: %+v", r)
+		}
+	}
+	// DIQL must never beat Matryoshka in this figure.
+	sec := map[string]map[float64]float64{}
+	for _, r := range rows {
+		if sec[r.Series] == nil {
+			sec[r.Series] = map[float64]float64{}
+		}
+		sec[r.Series][r.X] = r.Seconds
+	}
+	for x, diql := range sec["diql"] {
+		if diql < sec["matryoshka"][x] {
+			t.Errorf("at x=%v DIQL (%.1f) beat Matryoshka (%.1f)", x, diql, sec["matryoshka"][x])
+		}
+	}
+}
+
+// series extracts one line of an experiment's rows.
+func series(rows []Row, name string) map[float64]Row {
+	out := map[float64]Row{}
+	for _, r := range rows {
+		if r.Series == name {
+			out[r.X] = r
+		}
+	}
+	return out
+}
+
+// TestFig1SmokeShape checks the motivating figure's shape at a tiny scale:
+// inner-parallel grows with configurations, outer-parallel shrinks, and
+// they cross.
+func TestFig1SmokeShape(t *testing.T) {
+	rows := Fig1(Scale{RecordsPerGB: 200})
+	inner := series(rows, "inner-parallel")
+	outer := series(rows, "outer-parallel")
+	if !(inner[256].Seconds > inner[16].Seconds && inner[16].Seconds > inner[1].Seconds) {
+		t.Errorf("inner-parallel should grow: %v / %v / %v",
+			inner[1].Seconds, inner[16].Seconds, inner[256].Seconds)
+	}
+	if !(outer[1].Seconds > outer[16].Seconds && outer[16].Seconds > outer[256].Seconds) {
+		t.Errorf("outer-parallel should shrink: %v / %v / %v",
+			outer[1].Seconds, outer[16].Seconds, outer[256].Seconds)
+	}
+	if !(inner[1].Seconds < outer[1].Seconds && inner[256].Seconds > outer[256].Seconds) {
+		t.Error("the workarounds should cross between 1 and 256 configurations")
+	}
+}
+
+// TestFig5WeakSmokeOOMs checks the memory-pressure outcome is
+// scale-invariant: outer-parallel and DIQL OOM at every group count while
+// Matryoshka and inner-parallel complete.
+func TestFig5WeakSmokeOOMs(t *testing.T) {
+	rows := Fig5Weak(Scale{RecordsPerGB: 500})
+	for _, r := range rows {
+		switch r.Series {
+		case "outer-parallel", "diql":
+			if !r.OOM {
+				t.Errorf("%s at %v should OOM, got %.1fs", r.Series, r.X, r.Seconds)
+			}
+		case "matryoshka", "inner-parallel":
+			if r.OOM || r.Err != "" {
+				t.Errorf("%s at %v failed: %+v", r.Series, r.X, r)
+			}
+		}
+	}
+}

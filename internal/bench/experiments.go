@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/core"
+	"matryoshka/internal/engine"
+	"matryoshka/internal/tasks"
+)
+
+// row converts a task outcome into a bench row.
+func row(exp, series string, x float64, o tasks.Outcome) Row {
+	r := Row{Exp: exp, Series: series, X: x, Seconds: o.Seconds, Jobs: o.Jobs, OOM: o.OOM}
+	if o.Err != nil && !o.OOM {
+		r.Err = o.Err.Error()
+	}
+	return r
+}
+
+// kmeansSpec is the shared K-means shape: total work constant at 20 GB of
+// points, 4 clusters, convergence capped at 8 Lloyd's iterations.
+func kmeansSpec(sc Scale, configs int) tasks.KMeansSpec {
+	return tasks.KMeansSpec{
+		TotalPoints: sc.Records(20),
+		K:           4,
+		Configs:     configs,
+		Eps:         1e-6,
+		MaxIters:    8,
+		Seed:        1,
+	}
+}
+
+func pageRankSpec(sc Scale, groups int, gb float64, skewed bool) tasks.PageRankSpec {
+	return tasks.PageRankSpec{
+		Groups:        groups,
+		TotalEdges:    sc.Records(gb),
+		TotalVertices: sc.Records(gb) / 5,
+		Eps:           1e-6,
+		MaxIters:      6,
+		Skewed:        skewed,
+		Seed:          2,
+	}
+}
+
+func avgDistSpec(comps int) tasks.AvgDistSpec {
+	vpc := 2048 / comps
+	if vpc < 4 {
+		vpc = 4
+	}
+	return tasks.AvgDistSpec{
+		Components:        comps,
+		VerticesPerComp:   vpc,
+		ExtraEdgesPerComp: vpc / 2,
+		Seed:              3,
+		Weight:            64,
+	}
+}
+
+func bounceSpec(sc Scale, days int, gb float64, skewed bool) tasks.BounceRateSpec {
+	return tasks.BounceRateSpec{Visits: sc.Records(gb), Days: days, Skewed: skewed, Seed: 4}
+}
+
+// Fig1 reproduces the motivating experiment: K-means under the two
+// workarounds across 1..256 initial configurations (total work constant),
+// against the ideal of a fully parallel single run.
+func Fig1(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	var rows []Row
+	ideal := kmeansSpec(sc, 1).Run(tasks.InnerParallel, cc)
+	for c := 1; c <= 256; c *= 4 {
+		spec := kmeansSpec(sc, c)
+		rows = append(rows,
+			row("fig1", "inner-parallel", float64(c), spec.Run(tasks.InnerParallel, cc)),
+			row("fig1", "outer-parallel", float64(c), spec.Run(tasks.OuterParallel, cc)),
+			Row{Exp: "fig1", Series: "ideal", X: float64(c), Seconds: ideal.Seconds},
+		)
+	}
+	return rows
+}
+
+// weakScaling sweeps the number of inner computations with constant total
+// input across the three strategies.
+func weakScaling(exp string, xs []int, run func(x int, s tasks.Strategy) tasks.Outcome) []Row {
+	var rows []Row
+	for _, x := range xs {
+		for _, s := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel} {
+			rows = append(rows, row(exp, string(s), float64(x), run(x, s)))
+		}
+	}
+	return rows
+}
+
+// Fig3KMeans is the K-means panel of the weak-scaling figure.
+func Fig3KMeans(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	return weakScaling("fig3-kmeans", []int{4, 16, 64, 256, 1024}, func(x int, s tasks.Strategy) tasks.Outcome {
+		return kmeansSpec(sc, x).Run(s, cc)
+	})
+}
+
+// Fig3PageRank is the PageRank panel (20 GB of edges).
+func Fig3PageRank(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	return weakScaling("fig3-pagerank", []int{4, 16, 64, 256, 1024}, func(x int, s tasks.Strategy) tasks.Outcome {
+		return pageRankSpec(sc, x, 20, false).Run(s, cc)
+	})
+}
+
+// Fig3AvgDist is the Average Distances panel (three nesting levels).
+func Fig3AvgDist(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	return weakScaling("fig3-avgdist", []int{4, 16, 64}, func(x int, s tasks.Strategy) tasks.Outcome {
+		return avgDistSpec(x).Run(s, cc)
+	})
+}
+
+// Fig4 scales the cluster from 5 to 25 machines with 64 inner
+// computations for each iterative task.
+func Fig4(sc Scale) []Row {
+	var rows []Row
+	for _, machines := range []int{5, 10, 15, 20, 25} {
+		cc := sc.Cluster(machines, 16, 22)
+		for _, s := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel} {
+			rows = append(rows,
+				row("fig4", "kmeans/"+string(s), float64(machines), kmeansSpec(sc, 64).Run(s, cc)),
+				row("fig4", "pagerank/"+string(s), float64(machines), pageRankSpec(sc, 64, 20, false).Run(s, cc)),
+				row("fig4", "avgdist/"+string(s), float64(machines), avgDistSpec(64).Run(s, cc)),
+			)
+		}
+	}
+	return rows
+}
+
+// Fig5Weak is Bounce Rate weak scaling at 48 GB, where DIQL and
+// outer-parallel run out of memory in all cases (Sec. 9.4).
+func Fig5Weak(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	var rows []Row
+	for _, days := range []int{4, 16, 64, 256} {
+		spec := bounceSpec(sc, days, 48, false)
+		for _, s := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel, tasks.DIQL} {
+			rows = append(rows, row("fig5-weak", string(s), float64(days), spec.Run(s, cc)))
+		}
+	}
+	return rows
+}
+
+// Fig5ScaleOut is Bounce Rate scale-out with 256 groups.
+func Fig5ScaleOut(sc Scale) []Row {
+	var rows []Row
+	for _, machines := range []int{5, 10, 15, 20, 25} {
+		cc := sc.Cluster(machines, 16, 22)
+		spec := bounceSpec(sc, 256, 48, false)
+		for _, s := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel, tasks.DIQL} {
+			rows = append(rows, row("fig5-scaleout", string(s), float64(machines), spec.Run(s, cc)))
+		}
+	}
+	return rows
+}
+
+// Fig6 rescales Bounce Rate to 12 GB so DIQL completes, and compares it to
+// Matryoshka (the paper reports Matryoshka faster in all cases, up to
+// 6.6x).
+func Fig6(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	var rows []Row
+	for _, days := range []int{32, 64, 128, 256} {
+		spec := bounceSpec(sc, days, 12, false)
+		rows = append(rows,
+			row("fig6", string(tasks.Matryoshka), float64(days), spec.Run(tasks.Matryoshka, cc)),
+			row("fig6", string(tasks.DIQL), float64(days), spec.Run(tasks.DIQL, cc)),
+		)
+	}
+	return rows
+}
+
+// Fig7Bounce is the skew experiment for Bounce Rate: 1024 groups with
+// Zipf-distributed keys; Matryoshka is compared against its own unskewed
+// runtime (the paper reports within 15%), while inner-parallel degrades
+// and outer-parallel OOMs.
+func Fig7Bounce(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	skew := bounceSpec(sc, 1024, 24, true)
+	flat := bounceSpec(sc, 1024, 24, false)
+	return []Row{
+		row("fig7-bounce", "matryoshka/skewed", 1024, skew.Run(tasks.Matryoshka, cc)),
+		row("fig7-bounce", "matryoshka/uniform", 1024, flat.Run(tasks.Matryoshka, cc)),
+		row("fig7-bounce", "inner-parallel/skewed", 1024, skew.Run(tasks.InnerParallel, cc)),
+		row("fig7-bounce", "outer-parallel/skewed", 1024, skew.Run(tasks.OuterParallel, cc)),
+	}
+}
+
+// Fig7PageRank is the skew experiment for PageRank.
+func Fig7PageRank(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	skew := pageRankSpec(sc, 1024, 20, true)
+	flat := pageRankSpec(sc, 1024, 20, false)
+	return []Row{
+		row("fig7-pagerank", "matryoshka/skewed", 1024, skew.Run(tasks.Matryoshka, cc)),
+		row("fig7-pagerank", "matryoshka/uniform", 1024, flat.Run(tasks.Matryoshka, cc)),
+		row("fig7-pagerank", "inner-parallel/skewed", 1024, skew.Run(tasks.InnerParallel, cc)),
+		row("fig7-pagerank", "outer-parallel/skewed", 1024, skew.Run(tasks.OuterParallel, cc)),
+	}
+}
+
+// Fig8a ablates the InnerBag-InnerScalar join algorithm on PageRank with
+// 160 GB of edges: optimizer vs forced broadcast vs forced repartition
+// (Sec. 9.6). Forcing a strategy also bypasses the partition-count
+// optimization of Sec. 8.1, as a system without runtime size information
+// would.
+func Fig8a(sc Scale) []Row {
+	cc := sc.LargeCluster() // 160 GB of working state needs the Sec. 9.7 machines
+	var rows []Row
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"optimizer", core.Options{}},
+		{"broadcast", core.Options{ForceScalarJoin: core.ForceJoin(engine.JoinBroadcastLeft)}},
+		{"repartition", core.Options{ForceScalarJoin: core.ForceJoin(engine.JoinRepartition)}},
+	}
+	for _, groups := range []int{16, 256, 4096, 16384} {
+		spec := pageRankSpec(sc, groups, 160, false)
+		spec.MaxIters = 5
+		for _, v := range variants {
+			rows = append(rows, row("fig8a", v.name, float64(groups), spec.RunMatryoshka(cc, v.opt)))
+		}
+	}
+	return rows
+}
+
+// Fig8b ablates the half-lifted mapWithClosure broadcast side on K-means
+// (Sec. 9.6): optimizer vs always broadcasting the means InnerScalar vs
+// always broadcasting the points bag.
+func Fig8b(sc Scale) []Row {
+	cc := sc.PaperCluster()
+	var rows []Row
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"optimizer", core.Options{}},
+		{"bcast-scalar", core.Options{ForceHalfLifted: core.ForceHalf(core.BroadcastScalar)}},
+		{"bcast-primary", core.Options{ForceHalfLifted: core.ForceHalf(core.BroadcastPrimary)}},
+	}
+	for _, configs := range []int{4, 64, 1024, 8192} {
+		spec := kmeansSpec(sc, configs)
+		spec.TotalPoints = sc.Records(40)
+		for _, v := range variants {
+			rows = append(rows, row("fig8b", v.name, float64(configs), spec.RunMatryoshka(cc, v.opt)))
+		}
+	}
+	return rows
+}
+
+// fig9 runs a weak-scaling sweep on the large cluster with 8x input.
+func fig9(exp string, xs []int, cc cluster.Config, run func(x int, s tasks.Strategy) tasks.Outcome) []Row {
+	var rows []Row
+	for _, x := range xs {
+		for _, s := range []tasks.Strategy{tasks.Matryoshka, tasks.InnerParallel, tasks.OuterParallel} {
+			rows = append(rows, row(exp, string(s), float64(x), run(x, s)))
+		}
+	}
+	return rows
+}
+
+// Fig9PageRank is the 8x-input PageRank weak scaling on the Sec. 9.7
+// cluster (160 GB of edges, 36 machines).
+func Fig9PageRank(sc Scale) []Row {
+	cc := sc.LargeCluster()
+	return fig9("fig9-pagerank", []int{32, 128, 512}, cc, func(x int, s tasks.Strategy) tasks.Outcome {
+		spec := pageRankSpec(sc, x, 160, false)
+		spec.MaxIters = 5
+		return spec.Run(s, cc)
+	})
+}
+
+// Fig9Bounce is the 8x-input Bounce Rate weak scaling (384 GB of visits).
+func Fig9Bounce(sc Scale) []Row {
+	cc := sc.LargeCluster()
+	return fig9("fig9-bounce", []int{32, 128, 512}, cc, func(x int, s tasks.Strategy) tasks.Outcome {
+		return bounceSpec(sc, x, 384, false).Run(s, cc)
+	})
+}

@@ -1,0 +1,351 @@
+// Package cluster simulates a parallel compute cluster.
+//
+// The paper evaluates on physical clusters (25 machines in Sec. 9.1, 36 in
+// Sec. 9.7). This package substitutes a deterministic simulator: the engine
+// executes every operator for real (so results can be checked), while the
+// simulator separately advances a virtual clock by the makespan that the
+// job's tasks would take on a cluster of Machines×CoresPerMachine slots.
+//
+// The cost model captures exactly the effects the paper measures:
+//
+//   - per-job launch overhead (what sinks the inner-parallel workaround),
+//   - per-task scheduling overhead (what amplifies inner-parallel on larger
+//     clusters, Sec. 9.3),
+//   - limited slots (what caps the outer-parallel workaround when there are
+//     fewer groups than cores),
+//   - per-machine memory (what OOMs outer-parallel/DIQL on big groups and
+//     broadcast joins on big broadcasts).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ErrOutOfMemory reports that a task or broadcast exceeded a machine's
+// memory budget. It is the simulator analogue of a Spark executor OOM.
+var ErrOutOfMemory = errors.New("cluster: out of memory")
+
+// OOMError wraps ErrOutOfMemory with the sizes involved.
+type OOMError struct {
+	What  string // "task" or "broadcast"
+	Bytes int64  // requested
+	Limit int64  // per-machine budget available
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("cluster: out of memory: %s needs %d bytes, machine budget %d", e.What, e.Bytes, e.Limit)
+}
+
+func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
+
+// Config describes the simulated cluster and its cost model. All durations
+// are virtual seconds.
+type Config struct {
+	Machines         int   // number of worker machines
+	CoresPerMachine  int   // task slots per machine
+	MemoryPerMachine int64 // bytes available to tasks on one machine
+
+	JobLaunchOverhead float64 // driver-side cost to launch one job
+	StageOverhead     float64 // per-stage scheduling cost
+	TaskOverhead      float64 // per-task launch/teardown cost
+	PerElementCost    float64 // CPU cost to process one element in an operator
+	// PerByteShuffle is the per-task cost of reading one shuffled byte.
+	// It models each machine's NIC being shared by its task slots, so
+	// shuffle time does NOT shrink with more partitions on the same
+	// machines: cost ~= CoresPerMachine / per-machine bandwidth.
+	PerByteShuffle   float64
+	PerByteBroadcast float64 // driver-side cost per byte to broadcast to the cluster
+
+	// RecordWeight is the simulation scale: how many real-world records
+	// one simulated element stands for (>= 1). The engine multiplies
+	// per-element work, shuffle bytes and memory estimates of scaled
+	// datasets by it, so a laptop-sized simulation reports the costs of
+	// the paper-sized workload. Datasets whose cardinality does not grow
+	// with the input (lifting tags, per-group scalars) are marked
+	// unscaled and keep weight 1.
+	RecordWeight float64
+
+	// TaskFailureRate injects transient task failures: each task fails
+	// with this probability and is retried once, paying its cost again
+	// (the speculative/retry behaviour of real clusters). Deterministic
+	// per simulator instance. 0 disables injection.
+	TaskFailureRate float64
+
+	// MemoryOverheadFactor inflates the engine's raw data-size
+	// estimates to resident in-memory size (deserialized object
+	// headers, group buffers — the JVM blow-up that makes Spark
+	// groupBys OOM long before raw bytes reach the heap limit). The
+	// engine applies it to its own estimates before submitting task
+	// memory; explicit working-set claims (compact arrays held by
+	// sequential UDFs) are not inflated.
+	MemoryOverheadFactor float64
+}
+
+// DefaultConfig mirrors the paper's small cluster (Sec. 9.1): 25 machines,
+// 16 cores and 32 GB each. The unit costs were calibrated so that the
+// workloads in internal/tasks reproduce the relative shapes of the paper's
+// figures (who wins, by what factor, where the crossovers are).
+func DefaultConfig() Config {
+	return Config{
+		Machines:        25,
+		CoresPerMachine: 16,
+		// The paper dedicates 22 GB of each 32 GB machine to Spark.
+		MemoryPerMachine:  22 << 30,
+		JobLaunchOverhead: 0.7,
+		StageOverhead:     0.05,
+		TaskOverhead:      0.004,
+		PerElementCost:    2e-7,
+		// 16 task slots sharing the paper's 1 Gb NIC (Sec. 9.1):
+		// 16 / 125 MB/s per shuffled byte per task.
+		PerByteShuffle:       1.28e-7,
+		PerByteBroadcast:     8e-9, // one pass out of a 1 Gb source
+		RecordWeight:         1,
+		MemoryOverheadFactor: 14,
+	}
+}
+
+// LargeConfig mirrors the larger cluster of Sec. 9.7: 36 machines with 40
+// hardware threads and 100 GB Spark worker memory each.
+func LargeConfig() Config {
+	c := DefaultConfig()
+	c.Machines = 36
+	c.CoresPerMachine = 40
+	c.MemoryPerMachine = 100 << 30
+	// Xeon E5-2630V4-era machines: 10 Gb network, 40 slots sharing it.
+	c.PerByteShuffle = 3.2e-8
+	c.PerByteBroadcast = 8e-10
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Machines <= 0 || c.CoresPerMachine <= 0 {
+		return fmt.Errorf("cluster: need positive machines (%d) and cores (%d)", c.Machines, c.CoresPerMachine)
+	}
+	if c.MemoryPerMachine <= 0 {
+		return fmt.Errorf("cluster: need positive memory, got %d", c.MemoryPerMachine)
+	}
+	return nil
+}
+
+// Slots returns the total number of parallel task slots.
+func (c Config) Slots() int { return c.Machines * c.CoresPerMachine }
+
+// Task is the cost of one simulated task.
+type Task struct {
+	Compute float64 // virtual seconds of CPU + shuffle work (excl. TaskOverhead)
+	Memory  int64   // peak bytes held by the task
+}
+
+// Stats aggregates what ran on the simulated cluster.
+type Stats struct {
+	Jobs       int
+	Stages     int
+	Tasks      int
+	Broadcasts int
+	// TaskRetries counts injected transient failures that were retried.
+	TaskRetries int
+	// BusySeconds is the summed task time; Clock is the virtual makespan.
+	BusySeconds float64
+}
+
+// Simulator owns the virtual clock. It is safe for concurrent use; the
+// engine submits whole stages at a time, which keeps accounting
+// deterministic regardless of real execution interleaving.
+type Simulator struct {
+	mu       sync.Mutex
+	cfg      Config
+	clock    float64
+	resident int64 // broadcast bytes currently pinned on every machine
+	stats    Stats
+	rng      *rand.Rand // failure injection; fixed seed for determinism
+}
+
+// New creates a simulator; it panics on an invalid config (programmer error).
+func New(cfg Config) *Simulator {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Simulator{cfg: cfg, rng: rand.New(rand.NewSource(42))}
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Clock returns the current virtual time in seconds.
+func (s *Simulator) Clock() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *Simulator) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Reset rewinds the clock and statistics, releasing pinned broadcasts.
+func (s *Simulator) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = 0
+	s.resident = 0
+	s.stats = Stats{}
+	s.rng = rand.New(rand.NewSource(42))
+}
+
+// Advance adds dt virtual seconds of driver-side time.
+func (s *Simulator) Advance(dt float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock += dt
+}
+
+// StartJob charges the per-job launch overhead and counts the job.
+func (s *Simulator) StartJob() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Jobs++
+	s.clock += s.cfg.JobLaunchOverhead
+}
+
+// RunStage schedules tasks onto the cluster's slots (longest-processing-time
+// list scheduling) and advances the clock by the resulting makespan plus the
+// stage overhead.
+//
+// Memory is modelled as shared per machine, as in Spark executors: tasks
+// run in waves of up to Slots() at a time, heavy (long) tasks first and
+// spread round-robin across machines; within a wave, the sum of a
+// machine's resident task memory plus pinned broadcasts must fit the
+// machine budget, or the stage fails with an *OOMError. This reproduces the Spark behaviours the paper reports: a few
+// huge groups OOM even on an otherwise idle cluster, while the same total
+// data in many small partitions runs fine.
+func (s *Simulator) RunStage(tasks []Task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Stages++
+	s.stats.Tasks += len(tasks)
+	budget := s.cfg.MemoryPerMachine - s.resident
+
+	order := make([]Task, len(tasks))
+	copy(order, tasks)
+	sort.Slice(order, func(i, j int) bool { return order[i].Compute > order[j].Compute })
+
+	slots := s.cfg.Slots()
+	durations := make([]float64, 0, len(order))
+	perMachine := make([]int64, s.cfg.Machines)
+	for w := 0; w < len(order); w += slots {
+		wave := order[w:min(w+slots, len(order))]
+		for i := range perMachine {
+			perMachine[i] = 0
+		}
+		for i, t := range wave {
+			perMachine[i%s.cfg.Machines] += t.Memory
+		}
+		for _, m := range perMachine {
+			if m > budget {
+				return &OOMError{What: "task", Bytes: m, Limit: budget}
+			}
+		}
+	}
+	for _, t := range order {
+		d := t.Compute + s.cfg.TaskOverhead
+		if s.cfg.TaskFailureRate > 0 && s.rng.Float64() < s.cfg.TaskFailureRate {
+			// Transient failure: the task reruns from scratch.
+			s.stats.TaskRetries++
+			d *= 2
+		}
+		durations = append(durations, d)
+		s.stats.BusySeconds += d
+	}
+	s.clock += s.cfg.StageOverhead + makespan(durations, slots)
+	return nil
+}
+
+// Broadcast pins bytes of data on every machine for the remainder of the
+// job (until ReleaseBroadcasts) and charges the broadcast cost. It fails
+// if the data does not fit next to what is already resident.
+func (s *Simulator) Broadcast(bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Broadcasts++
+	if s.resident+bytes > s.cfg.MemoryPerMachine {
+		return &OOMError{What: "broadcast", Bytes: bytes, Limit: s.cfg.MemoryPerMachine - s.resident}
+	}
+	s.resident += bytes
+	s.clock += float64(bytes) * s.cfg.PerByteBroadcast
+	return nil
+}
+
+// ReleaseBroadcasts unpins all broadcast data (end of job).
+func (s *Simulator) ReleaseBroadcasts() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resident = 0
+}
+
+// makespan computes the completion time of scheduling durations greedily
+// (longest first) onto `slots` parallel slots.
+func makespan(durations []float64, slots int) float64 {
+	if len(durations) == 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	sorted := make([]float64, len(durations))
+	copy(sorted, durations)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	if len(sorted) <= slots {
+		return sorted[0]
+	}
+	// Greedy assignment to the least-loaded slot via a small heap-free scan
+	// would be O(n·slots); use a binary heap for larger inputs.
+	h := newFloatHeap(slots)
+	for _, d := range sorted {
+		h.addToMin(d)
+	}
+	return h.max()
+}
+
+// floatHeap is a fixed-size min-heap of slot finish times.
+type floatHeap struct{ a []float64 }
+
+func newFloatHeap(n int) *floatHeap { return &floatHeap{a: make([]float64, n)} }
+
+func (h *floatHeap) addToMin(d float64) {
+	h.a[0] += d
+	// Sift down.
+	i := 0
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < n && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+}
+
+func (h *floatHeap) max() float64 {
+	m := h.a[0]
+	for _, v := range h.a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Machines = 2
+	c.CoresPerMachine = 2
+	c.MemoryPerMachine = 1000
+	c.JobLaunchOverhead = 1
+	c.StageOverhead = 0.1
+	c.TaskOverhead = 0.01
+	c.MemoryOverheadFactor = 1
+	return c
+}
+
+func TestMemorySharedWithinWave(t *testing.T) {
+	s := New(testConfig()) // 2 machines x 2 cores, 1000 bytes each
+	// Four concurrent 600-byte tasks: two land on each machine -> 1200 > 1000.
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Compute: 1, Memory: 600}
+	}
+	if err := s.RunStage(tasks); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM from co-resident tasks", err)
+	}
+}
+
+func TestFewTasksGetWholeMachine(t *testing.T) {
+	s := New(testConfig())
+	// Two 900-byte tasks spread to the two machines: each fits alone.
+	if err := s.RunStage([]Task{{Compute: 1, Memory: 900}, {Compute: 1, Memory: 900}}); err != nil {
+		t.Fatalf("err = %v, want nil (one heavy task per machine)", err)
+	}
+}
+
+func TestJobOverheadAccumulates(t *testing.T) {
+	s := New(testConfig())
+	for i := 0; i < 5; i++ {
+		s.StartJob()
+	}
+	if got := s.Clock(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("clock = %v, want 5", got)
+	}
+	if s.Stats().Jobs != 5 {
+		t.Errorf("jobs = %d, want 5", s.Stats().Jobs)
+	}
+}
+
+func TestStageMakespanPerfectlyParallel(t *testing.T) {
+	s := New(testConfig()) // 4 slots
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Compute: 1}
+	}
+	if err := s.RunStage(tasks); err != nil {
+		t.Fatal(err)
+	}
+	// 4 tasks on 4 slots: makespan = 1 + taskOverhead, plus stage overhead.
+	want := 0.1 + 1 + 0.01
+	if got := s.Clock(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestStageMakespanSerializesBeyondSlots(t *testing.T) {
+	s := New(testConfig()) // 4 slots
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{Compute: 1}
+	}
+	if err := s.RunStage(tasks); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 + 2*(1+0.01) // two waves
+	if got := s.Clock(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("clock = %v, want %v", got, want)
+	}
+}
+
+func TestStragglerDominatesMakespan(t *testing.T) {
+	s := New(testConfig())
+	tasks := []Task{{Compute: 10}, {Compute: 0.1}, {Compute: 0.1}, {Compute: 0.1}}
+	if err := s.RunStage(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Clock(); got < 10 {
+		t.Errorf("clock = %v, want >= 10 (straggler)", got)
+	}
+	if got := s.Clock(); got > 10.5 {
+		t.Errorf("clock = %v, want ~10.11", got)
+	}
+}
+
+func TestTaskOOM(t *testing.T) {
+	s := New(testConfig()) // 1000 bytes per machine
+	err := s.RunStage([]Task{{Compute: 1, Memory: 2000}})
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	var oom *OOMError
+	if !errors.As(err, &oom) || oom.Bytes != 2000 {
+		t.Errorf("OOMError details wrong: %+v", oom)
+	}
+}
+
+func TestBroadcastOOMAndResidency(t *testing.T) {
+	s := New(testConfig())
+	if err := s.Broadcast(600); err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast shrinks the task budget.
+	if err := s.RunStage([]Task{{Memory: 500}}); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("task over reduced budget: err = %v, want OOM", err)
+	}
+	// A second broadcast beyond the limit fails too.
+	if err := s.Broadcast(600); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("second broadcast: err = %v, want OOM", err)
+	}
+	s.ReleaseBroadcasts()
+	if err := s.RunStage([]Task{{Memory: 900}}); err != nil {
+		t.Errorf("after release: err = %v, want nil", err)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	s := New(testConfig())
+	s.StartJob()
+	if err := s.Broadcast(500); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Clock() != 0 {
+		t.Errorf("clock after reset = %v", s.Clock())
+	}
+	if st := s.Stats(); st.Jobs != 0 || st.Broadcasts != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if err := s.RunStage([]Task{{Memory: 900}}); err != nil {
+		t.Errorf("broadcast residency should be cleared: %v", err)
+	}
+}
+
+func TestMakespanProperties(t *testing.T) {
+	// Property: makespan >= max duration, makespan >= sum/slots,
+	// makespan <= sum (never worse than fully serial).
+	f := func(raw []uint16, slots8 uint8) bool {
+		slots := int(slots8%16) + 1
+		durations := make([]float64, len(raw))
+		var sum, maxD float64
+		for i, r := range raw {
+			durations[i] = float64(r) / 100
+			sum += durations[i]
+			if durations[i] > maxD {
+				maxD = durations[i]
+			}
+		}
+		m := makespan(durations, slots)
+		lower := math.Max(maxD, sum/float64(slots))
+		return m >= lower-1e-9 && m <= sum+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreMachinesNeverSlower(t *testing.T) {
+	durations := make([]float64, 100)
+	for i := range durations {
+		durations[i] = float64(i%7) + 0.5
+	}
+	prev := math.Inf(1)
+	for slots := 1; slots <= 64; slots *= 2 {
+		m := makespan(durations, slots)
+		if m > prev+1e-9 {
+			t.Errorf("makespan with %d slots = %v > previous %v", slots, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with zero machines should panic")
+		}
+	}()
+	New(Config{Machines: 0, CoresPerMachine: 1, MemoryPerMachine: 1})
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), LargeConfig()} {
+		if err := cfg.validate(); err != nil {
+			t.Errorf("config invalid: %v", err)
+		}
+		if cfg.Slots() <= 0 {
+			t.Errorf("slots = %d", cfg.Slots())
+		}
+	}
+	if LargeConfig().Slots() <= DefaultConfig().Slots() {
+		t.Error("large cluster should have more slots")
+	}
+}
+
+func TestFailureInjectionRetriesAndDeterminism(t *testing.T) {
+	run := func() (Stats, float64) {
+		cfg := testConfig()
+		cfg.TaskFailureRate = 0.3
+		s := New(cfg)
+		for i := 0; i < 20; i++ {
+			tasks := make([]Task, 10)
+			for j := range tasks {
+				tasks[j] = Task{Compute: 1}
+			}
+			if err := s.RunStage(tasks); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Stats(), s.Clock()
+	}
+	st1, c1 := run()
+	st2, c2 := run()
+	if st1.TaskRetries == 0 {
+		t.Fatal("expected injected retries")
+	}
+	if st1.TaskRetries != st2.TaskRetries || c1 != c2 {
+		t.Fatalf("failure injection must be deterministic: %v/%v vs %v/%v",
+			st1.TaskRetries, c1, st2.TaskRetries, c2)
+	}
+	// Retries make the run slower than a failure-free one.
+	cfg := testConfig()
+	s := New(cfg)
+	for i := 0; i < 20; i++ {
+		tasks := make([]Task, 10)
+		for j := range tasks {
+			tasks[j] = Task{Compute: 1}
+		}
+		if err := s.RunStage(tasks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c1 <= s.Clock() {
+		t.Errorf("with failures %.2fs should exceed clean %.2fs", c1, s.Clock())
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import "matryoshka/internal/engine"
+
+// This file handles closures — UDFs referring to variables defined outside
+// (Sec. 5) — and the half-lifted operations of Sec. 5.2/8.3.
+
+// MapWithClosure is the unlifted-UDF case (Sec. 5.1): a map over an
+// InnerBag whose UDF refers to an InnerScalar from the enclosing lifted
+// UDF. Each bag element must meet the closure value of its own invocation,
+// so the implementation is a tag join between the two representations,
+// with the algorithm chosen by the optimizer (Sec. 8.2).
+func MapWithClosure[A, C, B any](b InnerBag[A], clos InnerScalar[C], f func(A, C) B) InnerBag[B] {
+	ctx := b.ctx
+	joined := engine.JoinWith(clos.repr, b.repr, ctx.BagScalarJoinStrategy(), 0)
+	repr := engine.Map(joined, func(p engine.Pair[Tag, engine.Tuple2[C, A]]) engine.Pair[Tag, B] {
+		return engine.KV(p.Key, f(p.Val.B, p.Val.A))
+	})
+	return InnerBag[B]{repr: repr, ctx: ctx}
+}
+
+// FilterWithClosure filters an InnerBag with a predicate over the element
+// and the invocation's closure value (same tag join as MapWithClosure).
+func FilterWithClosure[A, C any](b InnerBag[A], clos InnerScalar[C], pred func(A, C) bool) InnerBag[A] {
+	ctx := b.ctx
+	joined := engine.JoinWith(clos.repr, b.repr, ctx.BagScalarJoinStrategy(), 0)
+	filtered := engine.Filter(joined, func(p engine.Pair[Tag, engine.Tuple2[C, A]]) bool {
+		return pred(p.Val.B, p.Val.A)
+	})
+	repr := engine.Map(filtered, func(p engine.Pair[Tag, engine.Tuple2[C, A]]) engine.Pair[Tag, A] {
+		return engine.KV(p.Key, p.Val.B)
+	})
+	return InnerBag[A]{repr: repr, ctx: ctx}
+}
+
+// LiftScalarClosure is the lifted-UDF closure case (Sec. 5.2) for scalars:
+// a driver-side value referenced inside a lifted UDF is replicated for
+// every tag.
+func LiftScalarClosure[S any](ctx *Ctx, v S) InnerScalar[S] { return Pure(ctx, v) }
+
+// LiftBagClosure fully lifts an outside bag into an InnerBag by
+// replicating it for every tag (Sec. 5.2). The paper warns this "can make
+// it very large"; prefer the half-lifted operations below when the
+// operation allows it.
+func LiftBagClosure[E any](ctx *Ctx, d engine.Dataset[E]) InnerBag[E] {
+	repr := engine.CrossWithBroadcast(ctx.Tags, d, func(t Tag, e E) engine.Pair[Tag, E] {
+		return engine.KV(t, e)
+	})
+	return InnerBag[E]{repr: repr, ctx: ctx}
+}
+
+// HalfLiftedJoin is the half-lifted equi-join of Sec. 5.2: left is an
+// InnerBag (lifted), right is a plain outside bag (not lifted). The
+// implementation is the paper's 3-line re-keying: move the tag into the
+// value, join on the plain key, move the tag back out.
+func HalfLiftedJoin[K comparable, V, W any](left InnerBag[engine.Pair[K, V]], right engine.Dataset[engine.Pair[K, W]]) InnerBag[engine.Pair[K, engine.Tuple2[V, W]]] {
+	rekeyed := engine.Map(left.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[K, engine.Tuple2[Tag, V]] {
+		return engine.KV(p.Val.Key, engine.Tuple2[Tag, V]{A: p.Key, B: p.Val.Val})
+	})
+	joined := engine.Join(rekeyed, right)
+	repr := engine.Map(joined, func(p engine.Pair[K, engine.Tuple2[engine.Tuple2[Tag, V], W]]) engine.Pair[Tag, engine.Pair[K, engine.Tuple2[V, W]]] {
+		return engine.KV(p.Val.A.A, engine.KV(p.Key, engine.Tuple2[V, W]{A: p.Val.A.B, B: p.Val.B}))
+	})
+	return InnerBag[engine.Pair[K, engine.Tuple2[V, W]]]{repr: repr, ctx: left.ctx}
+}
+
+// HalfLiftedMapWithClosure is the half-lifted mapWithClosure of Sec. 8.3:
+// the closure is an InnerScalar from inside the lifted UDF and the primary
+// input is a bag from outside it (e.g. K-means' unchanging points bag met
+// by each run's current means). Semantically a cross product — every
+// (tag, closure value) meets every primary element — physically realized
+// by broadcasting one side, chosen by the optimizer (or forced via
+// Options.ForceHalfLifted for the Fig. 8 ablation).
+func HalfLiftedMapWithClosure[C, A, B any](clos InnerScalar[C], primary engine.Dataset[A], f func(A, C) B) InnerBag[B] {
+	ctx := clos.ctx
+	choice := ctx.HalfLiftedStrategy(clos.repr.CachedBytes(), primary.CachedBytes())
+	var repr engine.Dataset[engine.Pair[Tag, B]]
+	apply := func(tc engine.Pair[Tag, C], a A) engine.Pair[Tag, B] {
+		return engine.KV(tc.Key, f(a, tc.Val))
+	}
+	if choice == BroadcastScalar {
+		repr = engine.CrossWithBroadcast(clos.repr, primary, apply)
+	} else {
+		repr = engine.CrossBroadcastBig(clos.repr, primary, apply)
+	}
+	return InnerBag[B]{repr: repr, ctx: ctx}
+}

@@ -1,0 +1,208 @@
+package core
+
+import "matryoshka/internal/engine"
+
+// InnerBag represents a Bag variable inside a lifted UDF (Sec. 4.4). Where
+// the original UDF held one bag per invocation, the lifted program holds a
+// single flat Bag[(Tag, E)] containing the elements of *all* the inner
+// bags, each tagged with its invocation.
+type InnerBag[E any] struct {
+	repr engine.Dataset[engine.Pair[Tag, E]]
+	ctx  *Ctx
+}
+
+// BagFromRepr wraps an existing flat representation.
+func BagFromRepr[E any](ctx *Ctx, repr engine.Dataset[engine.Pair[Tag, E]]) InnerBag[E] {
+	return InnerBag[E]{repr: repr, ctx: ctx}
+}
+
+// Repr exposes the flat bag representing the InnerBag.
+func (b InnerBag[E]) Repr() engine.Dataset[engine.Pair[Tag, E]] { return b.repr }
+
+// Ctx returns the LiftingContext this bag belongs to.
+func (b InnerBag[E]) Ctx() *Ctx { return b.ctx }
+
+// Cache materializes the representation on first use.
+func (b InnerBag[E]) Cache() InnerBag[E] {
+	b.repr = b.repr.Cache()
+	return b
+}
+
+// CollectGroups gathers all inner bags keyed by tag (output operation).
+func (b InnerBag[E]) CollectGroups() (map[Tag][]E, error) {
+	elems, err := engine.Collect(b.repr)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Tag][]E)
+	for _, p := range elems {
+		out[p.Key] = append(out[p.Key], p.Val)
+	}
+	return out, nil
+}
+
+// --- Stateless lifted operations (Sec. 4.4): the UDF applies to the value
+// component; tags are forwarded unchanged. ---
+
+// MapBag lifts map.
+func MapBag[A, B any](b InnerBag[A], f func(A) B) InnerBag[B] {
+	repr := engine.Map(b.repr, func(p engine.Pair[Tag, A]) engine.Pair[Tag, B] {
+		return engine.KV(p.Key, f(p.Val))
+	})
+	return InnerBag[B]{repr: repr, ctx: b.ctx}
+}
+
+// FilterBag lifts filter.
+func FilterBag[E any](b InnerBag[E], pred func(E) bool) InnerBag[E] {
+	repr := engine.Filter(b.repr, func(p engine.Pair[Tag, E]) bool { return pred(p.Val) })
+	return InnerBag[E]{repr: repr, ctx: b.ctx}
+}
+
+// FlatMapBag lifts flatMap.
+func FlatMapBag[A, B any](b InnerBag[A], f func(A) []B) InnerBag[B] {
+	repr := engine.FlatMap(b.repr, func(p engine.Pair[Tag, A]) []engine.Pair[Tag, B] {
+		bs := f(p.Val)
+		out := make([]engine.Pair[Tag, B], len(bs))
+		for i, v := range bs {
+			out[i] = engine.KV(p.Key, v)
+		}
+		return out
+	})
+	return InnerBag[B]{repr: repr, ctx: b.ctx}
+}
+
+// --- Stateful lifted operations keep their state per tag (Sec. 4.4). ---
+
+// reduceByTag reduces a tag-keyed bag. When the context's tag set is
+// cardinality-bounded (weight 1, the usual case at the first nesting
+// level), the result is marked unscaled so the simulator costs its rows as
+// the per-group scalars they are; deeper tag sets that scale with the data
+// (e.g. per-vertex BFS sources) keep their weight.
+func reduceByTag[V any](ctx *Ctx, d engine.Dataset[engine.Pair[Tag, V]], f func(V, V) V) engine.Dataset[engine.Pair[Tag, V]] {
+	if ctx.Tags.Weight() <= 1 {
+		return engine.ReduceByKeyBound(d, f, ctx.Parts)
+	}
+	return engine.ReduceByKeyN(d, f, ctx.Parts)
+}
+
+// ReduceBag lifts reduce: a reduceByKey with the tag as the key, producing
+// an InnerScalar. Inner bags that are empty produce no element, matching
+// the semantics of reduce being undefined on empty bags; use AggregateBag
+// or CountBag for operations with a defined empty-bag result.
+func ReduceBag[E any](b InnerBag[E], f func(E, E) E) InnerScalar[E] {
+	repr := reduceByTag(b.ctx, b.repr, f)
+	return InnerScalar[E]{repr: repr, ctx: b.ctx}
+}
+
+// AggregateBag lifts a fold with zero value: like ReduceBag but inner bags
+// with no elements yield zero. The zero rows come from the per-UDF tag bag
+// (Sec. 4.4: "To handle operations that produce output for empty input
+// bags ... we additionally need to store all the tags in a separate bag").
+func AggregateBag[E, A any](b InnerBag[E], zero A, add func(A, E) A, merge func(A, A) A) InnerScalar[A] {
+	partial := engine.Map(b.repr, func(p engine.Pair[Tag, E]) engine.Pair[Tag, A] {
+		return engine.KV(p.Key, add(zero, p.Val))
+	})
+	zeros := engine.Map(b.ctx.Tags, func(t Tag) engine.Pair[Tag, A] {
+		return engine.KV(t, zero)
+	})
+	repr := reduceByTag(b.ctx, engine.Union(partial, zeros), merge)
+	return InnerScalar[A]{repr: repr, ctx: b.ctx}
+}
+
+// CountBag lifts count, producing 0 for empty inner bags.
+func CountBag[E any](b InnerBag[E]) InnerScalar[int64] {
+	return AggregateBag(b, 0, func(a int64, _ E) int64 { return a + 1 },
+		func(x, y int64) int64 { return x + y })
+}
+
+// DistinctBag lifts distinct: deduplicating (Tag, E) pairs deduplicates
+// within each inner bag — the lifted version is "simply identical to the
+// original operation" (Sec. 4.4).
+func DistinctBag[E comparable](b InnerBag[E]) InnerBag[E] {
+	return InnerBag[E]{repr: engine.Distinct(b.repr), ctx: b.ctx}
+}
+
+// UnionBags lifts bag union.
+func UnionBags[E any](a, b InnerBag[E]) InnerBag[E] {
+	return InnerBag[E]{repr: engine.Union(a.repr, b.repr), ctx: a.ctx}
+}
+
+// tagKey is the composite key of Sec. 4.4: the original key plus the tag.
+type tagKey[K comparable] struct {
+	T Tag
+	K K
+}
+
+// ReduceByKeyBag lifts reduceByKey: re-key by (tag, key), reduce, re-key
+// back — the exact three-operator rewrite given in Sec. 4.4.
+func ReduceByKeyBag[K comparable, V any](b InnerBag[engine.Pair[K, V]], f func(V, V) V) InnerBag[engine.Pair[K, V]] {
+	rekeyed := engine.Map(b.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[tagKey[K], V] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	reduced := engine.ReduceByKey(rekeyed, f)
+	repr := engine.Map(reduced, func(p engine.Pair[tagKey[K], V]) engine.Pair[Tag, engine.Pair[K, V]] {
+		return engine.KV(p.Key.T, engine.KV(p.Key.K, p.Val))
+	})
+	return InnerBag[engine.Pair[K, V]]{repr: repr, ctx: b.ctx}
+}
+
+// ReduceByKeyBagBound is ReduceByKeyBag for key sets whose cardinality is
+// bounded per invocation (e.g. K-means cluster indices, at most k per
+// run): the aggregate's row count does not scale with the data, so the
+// simulator costs it unscaled, like InnerScalars.
+func ReduceByKeyBagBound[K comparable, V any](b InnerBag[engine.Pair[K, V]], f func(V, V) V) InnerBag[engine.Pair[K, V]] {
+	rekeyed := engine.Map(b.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[tagKey[K], V] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	reduced := engine.ReduceByKeyBound(rekeyed, f, 0)
+	repr := engine.Map(reduced, func(p engine.Pair[tagKey[K], V]) engine.Pair[Tag, engine.Pair[K, V]] {
+		return engine.KV(p.Key.T, engine.KV(p.Key.K, p.Val))
+	})
+	return InnerBag[engine.Pair[K, V]]{repr: repr, ctx: b.ctx}
+}
+
+// GroupByKeyBag lifts groupByKey with the same composite re-keying.
+func GroupByKeyBag[K comparable, V any](b InnerBag[engine.Pair[K, V]]) InnerBag[engine.Pair[K, []V]] {
+	rekeyed := engine.Map(b.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[tagKey[K], V] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	grouped := engine.GroupByKey(rekeyed)
+	repr := engine.Map(grouped, func(p engine.Pair[tagKey[K], []V]) engine.Pair[Tag, engine.Pair[K, []V]] {
+		return engine.KV(p.Key.T, engine.KV(p.Key.K, p.Val))
+	})
+	return InnerBag[engine.Pair[K, []V]]{repr: repr, ctx: b.ctx}
+}
+
+// JoinBags lifts an equi-join between two inner bags of the same UDF,
+// re-keying both sides by (tag, key) so matches stay within an invocation.
+func JoinBags[K comparable, A, B any](l InnerBag[engine.Pair[K, A]], r InnerBag[engine.Pair[K, B]]) InnerBag[engine.Pair[K, engine.Tuple2[A, B]]] {
+	lk := engine.Map(l.repr, func(p engine.Pair[Tag, engine.Pair[K, A]]) engine.Pair[tagKey[K], A] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	rk := engine.Map(r.repr, func(p engine.Pair[Tag, engine.Pair[K, B]]) engine.Pair[tagKey[K], B] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	joined := engine.Join(lk, rk)
+	repr := engine.Map(joined, func(p engine.Pair[tagKey[K], engine.Tuple2[A, B]]) engine.Pair[Tag, engine.Pair[K, engine.Tuple2[A, B]]] {
+		return engine.KV(p.Key.T, engine.KV(p.Key.K, p.Val))
+	})
+	return InnerBag[engine.Pair[K, engine.Tuple2[A, B]]]{repr: repr, ctx: l.ctx}
+}
+
+// CrossBags lifts the cartesian product of two inner bags of the same
+// UDF: every pair of elements within an invocation meets (the "cross
+// products in some flattened operations" of Sec. 4.4). Implemented as a
+// tag join, so each invocation's product stays separate.
+func CrossBags[A, B any](l InnerBag[A], r InnerBag[B]) InnerBag[engine.Tuple2[A, B]] {
+	joined := engine.Join(l.repr, r.repr)
+	repr := engine.Map(joined, func(p engine.Pair[Tag, engine.Tuple2[A, B]]) engine.Pair[Tag, engine.Tuple2[A, B]] {
+		return engine.KV(p.Key, p.Val)
+	})
+	return InnerBag[engine.Tuple2[A, B]]{repr: repr, ctx: l.ctx}
+}
+
+// FlattenBag implements the flatten of Sec. 4.6 (used to lift flatMap at
+// the outer level): it simply removes the tags.
+func FlattenBag[E any](b InnerBag[E]) engine.Dataset[E] {
+	return engine.Values(b.repr)
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"matryoshka/internal/engine"
+)
+
+// NestedBag represents a nested bag outside any UDF (Sec. 4.5): the
+// original Bag[(O, Bag[I])] is represented flat as an InnerScalar[O] (the
+// per-group scalar components) plus an InnerBag[I] (all inner elements,
+// tagged by group).
+type NestedBag[O, I any] struct {
+	Outer InnerScalar[O]
+	Inner InnerBag[I]
+}
+
+// Ctx returns the nested bag's LiftingContext (shared by Outer and Inner).
+func (nb NestedBag[O, I]) Ctx() *Ctx { return nb.Inner.ctx }
+
+// Cache materializes both component representations.
+func (nb NestedBag[O, I]) Cache() NestedBag[O, I] {
+	nb.Outer = nb.Outer.Cache()
+	nb.Inner = nb.Inner.Cache()
+	return nb
+}
+
+// Collect gathers the nested bag back into driver memory as (outer, group)
+// pairs — the inverse of the flattening isomorphism m of Theorem 2, used
+// by output operations and tests.
+func (nb NestedBag[O, I]) Collect() (map[Tag]engine.Pair[Tag, O], map[Tag][]I, error) {
+	outer, err := nb.Outer.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	inner, err := nb.Inner.CollectGroups()
+	if err != nil {
+		return nil, nil, err
+	}
+	om := make(map[Tag]engine.Pair[Tag, O], len(outer))
+	for t, o := range outer {
+		om[t] = engine.KV(t, o)
+	}
+	return om, inner, nil
+}
+
+// CollectNested gathers the nested bag as outer-value -> inner elements,
+// for outer types that are comparable.
+func CollectNested[O comparable, I any](nb NestedBag[O, I]) (map[O][]I, error) {
+	outer, err := nb.Outer.Collect()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := nb.Inner.CollectGroups()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[O][]I, len(outer))
+	for t, o := range outer {
+		out[o] = inner[t] // nil slice for empty groups is correct bag semantics
+	}
+	return out, nil
+}
+
+// GroupByKeyIntoNestedBag is the parsing phase's replacement for a
+// groupByKey whose result would be nested (Listing 2, line 3). The
+// lowering mints one tag per distinct key (a 64-bit seeded hash of the
+// key, so tagging the inner elements is a *narrow* map — no shuffle
+// partitioned by the possibly skewed grouping key, which is what makes
+// Matryoshka robust to skew, Sec. 9.5), builds the InnerScalar of keys,
+// and counts the groups — which is how every InnerScalar size becomes
+// known up front (Sec. 8.1).
+func GroupByKeyIntoNestedBag[K comparable, V any](d engine.Dataset[engine.Pair[K, V]], opt Options) (NestedBag[K, V], error) {
+	sess := d.Session()
+	// Group keys are cardinality-bounded (one per group): unscaled.
+	keys := engine.DistinctBound(engine.Keys(d), 0)
+	keyTags := engine.Map(keys, func(k K) engine.Pair[Tag, K] {
+		return engine.KV(RootTag(engine.HashKey(sess, k)), k)
+	}).Cache()
+	size, err := engine.Count(keyTags)
+	if err != nil {
+		return NestedBag[K, V]{}, err
+	}
+	tags := engine.Keys(keyTags)
+	ctx := NewContext(sess, tags, size, opt)
+
+	outer := InnerScalar[K]{repr: keyTags, ctx: ctx}
+	inner := InnerBag[V]{
+		repr: engine.Map(d, func(p engine.Pair[K, V]) engine.Pair[Tag, V] {
+			return engine.KV(RootTag(engine.HashKey(sess, p.Key)), p.Val)
+		}),
+		ctx: ctx,
+	}
+	return NestedBag[K, V]{Outer: outer, Inner: inner}, nil
+}
+
+// MapNestedBag is mapWithLiftedUDF on a NestedBag (Listing 2, line 4): the
+// UDF is called exactly once, during lowering, and operates on the lifted
+// representations of all groups at the same time. R is whatever the UDF
+// produces (typically an InnerScalar or InnerBag).
+func MapNestedBag[O, I, R any](nb NestedBag[O, I], udf func(ctx *Ctx, outer InnerScalar[O], inner InnerBag[I]) R) R {
+	return udf(nb.Inner.ctx, nb.Outer, nb.Inner)
+}
+
+// LiftFlat is mapWithLiftedUDF on a *flat* bag (the hyperparameter
+// optimization pattern of Sec. 2.3: a bag of parameter values whose map UDF
+// contains parallel operations). Tags are minted with zipWithUniqueId
+// (Sec. 4.3) and the UDF is called once with the InnerScalar of elements.
+func LiftFlat[A, R any](d engine.Dataset[A], opt Options, udf func(ctx *Ctx, elems InnerScalar[A]) (R, error)) (R, error) {
+	var zero R
+	sess := d.Session()
+	tagged := engine.Map(engine.ZipWithUniqueID(d), func(p engine.Pair[uint64, A]) engine.Pair[Tag, A] {
+		return engine.KV(RootTag(p.Key), p.Val)
+	}).Unscaled().Cache()
+	size, err := engine.Count(tagged)
+	if err != nil {
+		return zero, err
+	}
+	tags := engine.Keys(tagged)
+	ctx := NewContext(sess, tags, size, opt)
+	return udf(ctx, InnerScalar[A]{repr: tagged, ctx: ctx})
+}
+
+// MapBagLifted lifts a map-with-parallel-UDF *inside an already lifted
+// UDF*: each element of the InnerBag becomes one invocation of the deeper
+// UDF, with a composite tag (outer tag pushed with a fresh id, Sec. 7).
+// This is the mechanism behind three-level programs such as Average
+// Distances.
+func MapBagLifted[A, R any](b InnerBag[A], udf func(ctx *Ctx, elems InnerScalar[A]) (R, error)) (R, error) {
+	var zero R
+	tagged := engine.Map(engine.ZipWithUniqueID(b.repr), func(p engine.Pair[uint64, engine.Pair[Tag, A]]) engine.Pair[Tag, A] {
+		return engine.KV(p.Val.Key.Push(p.Key), p.Val.Val)
+	}).Cache()
+	size, err := engine.Count(tagged)
+	if err != nil {
+		return zero, err
+	}
+	tags := engine.Keys(tagged)
+	ctx := NewContext(b.ctx.Sess, tags, size, b.ctx.Opt)
+	return udf(ctx, InnerScalar[A]{repr: tagged, ctx: ctx})
+}
+
+// GroupByKeyIntoNestedBagInner is groupByKeyIntoNestedBag *inside a lifted
+// UDF*: grouping an InnerBag of pairs by key creates one deeper nesting
+// level per (invocation, key) — composite tags per Sec. 7. It returns the
+// deeper LiftingContext, the per-subgroup keys (an InnerScalar at the
+// deeper level) and the subgroup elements (an InnerBag at the deeper
+// level). This is case (2) of Theorem 1's proof for statements inside
+// UDFs: a groupByKey whose output would be nested two levels deep.
+func GroupByKeyIntoNestedBagInner[K comparable, V any](b InnerBag[engine.Pair[K, V]]) (InnerScalar[K], InnerBag[V], error) {
+	sess := b.ctx.Sess
+	// One deeper tag per (outer tag, key): push the key's hash.
+	subTags := engine.Map(engine.Distinct(
+		engine.Map(b.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[Tag, K] {
+			return engine.KV(p.Key, p.Val.Key)
+		})),
+		func(p engine.Pair[Tag, K]) engine.Pair[Tag, K] {
+			return engine.KV(p.Key.Push(engine.HashKey(sess, p.Val)), p.Val)
+		}).Cache()
+	size, err := engine.Count(subTags)
+	if err != nil {
+		return InnerScalar[K]{}, InnerBag[V]{}, err
+	}
+	ctx2 := NewContext(sess, engine.Keys(subTags), size, b.ctx.Opt)
+	outer := InnerScalar[K]{repr: subTags, ctx: ctx2}
+	inner := InnerBag[V]{
+		repr: engine.Map(b.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[Tag, V] {
+			return engine.KV(p.Key.Push(engine.HashKey(sess, p.Val.Key)), p.Val.Val)
+		}),
+		ctx: ctx2,
+	}
+	return outer, inner, nil
+}
+
+// SaveNested is the flattened output operation o' of Theorem 2's proof:
+// it writes the nested bag to dir producing the same file content as the
+// original output operation o would have produced from the nested
+// representation — one line per group, "outer: e1,e2,...", with elements
+// in a canonical order.
+func SaveNested[O comparable, I any](nb NestedBag[O, I], dir string,
+	formatOuter func(O) string, formatInner func(I) string) error {
+	groups, err := CollectNested(nb)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	for o, elems := range groups {
+		parts := make([]string, len(elems))
+		for i, e := range elems {
+			parts[i] = formatInner(e)
+		}
+		sort.Strings(parts)
+		lines = append(lines, formatOuter(o)+": "+strings.Join(parts, ","))
+	}
+	sort.Strings(lines)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "part-00000"),
+		[]byte(strings.Join(lines, "\n")+"\n"), 0o644)
+}
+
+// BagOfScalar views an InnerScalar as an InnerBag whose inner bags are
+// singletons (e.g. a BFS source vertex becoming the initial frontier bag).
+func BagOfScalar[S any](s InnerScalar[S]) InnerBag[S] {
+	return InnerBag[S]{repr: s.repr, ctx: s.ctx}
+}
+
+// JoinWithEnclosingBag joins an InnerBag of a *deeper* nesting level with
+// an InnerBag of its enclosing level on a plain key: element (t.inner, k)
+// of the deep bag matches element (t, k) of the enclosing bag. It is the
+// multi-level generalization of the half-lifted join (Sec. 5.2 + Sec. 7's
+// composite tags): e.g. every per-(component, source) BFS frontier joins
+// the per-component edge bag of the level above.
+func JoinWithEnclosingBag[K comparable, V, W any](deep InnerBag[engine.Pair[K, V]], enclosing InnerBag[engine.Pair[K, W]]) InnerBag[engine.Pair[K, engine.Tuple2[V, W]]] {
+	dk := engine.Map(deep.repr, func(p engine.Pair[Tag, engine.Pair[K, V]]) engine.Pair[tagKey[K], engine.Tuple2[Tag, V]] {
+		return engine.KV(tagKey[K]{p.Key.Pop(), p.Val.Key}, engine.Tuple2[Tag, V]{A: p.Key, B: p.Val.Val})
+	})
+	ek := engine.Map(enclosing.repr, func(p engine.Pair[Tag, engine.Pair[K, W]]) engine.Pair[tagKey[K], W] {
+		return engine.KV(tagKey[K]{p.Key, p.Val.Key}, p.Val.Val)
+	})
+	joined := engine.Join(dk, ek)
+	repr := engine.Map(joined, func(p engine.Pair[tagKey[K], engine.Tuple2[engine.Tuple2[Tag, V], W]]) engine.Pair[Tag, engine.Pair[K, engine.Tuple2[V, W]]] {
+		return engine.KV(p.Val.A.A, engine.KV(p.Key.K, engine.Tuple2[V, W]{A: p.Val.A.B, B: p.Val.B}))
+	})
+	return InnerBag[engine.Pair[K, engine.Tuple2[V, W]]]{repr: repr, ctx: deep.ctx}
+}
+
+// UnliftScalarToOuter folds a deeper level's InnerScalar back into the
+// enclosing level's InnerBag: values tagged (outer.inner) become elements
+// of the outer invocation's bag. It is the inverse boundary crossing of
+// MapBagLifted.
+func UnliftScalarToOuter[S any](inner InnerScalar[S], outerCtx *Ctx) InnerBag[S] {
+	repr := engine.Map(inner.repr, func(p engine.Pair[Tag, S]) engine.Pair[Tag, S] {
+		return engine.KV(p.Key.Pop(), p.Val)
+	})
+	return InnerBag[S]{repr: repr, ctx: outerCtx}
+}

@@ -1,0 +1,105 @@
+package core
+
+import "matryoshka/internal/engine"
+
+// This file is the lowering phase's optimizer (Sec. 8). Every decision uses
+// information the nesting primitives expose *before* the data is computed:
+// the InnerScalar size (= tag count) from the LiftingContext, and the fact
+// that tags are unique join keys.
+
+// defaultScalarsPerPartition targets enough elements per partition that the
+// per-partition overhead does not dominate (Sec. 8.1: "it is important to
+// set the number of partitions in accordance with the bag's size").
+const defaultScalarsPerPartition = 4096
+
+// partsFor picks the partition count for a bag of `size` InnerScalar
+// elements: as few partitions as keep per-partition work reasonable, capped
+// by the engine's default parallelism.
+func (c *Ctx) partsFor(size int64) int {
+	target := c.Opt.TargetScalarsPerPartition
+	if target <= 0 {
+		target = defaultScalarsPerPartition
+	}
+	p := int((size + target - 1) / target)
+	if p < 1 {
+		p = 1
+	}
+	if max := c.Sess.DefaultParallelism(); p > max {
+		p = max
+	}
+	return p
+}
+
+// ScalarJoinStrategy picks the algorithm for an InnerScalar⋈InnerScalar
+// tag join (binaryScalarOp, Sec. 4.3). Both sides have exactly Size
+// elements with unique keys, so: repartition when there are enough
+// elements to fill every partition of the engine's default parallelism
+// (the paper sets parallelism to 3x the core count, Sec. 9.1), broadcast
+// otherwise (Sec. 8.2). Broadcasting below the threshold also keeps tag
+// joins skew-immune: a repartition join partitioned by the tag would put a
+// Zipf head group's entire state into one task (cf. Sec. 9.5).
+func (c *Ctx) ScalarJoinStrategy() engine.JoinStrategy {
+	if f := c.Opt.ForceScalarJoin; f != nil {
+		return *f
+	}
+	if c.Size >= int64(c.Sess.DefaultParallelism()) {
+		return engine.JoinRepartition
+	}
+	return engine.JoinBroadcastLeft
+}
+
+// BagScalarJoinStrategy picks the algorithm for an InnerBag⋈InnerScalar
+// tag join (mapWithClosure, Sec. 5.1; the loop-condition join of Listing 4,
+// line 5). The InnerScalar side is the *left* input of the join. Broadcast
+// the scalar side while it is small; repartition once it is large enough to
+// occupy the cluster (Sec. 8.2).
+func (c *Ctx) BagScalarJoinStrategy() engine.JoinStrategy {
+	if f := c.Opt.ForceScalarJoin; f != nil {
+		return *f
+	}
+	if c.Size >= int64(c.Sess.DefaultParallelism()) {
+		return engine.JoinRepartition
+	}
+	return engine.JoinBroadcastLeft
+}
+
+// HalfLiftedChoice selects the broadcast side of a half-lifted
+// mapWithClosure (Sec. 8.3), which is a cross product between the bag
+// representing an InnerScalar and a primary input bag from outside the
+// lifted UDF.
+type HalfLiftedChoice int
+
+const (
+	// BroadcastScalar replicates the InnerScalar side.
+	BroadcastScalar HalfLiftedChoice = iota
+	// BroadcastPrimary replicates the outside (primary) bag.
+	BroadcastPrimary
+)
+
+func (h HalfLiftedChoice) String() string {
+	if h == BroadcastScalar {
+		return "broadcast-scalar"
+	}
+	return "broadcast-primary"
+}
+
+// ForceHalf builds the Options override for a HalfLiftedChoice.
+func ForceHalf(h HalfLiftedChoice) *HalfLiftedChoice { return &h }
+
+// HalfLiftedStrategy implements Sec. 8.3 verbatim: "If the InnerScalar has
+// only 1 partition, we broadcast it. This is quick to check, and it is also
+// the common case due to the optimization in Sec. 8.1. Otherwise, we use
+// the SizeEstimator to compare the sizes of the two inputs and broadcast
+// the smaller one." Unknown sizes are passed as -1.
+func (c *Ctx) HalfLiftedStrategy(scalarBytes, primaryBytes int64) HalfLiftedChoice {
+	if f := c.Opt.ForceHalfLifted; f != nil {
+		return *f
+	}
+	if c.Parts == 1 {
+		return BroadcastScalar
+	}
+	if scalarBytes >= 0 && primaryBytes >= 0 && primaryBytes < scalarBytes {
+		return BroadcastPrimary
+	}
+	return BroadcastScalar
+}

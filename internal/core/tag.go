@@ -1,0 +1,91 @@
+// Package core implements Matryoshka's primary contribution: the nesting
+// primitives and runtime lowering machinery of the paper's two-phase
+// flattening process.
+//
+// The parsing phase (internal/ir, or a user writing against this package
+// directly, which corresponds to the explicitly nested-parallel program of
+// the paper's Listing 2) produces programs over three nesting primitives:
+//
+//   - InnerScalar[S] — a scalar inside a lifted UDF (Sec. 4.3), represented
+//     at run time by a flat Bag[(Tag, S)];
+//   - InnerBag[E] — a bag inside a lifted UDF (Sec. 4.4), represented by a
+//     flat Bag[(Tag, E)];
+//   - NestedBag[O, I] — a nested bag outside any UDF (Sec. 4.5), represented
+//     by an InnerScalar[O] plus an InnerBag[I].
+//
+// The lowering phase is this package's operation set: each call resolves to
+// flat engine operators, choosing physical implementations (join algorithm,
+// partition counts, broadcast side) at run time from the cardinalities
+// tracked in the LiftingContext (Sec. 8). Control flow inside lifted UDFs is
+// handled by While and If (Sec. 6, Listing 4).
+package core
+
+import "fmt"
+
+// MaxNestingLevels is the number of parallelism levels supported: an
+// outermost level plus up to three lifted levels, which covers the paper's
+// deepest workload (Average Distances, three levels of parallel operations).
+const MaxNestingLevels = 3
+
+// Tag identifies one invocation of an original (unlifted) UDF. Every
+// element of the flat bag representing an InnerScalar or InnerBag carries
+// the tag of the invocation it belonged to. For nesting deeper than two
+// levels, tags compose: the tag of an inner invocation is the outer tag
+// with one more level pushed (the composite keys of Sec. 7).
+type Tag struct {
+	depth uint8
+	lv    [MaxNestingLevels]uint64
+}
+
+// RootTag creates a level-1 tag.
+func RootTag(id uint64) Tag {
+	return Tag{depth: 1, lv: [MaxNestingLevels]uint64{id}}
+}
+
+// Push derives the tag of a nested invocation inside t.
+// It panics if the maximum nesting depth is exceeded (programmer error:
+// the parsing phase never emits deeper programs).
+func (t Tag) Push(id uint64) Tag {
+	if int(t.depth) >= MaxNestingLevels {
+		panic(fmt.Sprintf("core: tag depth %d exceeds MaxNestingLevels", t.depth+1))
+	}
+	t.lv[t.depth] = id
+	t.depth++
+	return t
+}
+
+// Pop removes the innermost level, returning the enclosing invocation's
+// tag. It panics on a zero-depth tag.
+func (t Tag) Pop() Tag {
+	if t.depth == 0 {
+		panic("core: Pop on empty tag")
+	}
+	t.depth--
+	t.lv[t.depth] = 0
+	return t
+}
+
+// Depth returns the number of composed levels.
+func (t Tag) Depth() int { return int(t.depth) }
+
+// Leaf returns the innermost level's id.
+func (t Tag) Leaf() uint64 {
+	if t.depth == 0 {
+		return 0
+	}
+	return t.lv[t.depth-1]
+}
+
+func (t Tag) String() string {
+	if t.depth == 0 {
+		return "τ()"
+	}
+	s := "τ("
+	for i := 0; i < int(t.depth); i++ {
+		if i > 0 {
+			s += "."
+		}
+		s += fmt.Sprint(t.lv[i])
+	}
+	return s + ")"
+}

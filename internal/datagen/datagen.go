@@ -1,0 +1,178 @@
+// Package datagen generates the synthetic workloads of the paper's
+// evaluation (Sec. 9.1): web-visit logs for Bounce Rate, grouped graphs for
+// per-group PageRank, component-structured graphs for Average Distances,
+// and point clouds plus centroid initializations for K-means.
+//
+// Generators are deterministic in their seed. The paper's dataset sizes
+// are given in GB; Scale maps those to element counts at a fixed
+// bytes-per-record ratio so experiments can speak the paper's units.
+package datagen
+
+import "math/rand"
+
+// BytesPerRecord is the nominal on-disk size of one input record, used to
+// translate the paper's "GB" dataset sizes into element counts.
+const BytesPerRecord = 64
+
+// RecordsForBytes converts a dataset size in bytes to a record count.
+func RecordsForBytes(bytes int64) int { return int(bytes / BytesPerRecord) }
+
+// Visit is one page view: which day (the grouping key of the per-day
+// bounce-rate analysis) and which visitor.
+type Visit struct {
+	Day int64
+	IP  int64
+}
+
+// Visits generates n page visits over `days` distinct days. With skewed
+// set, days are drawn from a Zipf distribution (a few huge days, many tiny
+// ones — Sec. 9.5); otherwise uniformly. Roughly half the visitors on each
+// day bounce (visit exactly one page).
+func Visits(n, days int, skewed bool, seed int64) []Visit {
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if skewed {
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(days-1))
+	}
+	// First pass: draw each visit's day, counting per-day volumes.
+	dayOf := make([]int64, n)
+	counts := make([]int, days)
+	for i := range dayOf {
+		var day int64
+		if skewed {
+			day = int64(zipf.Uint64())
+		} else {
+			day = int64(rng.Intn(days))
+		}
+		dayOf[i] = day
+		counts[day]++
+	}
+	// Second pass: visitor ids live in a per-day range ~60% of that
+	// day's actual visit count, so repeat visits occur, the bounce rate
+	// lands strictly between 0 and 1, and busy days have proportionally
+	// many distinct visitors (no pathological hot keys under skew —
+	// real traffic has more visitors on bigger days, not the same few).
+	out := make([]Visit, n)
+	for i, day := range dayOf {
+		r := counts[day]*3/5 + 1
+		out[i] = Visit{Day: day, IP: day<<32 | int64(rng.Intn(r))}
+	}
+	return out
+}
+
+// Edge is a directed graph edge.
+type Edge struct {
+	Src, Dst int64
+}
+
+// GroupedGraph generates `groups` independent random directed graphs,
+// returned as (group, edge) pairs: the per-group PageRank input (Sec. 9.1,
+// "we perform a grouping of the graph edges and compute a separate
+// PageRank for each group"). Each group has the given vertex and edge
+// counts. With skewed set, the *sizes* of the groups follow a Zipf
+// distribution with the same totals.
+func GroupedGraph(groups, verticesPerGroup, edgesPerGroup int, skewed bool, seed int64) []GroupedEdge {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, groups)
+	if skewed {
+		zipf := rand.NewZipf(rng, 1.2, 1, uint64(groups-1))
+		for i := 0; i < groups*edgesPerGroup; i++ {
+			sizes[zipf.Uint64()]++
+		}
+	} else {
+		for i := range sizes {
+			sizes[i] = edgesPerGroup
+		}
+	}
+	var out []GroupedEdge
+	for g := 0; g < groups; g++ {
+		nv := verticesPerGroup
+		if skewed {
+			// Vertex count scales with the group's edge share.
+			nv = sizes[g] * verticesPerGroup / max(edgesPerGroup, 1)
+			if nv < 2 {
+				nv = 2
+			}
+		}
+		for i := 0; i < sizes[g]; i++ {
+			src := rng.Int63n(int64(nv))
+			dst := rng.Int63n(int64(nv))
+			out = append(out, GroupedEdge{Group: int64(g), Edge: Edge{Src: src, Dst: dst}})
+		}
+	}
+	return out
+}
+
+// GroupedEdge tags an edge with its group.
+type GroupedEdge struct {
+	Group int64
+	Edge  Edge
+}
+
+// ComponentsGraph generates a single undirected graph (encoded as directed
+// edges both ways) made of `comps` disjoint connected components with
+// `verticesPerComp` vertices each: a random spanning tree plus extraEdges
+// random chords. Vertex ids are globally unique. This is the Average
+// Distances input (Sec. 2.2).
+func ComponentsGraph(comps, verticesPerComp, extraEdges int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Edge
+	for c := 0; c < comps; c++ {
+		base := int64(c) * int64(verticesPerComp)
+		// Spanning tree: vertex i attaches to a random earlier vertex.
+		for i := int64(1); i < int64(verticesPerComp); i++ {
+			j := rng.Int63n(i)
+			out = append(out, Edge{base + i, base + j}, Edge{base + j, base + i})
+		}
+		for e := 0; e < extraEdges; e++ {
+			i := rng.Int63n(int64(verticesPerComp))
+			j := rng.Int63n(int64(verticesPerComp))
+			if i != j {
+				out = append(out, Edge{base + i, base + j}, Edge{base + j, base + i})
+			}
+		}
+	}
+	return out
+}
+
+// Point is a 2-D point (K-means input).
+type Point struct {
+	X, Y float64
+}
+
+// GaussianPoints draws n points from `clusters` well-separated Gaussian
+// blobs (K-means input; separation keeps the converged result stable
+// across summation orders, which the cross-strategy result checks rely
+// on).
+func GaussianPoints(n, clusters int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]Point, clusters)
+	for i := range centers {
+		centers[i] = Point{X: float64(i%4) * 100, Y: float64(i/4) * 100}
+	}
+	out := make([]Point, n)
+	for i := range out {
+		c := centers[i%clusters]
+		out[i] = Point{
+			X: c.X + rng.NormFloat64()*3,
+			Y: c.Y + rng.NormFloat64()*3,
+		}
+	}
+	return out
+}
+
+// RandomCentroidSets generates `configs` initial centroid sets of k
+// centroids each (the hyperparameter configurations of Sec. 2.3), spread
+// over the same region as GaussianPoints.
+func RandomCentroidSets(configs, k int, seed int64) [][]Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]Point, configs)
+	for i := range out {
+		set := make([]Point, k)
+		for j := range set {
+			set[j] = Point{X: rng.Float64()*300 - 50, Y: rng.Float64()*300 - 50}
+		}
+		out[i] = set
+	}
+	return out
+}

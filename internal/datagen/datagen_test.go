@@ -1,0 +1,193 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestVisitsDeterministic(t *testing.T) {
+	a := Visits(1000, 10, false, 42)
+	b := Visits(1000, 10, false, 42)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+	c := Visits(1000, 10, false, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestVisitsCoverAllDaysUniform(t *testing.T) {
+	vs := Visits(10_000, 16, false, 1)
+	days := map[int64]int{}
+	for _, v := range vs {
+		days[v.Day]++
+	}
+	if len(days) != 16 {
+		t.Fatalf("days = %d, want 16", len(days))
+	}
+	for d, n := range days {
+		if n < 300 || n > 1000 {
+			t.Errorf("day %d has %d visits, want near-uniform ~625", d, n)
+		}
+	}
+}
+
+func TestVisitsZipfIsSkewed(t *testing.T) {
+	vs := Visits(50_000, 64, true, 1)
+	days := map[int64]int{}
+	for _, v := range vs {
+		days[v.Day]++
+	}
+	maxN, minN := 0, 1<<30
+	for _, n := range days {
+		if n > maxN {
+			maxN = n
+		}
+		if n < minN {
+			minN = n
+		}
+	}
+	if maxN < 10*minN {
+		t.Errorf("zipf skew too mild: max %d, min %d", maxN, minN)
+	}
+	if days[0] < days[32] {
+		t.Errorf("day 0 (%d) should dominate day 32 (%d)", days[0], days[32])
+	}
+}
+
+func TestVisitsHaveRepeatVisitors(t *testing.T) {
+	vs := Visits(10_000, 4, false, 7)
+	counts := map[int64]int{}
+	for _, v := range vs {
+		counts[v.IP]++
+	}
+	singles, multi := 0, 0
+	for _, n := range counts {
+		if n == 1 {
+			singles++
+		} else {
+			multi++
+		}
+	}
+	if singles == 0 || multi == 0 {
+		t.Fatalf("bounce rate degenerate: %d singles, %d multi", singles, multi)
+	}
+}
+
+func TestGroupedGraphShape(t *testing.T) {
+	edges := GroupedGraph(8, 100, 500, false, 3)
+	if len(edges) != 8*500 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	perGroup := map[int64]int{}
+	for _, e := range edges {
+		perGroup[e.Group]++
+		if e.Edge.Src < 0 || e.Edge.Src >= 100 || e.Edge.Dst < 0 || e.Edge.Dst >= 100 {
+			t.Fatalf("vertex out of range: %+v", e)
+		}
+	}
+	for g, n := range perGroup {
+		if n != 500 {
+			t.Errorf("group %d has %d edges", g, n)
+		}
+	}
+}
+
+func TestGroupedGraphSkewed(t *testing.T) {
+	edges := GroupedGraph(64, 50, 200, true, 3)
+	if len(edges) != 64*200 {
+		t.Fatalf("total edges should be preserved: %d", len(edges))
+	}
+	perGroup := map[int64]int{}
+	for _, e := range edges {
+		perGroup[e.Group]++
+	}
+	if perGroup[0] < 5*perGroup[40] {
+		t.Errorf("expected skew: group0=%d group40=%d", perGroup[0], perGroup[40])
+	}
+}
+
+func TestComponentsGraphConnectivity(t *testing.T) {
+	comps, v := 4, 20
+	edges := ComponentsGraph(comps, v, 5, 9)
+	adj := map[int64][]int64{}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	// BFS within each component reaches exactly its v vertices.
+	for c := 0; c < comps; c++ {
+		start := int64(c * v)
+		seen := map[int64]bool{start: true}
+		frontier := []int64{start}
+		for len(frontier) > 0 {
+			var next []int64
+			for _, u := range frontier {
+				for _, w := range adj[u] {
+					if !seen[w] {
+						seen[w] = true
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		if len(seen) != v {
+			t.Errorf("component %d reaches %d vertices, want %d", c, len(seen), v)
+		}
+		for u := range seen {
+			if u < int64(c*v) || u >= int64((c+1)*v) {
+				t.Errorf("component %d leaked to vertex %d", c, u)
+			}
+		}
+	}
+}
+
+func TestGaussianPointsNearCenters(t *testing.T) {
+	pts := GaussianPoints(4000, 4, 5)
+	if len(pts) != 4000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	// Every point should be within ~30 units of one of the 4 centers.
+	centers := []Point{{0, 0}, {100, 0}, {200, 0}, {300, 0}}
+	for _, p := range pts {
+		ok := false
+		for _, c := range centers {
+			dx, dy := p.X-c.X, p.Y-c.Y
+			if dx*dx+dy*dy < 900 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("point %v far from all centers", p)
+		}
+	}
+}
+
+func TestRandomCentroidSets(t *testing.T) {
+	sets := RandomCentroidSets(10, 3, 11)
+	if len(sets) != 10 || len(sets[0]) != 3 {
+		t.Fatalf("shape: %d x %d", len(sets), len(sets[0]))
+	}
+	if sets[0][0] == sets[1][0] {
+		t.Error("configs should differ")
+	}
+}
+
+func TestRecordsForBytes(t *testing.T) {
+	if got := RecordsForBytes(64 << 20); got != 1<<20 {
+		t.Fatalf("RecordsForBytes(64MB) = %d", got)
+	}
+}

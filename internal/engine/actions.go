@@ -1,0 +1,117 @@
+package engine
+
+import "errors"
+
+// ErrEmpty is returned by Reduce/First on an empty dataset.
+var ErrEmpty = errors.New("engine: empty dataset")
+
+// Collect launches a job and returns all elements (driver-side).
+func Collect[T any](d Dataset[T]) ([]T, error) {
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		for _, e := range p {
+			out = append(out, e.(T))
+		}
+	}
+	return out, nil
+}
+
+// Count launches a job and returns the number of elements.
+func Count[T any](d Dataset[T]) (int64, error) {
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n, nil
+}
+
+// IsEmpty launches a job and reports whether the dataset has no elements.
+// The lifted while loop calls it once per superstep (Listing 4, line 9).
+func IsEmpty[T any](d Dataset[T]) (bool, error) {
+	n, err := Count(d)
+	return n == 0, err
+}
+
+// Reduce launches a job and folds all elements with f.
+func Reduce[T any](d Dataset[T], f func(T, T) T) (T, error) {
+	var zero T
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return zero, err
+	}
+	acc := zero
+	have := false
+	for _, p := range parts {
+		for _, e := range p {
+			if !have {
+				acc = e.(T)
+				have = true
+				continue
+			}
+			acc = f(acc, e.(T))
+		}
+	}
+	if !have {
+		return zero, ErrEmpty
+	}
+	return acc, nil
+}
+
+// First launches a job and returns one element (the first of the first
+// non-empty partition).
+func First[T any](d Dataset[T]) (T, error) {
+	var zero T
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return zero, err
+	}
+	for _, p := range parts {
+		if len(p) > 0 {
+			return p[0].(T), nil
+		}
+	}
+	return zero, ErrEmpty
+}
+
+// CollectMap collects a pair dataset into a map, assuming unique keys.
+func CollectMap[K comparable, V any](d Dataset[Pair[K, V]]) (map[K]V, error) {
+	elems, err := Collect(d)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[K]V, len(elems))
+	for _, kv := range elems {
+		m[kv.Key] = kv.Val
+	}
+	return m, nil
+}
+
+// Take launches a job and returns up to n elements.
+func Take[T any](d Dataset[T], n int) ([]T, error) {
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		for _, e := range p {
+			if len(out) == n {
+				return out, nil
+			}
+			out = append(out, e.(T))
+		}
+	}
+	return out, nil
+}

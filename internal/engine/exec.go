@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"matryoshka/internal/cluster"
+)
+
+// job executes one action. Stage roots (action target, shuffle/broadcast
+// map sides, cached nodes) are materialized fully; everything else is
+// pipelined into the tasks of its consuming stage.
+type job struct {
+	s     *Session
+	roots map[*node]bool
+	mat   map[*node][][]any // materialized partitions of stage roots
+	// blocks memoizes shuffle routing per dep: blocks[d][childPart].
+	blocks map[*dep][][]any
+	// bcast memoizes flattened broadcast inputs per dep.
+	bcast map[*dep][]any
+
+	onceMu   sync.Mutex
+	onceVals map[int64]any
+}
+
+// runJob launches a job whose result is the materialized target node.
+func (s *Session) runJob(target *node) ([][]any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sim.StartJob()
+	j := &job{
+		s:        s,
+		roots:    map[*node]bool{},
+		mat:      map[*node][][]any{},
+		blocks:   map[*dep][][]any{},
+		bcast:    map[*dep][]any{},
+		onceVals: map[int64]any{},
+	}
+	j.planRoots(target)
+	out, err := j.materialize(target)
+	s.sim.ReleaseBroadcasts()
+	return out, err
+}
+
+// planRoots marks stage boundaries reachable from target.
+func (j *job) planRoots(target *node) {
+	j.roots[target] = true
+	seen := map[*node]bool{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for i := range n.deps {
+			d := &n.deps[i]
+			if d.kind != depNarrow || d.parent.cached {
+				j.roots[d.parent] = true
+			}
+			walk(d.parent)
+		}
+	}
+	walk(target)
+}
+
+// materialize computes all partitions of stage root n (memoized).
+func (j *job) materialize(n *node) ([][]any, error) {
+	if data, ok := j.mat[n]; ok {
+		return data, nil
+	}
+	if n.cached {
+		n.cacheMu.Lock()
+		data := n.cacheData
+		n.cacheMu.Unlock()
+		if data != nil {
+			j.mat[n] = data
+			return data, nil
+		}
+	}
+
+	// Find this stage's boundary deps and materialize their parents first.
+	boundary := j.stageBoundary(n)
+	for _, d := range boundary {
+		if _, err := j.materialize(d.parent); err != nil {
+			return nil, err
+		}
+	}
+	// Route shuffle blocks and pin broadcasts for the boundary deps.
+	for _, d := range boundary {
+		switch d.kind {
+		case depShuffle:
+			if err := j.buildBlocks(d); err != nil {
+				return nil, err
+			}
+		case depBroadcast:
+			if err := j.pinBroadcast(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Run the stage's tasks for real, in parallel, measuring costs.
+	results := make([][]any, n.parts)
+	costs := make([]cluster.Task, n.parts)
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, j.s.workers)
+	for p := 0; p < n.parts; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = fmt.Errorf("engine: task %d of %s panicked: %v", p, n.label, r) })
+				}
+			}()
+			tc := &Ctx{job: j}
+			out := j.evalPart(tc, n, p)
+			results[p] = out
+			// The stage root's output is materialized: charge the
+			// rows it emits and hold it resident alongside
+			// operator-claimed memory.
+			tc.work += float64(len(out)) * n.weight
+			tc.UseMemory(j.s.estResidentBytes(out, n.weight))
+			cc := j.s.cfg.Cluster
+			costs[p] = cluster.Task{
+				Compute: tc.work*cc.PerElementCost + tc.shuffleBytes*cc.PerByteShuffle,
+				Memory:  tc.mem,
+			}
+		}(p)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	if dbg := j.s.cfg.DebugStages; dbg {
+		before := j.s.sim.Clock()
+		if err := j.s.sim.RunStage(costs); err != nil {
+			return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
+		}
+		if d := j.s.sim.Clock() - before; d > 1 {
+			var mxC float64
+			for _, c := range costs {
+				if c.Compute > mxC {
+					mxC = c.Compute
+				}
+			}
+			chain := n.label
+			cur := n
+			for len(cur.deps) > 0 && cur.deps[0].kind == depNarrow && !j.roots[cur.deps[0].parent] {
+				cur = cur.deps[0].parent
+				chain += "<-" + cur.label
+			}
+			if len(cur.deps) > 0 {
+				chain += "<-[" + cur.deps[0].parent.label + "]"
+			}
+			fmt.Printf("DBGSTAGE %-16s parts=%-5d dt=%.1f maxtask=%.1f w=%.0f chain=%s\n", n.label, len(costs), d, mxC, n.weight, chain)
+		}
+		j.mat[n] = results
+		if n.cached {
+			n.cacheMu.Lock()
+			n.cacheData = results
+			n.cacheMu.Unlock()
+		}
+		return results, nil
+	}
+	if err := j.s.sim.RunStage(costs); err != nil {
+		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
+	}
+	j.mat[n] = results
+	if n.cached {
+		n.cacheMu.Lock()
+		n.cacheData = results
+		n.cacheMu.Unlock()
+	}
+	return results, nil
+}
+
+// chainOf renders the stage's pipelined operator chain for error messages.
+func (j *job) chainOf(n *node) string {
+	chain := n.label
+	cur := n
+	for len(cur.deps) > 0 && cur.deps[0].kind == depNarrow && !j.roots[cur.deps[0].parent] {
+		cur = cur.deps[0].parent
+		chain += fmt.Sprintf("<-%s/w%.0f", cur.label, cur.weight)
+	}
+	if len(cur.deps) > 0 {
+		p := cur.deps[0].parent
+		chain += fmt.Sprintf("<-[%s/w%.0f]", p.label, p.weight)
+	}
+	return chain
+}
+
+// stageBoundary returns the deps at the edge of n's stage: every shuffle or
+// broadcast dep, and every narrow dep whose parent is itself a stage root,
+// reachable from n without crossing such a boundary.
+func (j *job) stageBoundary(n *node) []*dep {
+	var out []*dep
+	seen := map[*node]bool{n: true}
+	var walk func(m *node)
+	walk = func(m *node) {
+		for i := range m.deps {
+			d := &m.deps[i]
+			if d.kind != depNarrow || j.roots[d.parent] {
+				out = append(out, d)
+				continue
+			}
+			if !seen[d.parent] {
+				seen[d.parent] = true
+				walk(d.parent)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// buildBlocks routes the materialized parent of shuffle dep d into the
+// child's partitions.
+func (j *job) buildBlocks(d *dep) error {
+	if _, ok := j.blocks[d]; ok {
+		return nil
+	}
+	parent := j.mat[d.parent]
+	blocks := make([][]any, d.childParts)
+	for _, part := range parent {
+		for _, e := range part {
+			t := d.partitioner(e, d.childParts)
+			blocks[t] = append(blocks[t], e)
+		}
+	}
+	j.blocks[d] = blocks
+	return nil
+}
+
+// pinBroadcast flattens the parent of broadcast dep d and charges the
+// simulated cluster for holding it on every machine.
+func (j *job) pinBroadcast(d *dep) error {
+	if _, ok := j.bcast[d]; ok {
+		return nil
+	}
+	parent := j.mat[d.parent]
+	var total int
+	for _, part := range parent {
+		total += len(part)
+	}
+	flat := make([]any, 0, total)
+	for _, part := range parent {
+		flat = append(flat, part...)
+	}
+	if err := j.s.sim.Broadcast(j.s.estResidentBytes(flat, d.parent.weight)); err != nil {
+		return fmt.Errorf("engine: broadcast of %s failed: %w", d.parent.label, err)
+	}
+	j.bcast[d] = flat
+	return nil
+}
+
+// evalPart computes partition p of node n inside a task, pipelining narrow
+// parents and reading materialized data at stage boundaries.
+//
+// Work is charged input-based: each node pays for the rows it consumes,
+// weighted by the producing node's record weight, so a row that stands for
+// many real records costs proportionally more and a cardinality-bounded
+// row (weight 1) costs exactly one row — regardless of which operator
+// produced it.
+func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
+	if data, ok := j.mat[n]; ok {
+		return data[p]
+	}
+	inputs := make([][]any, len(n.deps))
+	for i := range n.deps {
+		d := &n.deps[i]
+		switch d.kind {
+		case depNarrow:
+			if d.narrowMap == nil {
+				inputs[i] = j.evalPart(tc, d.parent, p)
+			} else if pps := d.narrowMap(p); len(pps) == 1 {
+				inputs[i] = j.evalPart(tc, d.parent, pps[0])
+			} else {
+				var in []any
+				for _, pp := range pps {
+					in = append(in, j.evalPart(tc, d.parent, pp)...)
+				}
+				inputs[i] = in
+			}
+			tc.work += float64(len(inputs[i])) * d.parent.weight
+		case depShuffle:
+			// Shuffle reads are charged as network cost and consume
+			// CPU; residency is claimed by the consuming operator
+			// according to its own semantics (a reduce holds its
+			// build map, a groupBy holds its whole input, a
+			// pipelined map holds neither).
+			b := j.blocks[d][p]
+			tc.work += float64(len(b)) * d.parent.weight
+			tc.shuffleBytes += float64(estPartitionBytes(b)) * d.parent.weight
+			inputs[i] = b
+		case depBroadcast:
+			// The broadcast build cost is charged at pin time; probe
+			// work is charged by the rows the consumer emits.
+			inputs[i] = j.bcast[d]
+		}
+	}
+	return n.compute(tc, p, inputs)
+}
+
+// once runs f exactly once per job for the given node id, caching the
+// result. Typed operators use it to build per-job lookup structures (e.g.
+// the hash table of a broadcast join) once instead of per task.
+func (j *job) once(id int64, f func() any) any {
+	j.onceMu.Lock()
+	defer j.onceMu.Unlock()
+	if v, ok := j.onceVals[id]; ok {
+		return v
+	}
+	v := f()
+	j.onceVals[id] = v
+	return v
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the dataset's lineage DAG as an indented tree: one line
+// per node with its operator label, partition count, record weight,
+// partitioning (if any) and how each child consumes its parent (narrow /
+// shuffle / broadcast). Shared sub-plans are printed once and referenced
+// by id afterwards.
+func Explain[T any](d Dataset[T]) string {
+	var b strings.Builder
+	seen := map[*node]bool{}
+	var walk func(n *node, depth int, via string)
+	walk = func(n *node, depth int, via string) {
+		indent := strings.Repeat("  ", depth)
+		attrs := []string{fmt.Sprintf("parts=%d", n.parts)}
+		if n.weight > 1 {
+			attrs = append(attrs, fmt.Sprintf("weight=%.0f", n.weight))
+		}
+		if n.pkey != nil {
+			attrs = append(attrs, fmt.Sprintf("partitioned-by=%s/%d", n.pkey.keyType, n.pkey.parts))
+		}
+		if n.cached {
+			attrs = append(attrs, "cached")
+		}
+		prefix := ""
+		if via != "" {
+			prefix = via + " "
+		}
+		if seen[n] {
+			fmt.Fprintf(&b, "%s%s#%d %s (shared)\n", indent, prefix, n.id, n.label)
+			return
+		}
+		seen[n] = true
+		fmt.Fprintf(&b, "%s%s#%d %s [%s]\n", indent, prefix, n.id, n.label, strings.Join(attrs, " "))
+		for i := range n.deps {
+			dp := &n.deps[i]
+			via := "<-narrow"
+			switch dp.kind {
+			case depShuffle:
+				via = "<-shuffle"
+			case depBroadcast:
+				via = "<-broadcast"
+			}
+			walk(dp.parent, depth+1, via)
+		}
+	}
+	walk(d.n, 0, "")
+	return b.String()
+}

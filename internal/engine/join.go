@@ -1,0 +1,254 @@
+package engine
+
+// JoinStrategy selects the physical implementation of an equi-join. The
+// paper's lowering-phase optimizer picks between these at run time based on
+// InnerScalar cardinalities (Sec. 8.2).
+type JoinStrategy int
+
+const (
+	// JoinRepartition shuffles both sides by key (Spark's sort-merge /
+	// shuffled-hash equivalent). Best when both sides are large.
+	JoinRepartition JoinStrategy = iota
+	// JoinBroadcastLeft replicates the left side to every task and streams
+	// the right side with no shuffle. Best when the left side is small;
+	// fails with OOM when it does not fit in a machine's memory.
+	JoinBroadcastLeft
+	// JoinBroadcastRight mirrors JoinBroadcastLeft.
+	JoinBroadcastRight
+)
+
+func (s JoinStrategy) String() string {
+	switch s {
+	case JoinRepartition:
+		return "repartition"
+	case JoinBroadcastLeft:
+		return "broadcast-left"
+	case JoinBroadcastRight:
+		return "broadcast-right"
+	}
+	return "unknown"
+}
+
+// Join is an inner equi-join with the repartition strategy and default
+// parallelism.
+func Join[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]]) Dataset[Pair[K, Tuple2[A, B]]] {
+	return JoinWith(l, r, JoinRepartition, 0)
+}
+
+// JoinWith is an inner equi-join with an explicit strategy and output
+// partition count (<= 0: default for repartition, right/left side's count
+// for broadcast joins).
+func JoinWith[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]], strat JoinStrategy, parts int) Dataset[Pair[K, Tuple2[A, B]]] {
+	switch strat {
+	case JoinBroadcastLeft:
+		return broadcastJoin(l, r)
+	case JoinBroadcastRight:
+		swapped := broadcastJoin(r, l)
+		return Map(swapped, func(p Pair[K, Tuple2[B, A]]) Pair[K, Tuple2[A, B]] {
+			return Pair[K, Tuple2[A, B]]{p.Key, Tuple2[A, B]{p.Val.B, p.Val.A}}
+		})
+	default:
+		return repartitionJoin(l, r, parts)
+	}
+}
+
+func repartitionJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]], parts int) Dataset[Pair[K, Tuple2[A, B]]] {
+	s := l.s
+	// Adopt a pre-partitioned side's layout so it can be read narrowly.
+	if parts <= 0 {
+		switch {
+		case l.n.pkey != nil:
+			parts = l.n.pkey.parts
+		case r.n.pkey != nil:
+			parts = r.n.pkey.parts
+		default:
+			parts = s.cfg.DefaultParallelism
+		}
+	}
+	target := partInfoFor[K](parts)
+	sideDep := func(n *node, part func(any, int) int) dep {
+		if n.pkey.matches(target) {
+			return narrowDep(n) // co-partitioned: no shuffle
+		}
+		return dep{parent: n, kind: depShuffle, partitioner: part}
+	}
+	deps := []dep{
+		sideDep(l.n, keyPartitioner[K, A](s)),
+		sideDep(r.n, keyPartitioner[K, B](s)),
+	}
+	buildWeight := l.n.weight
+	n := s.newNode("join", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		tc.UseMemory(s.estResidentBytes(in[0], buildWeight)) // resident build side
+		build := make(map[K][]A, len(in[0]))
+		for _, e := range in[0] {
+			kv := e.(Pair[K, A])
+			build[kv.Key] = append(build[kv.Key], kv.Val)
+		}
+		var out []any
+		for _, e := range in[1] {
+			kv := e.(Pair[K, B])
+			for _, a := range build[kv.Key] {
+				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
+			}
+		}
+		return out
+	})
+	n.pkey = target // the join output stays partitioned by K
+	return fromNode[Pair[K, Tuple2[A, B]]](s, n)
+}
+
+// broadcastJoin replicates `small` (the left side of the emitted tuple)
+// and probes it with each partition of `big`, with no shuffle.
+func broadcastJoin[K comparable, A, B any](small Dataset[Pair[K, A]], big Dataset[Pair[K, B]]) Dataset[Pair[K, Tuple2[A, B]]] {
+	s := small.s
+	deps := []dep{
+		{parent: small.n, kind: depBroadcast},
+		{parent: big.n, kind: depNarrow},
+	}
+	var n *node
+	n = s.newNode("broadcastJoin", big.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		build := tc.Once(n.id, func() any {
+			m := make(map[K][]A, len(in[0]))
+			for _, e := range in[0] {
+				kv := e.(Pair[K, A])
+				m[kv.Key] = append(m[kv.Key], kv.Val)
+			}
+			return m
+		}).(map[K][]A)
+		var out []any
+		for _, e := range in[1] {
+			kv := e.(Pair[K, B])
+			for _, a := range build[kv.Key] {
+				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
+			}
+		}
+		return out
+	})
+	return fromNode[Pair[K, Tuple2[A, B]]](s, n)
+}
+
+// CrossWithBroadcast forms the cross product of every element of small with
+// every element of big, broadcasting small. It implements the half-lifted
+// mapWithClosure (Sec. 8.3), where e.g. each current K-means centroid set
+// (an InnerScalar) must meet every point of the shared input bag.
+func CrossWithBroadcast[A, B, C any](small Dataset[A], big Dataset[B], f func(A, B) C) Dataset[C] {
+	s := small.s
+	deps := []dep{
+		{parent: small.n, kind: depBroadcast},
+		{parent: big.n, kind: depNarrow},
+	}
+	n := s.newNode("crossBroadcastSmall", big.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, 0, len(in[0])*len(in[1]))
+		for _, be := range in[1] {
+			b := be.(B)
+			for _, ae := range in[0] {
+				out = append(out, f(ae.(A), b))
+			}
+		}
+		return out
+	})
+	return fromNode[C](s, n)
+}
+
+// CrossBroadcastBig is the mirrored physical choice: broadcast big and keep
+// small partitioned. The optimizer picks between the two using size
+// estimates (Sec. 8.3); benchmarks exercise both to show the gap.
+func CrossBroadcastBig[A, B, C any](small Dataset[A], big Dataset[B], f func(A, B) C) Dataset[C] {
+	s := small.s
+	deps := []dep{
+		{parent: big.n, kind: depBroadcast},
+		{parent: small.n, kind: depNarrow},
+	}
+	n := s.newNode("crossBroadcastBig", small.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, 0, len(in[0])*len(in[1]))
+		for _, ae := range in[1] {
+			a := ae.(A)
+			for _, be := range in[0] {
+				out = append(out, f(a, be.(B)))
+			}
+		}
+		return out
+	})
+	return fromNode[C](s, n)
+}
+
+// LeftOuterJoin joins every left element with its matching right values,
+// or with `missing: true` when the key has no right match. Implemented as
+// a repartition join whose probe side is the left input.
+func LeftOuterJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]]) Dataset[Pair[K, Tuple2[A, Opt[B]]]] {
+	s := l.s
+	parts := s.cfg.DefaultParallelism
+	deps := []dep{
+		{parent: r.n, kind: depShuffle, partitioner: keyPartitioner[K, B](s)},
+		{parent: l.n, kind: depShuffle, partitioner: keyPartitioner[K, A](s)},
+	}
+	buildWeight := r.n.weight
+	n := s.newNode("leftOuterJoin", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		tc.UseMemory(s.estResidentBytes(in[0], buildWeight))
+		build := make(map[K][]B, len(in[0]))
+		for _, e := range in[0] {
+			kv := e.(Pair[K, B])
+			build[kv.Key] = append(build[kv.Key], kv.Val)
+		}
+		var out []any
+		for _, e := range in[1] {
+			kv := e.(Pair[K, A])
+			bs := build[kv.Key]
+			if len(bs) == 0 {
+				out = append(out, Pair[K, Tuple2[A, Opt[B]]]{kv.Key, Tuple2[A, Opt[B]]{A: kv.Val}})
+				continue
+			}
+			for _, b := range bs {
+				out = append(out, Pair[K, Tuple2[A, Opt[B]]]{kv.Key, Tuple2[A, Opt[B]]{A: kv.Val, B: Opt[B]{Val: b, OK: true}}})
+			}
+		}
+		return out
+	})
+	return fromNode[Pair[K, Tuple2[A, Opt[B]]]](s, n)
+}
+
+// Opt is an optional value (outer-join results).
+type Opt[T any] struct {
+	Val T
+	OK  bool
+}
+
+// CoGroup gathers, per key, all left values and all right values.
+func CoGroup[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]]) Dataset[Pair[K, Tuple2[[]A, []B]]] {
+	s := l.s
+	parts := s.cfg.DefaultParallelism
+	deps := []dep{
+		{parent: l.n, kind: depShuffle, partitioner: keyPartitioner[K, A](s)},
+		{parent: r.n, kind: depShuffle, partitioner: keyPartitioner[K, B](s)},
+	}
+	inWeight := max(l.n.weight, r.n.weight)
+	n := s.newNode("coGroup", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		tc.UseMemory(s.estResidentBytes(append(append([]any{}, in[0]...), in[1]...), inWeight))
+		la := map[K][]A{}
+		for _, e := range in[0] {
+			kv := e.(Pair[K, A])
+			la[kv.Key] = append(la[kv.Key], kv.Val)
+		}
+		rb := map[K][]B{}
+		for _, e := range in[1] {
+			kv := e.(Pair[K, B])
+			rb[kv.Key] = append(rb[kv.Key], kv.Val)
+		}
+		seen := map[K]bool{}
+		var out []any
+		emit := func(k K) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, Pair[K, Tuple2[[]A, []B]]{k, Tuple2[[]A, []B]{A: la[k], B: rb[k]}})
+			}
+		}
+		for k := range la {
+			emit(k)
+		}
+		for k := range rb {
+			emit(k)
+		}
+		return out
+	})
+	return fromNode[Pair[K, Tuple2[[]A, []B]]](s, n)
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+
+	"matryoshka/internal/sizeest"
+)
+
+// depKind distinguishes how a node consumes its parent.
+type depKind int
+
+const (
+	// depNarrow: child partition p reads specific parent partitions
+	// (default: the same index p). Narrow chains are pipelined into a
+	// single task, as in Spark stages.
+	depNarrow depKind = iota
+	// depShuffle: child partition p reads the elements of every parent
+	// partition routed to p by the dep's partitioner (a stage boundary).
+	depShuffle
+	// depBroadcast: every child partition reads the parent in full; the
+	// parent is materialized and charged as a cluster-wide broadcast.
+	depBroadcast
+)
+
+// dep is an edge of the dataset DAG.
+type dep struct {
+	parent      *node
+	kind        depKind
+	childParts  int                   // partition count of the owning node
+	partitioner func(any, int) int    // shuffle only: elem, nParts -> part
+	narrowMap   func(child int) []int // narrow only; nil means identity
+}
+
+// node is an untyped dataset DAG vertex. Elements are boxed as any; the
+// typed operator constructors (ops.go etc.) wrap and unwrap them.
+type node struct {
+	id    int64
+	label string
+	parts int
+	deps  []dep
+	// compute produces output partition p given one input slice per dep.
+	compute func(tc *Ctx, p int, inputs [][]any) []any
+	// weight is how many real records one element of this node stands
+	// for (cluster.Config.RecordWeight). Sources inherit the session's
+	// configured scale; derived nodes take the maximum of their parents;
+	// cardinality-bounded outputs (lifting tags, per-key aggregates over
+	// bounded key sets) are reset to 1 via Unscaled/...Bound operators.
+	weight float64
+	// pkey records that this node's output is hash-partitioned by a key
+	// (set by PartitionByKey and key-preserving descendants). Joins use
+	// it to skip re-shuffling co-partitioned inputs — the optimization
+	// that lets iterative programs keep static data in place.
+	pkey *partInfo
+
+	cached    bool
+	cacheMu   sync.Mutex
+	cacheData [][]any
+}
+
+// Ctx carries per-task cost accounting. Operator UDFs that do significant
+// work beyond per-element processing (e.g. the sequential inner algorithms
+// of the outer-parallel workaround) report it through Charge and UseMemory
+// so the simulated cluster sees realistic task costs.
+type Ctx struct {
+	job          *job    // owning job, for per-job memoization
+	work         float64 // real element-equivalents processed by this task
+	shuffleBytes float64 // real shuffle bytes read by this task
+	mem          int64   // peak real bytes held by this task
+}
+
+// Once runs f exactly once per job for the given key, returning the cached
+// value on subsequent calls from any task. Operators use it to build
+// job-wide lookup structures (e.g. a broadcast join's hash table) once.
+func (c *Ctx) Once(key int64, f func() any) any {
+	return c.job.once(key, f)
+}
+
+// Charge adds n real element-equivalents of compute work to the task.
+// UDFs doing heavy work over scaled data multiply their operation counts
+// by the session's RecordWeight first.
+func (c *Ctx) Charge(n int64) {
+	if n > 0 {
+		c.work += float64(n)
+	}
+}
+
+// UseMemory records that the task holds at least b bytes at some point.
+func (c *Ctx) UseMemory(b int64) {
+	if b > c.mem {
+		c.mem = b
+	}
+}
+
+// estResidentBytes is estPartitionBytes scaled to real bytes by the
+// dataset weight and inflated by the cluster's memory overhead factor: the
+// resident footprint of engine-managed (deserialized, boxed, buffered)
+// data.
+func (s *Session) estResidentBytes(part []any, weight float64) int64 {
+	f := s.cfg.Cluster.MemoryOverheadFactor
+	if f <= 0 {
+		f = 1
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	return int64(float64(estPartitionBytes(part)) * f * weight)
+}
+
+// estPartitionBytes estimates the in-memory size of a partition by sampling
+// up to sampleN elements and scaling. Estimation must stay cheap because it
+// runs once per node per partition.
+const sampleN = 32
+
+func estPartitionBytes(part []any) int64 {
+	n := len(part)
+	if n == 0 {
+		return 0
+	}
+	if n <= sampleN {
+		return sizeest.OfSlice(part)
+	}
+	// Evenly spaced sample: catches a giant element in small-cardinality
+	// partitions (e.g. groupByKey outputs), scales for uniform ones.
+	step := n / sampleN
+	var sampled int64
+	sample := make([]any, 0, sampleN)
+	for i := 0; i < n; i += step {
+		sample = append(sample, part[i])
+	}
+	sampled = sizeest.OfSlice(sample)
+	return sampled * int64(n) / int64(len(sample))
+}
+
+func defaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newNode registers a DAG vertex. Dep childParts and the node weight are
+// filled in here.
+func (s *Session) newNode(label string, parts int, deps []dep, compute func(tc *Ctx, p int, inputs [][]any) []any) *node {
+	if parts < 1 {
+		parts = 1
+	}
+	weight := s.cfg.Cluster.RecordWeight
+	if weight < 1 {
+		weight = 1
+	}
+	if len(deps) > 0 {
+		weight = 1
+		for i := range deps {
+			deps[i].childParts = parts
+			if w := deps[i].parent.weight; w > weight {
+				weight = w
+			}
+		}
+	}
+	return &node{id: s.newID(), label: label, parts: parts, deps: deps, compute: compute, weight: weight}
+}
+
+func narrowDep(parent *node) dep { return dep{parent: parent, kind: depNarrow} }
+
+// partInfo identifies a hash partitioning: the key type and partition
+// count fully determine the routing (keyPartitioner hashes only the key,
+// with the session's seed).
+type partInfo struct {
+	keyType reflect.Type
+	parts   int
+}
+
+func partInfoFor[K comparable](parts int) *partInfo {
+	return &partInfo{keyType: reflect.TypeOf((*K)(nil)).Elem(), parts: parts}
+}
+
+func (pi *partInfo) matches(other *partInfo) bool {
+	return pi != nil && other != nil && pi.keyType == other.keyType && pi.parts == other.parts
+}

@@ -1,0 +1,171 @@
+package engine
+
+// Map applies f to every element.
+func Map[A, B any](d Dataset[A], f func(A) B) Dataset[B] {
+	n := d.s.newNode("map", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, len(in[0]))
+		for i, e := range in[0] {
+			out[i] = f(e.(A))
+		}
+		return out
+	})
+	return fromNode[B](d.s, n)
+}
+
+// MapCtx is Map with access to the task context, so UDFs that do heavy
+// per-element work (e.g. the outer-parallel workaround running a whole
+// inner algorithm sequentially inside one UDF call) can report their true
+// compute and memory costs to the simulated cluster.
+func MapCtx[A, B any](d Dataset[A], f func(*Ctx, A) B) Dataset[B] {
+	n := d.s.newNode("mapCtx", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, len(in[0]))
+		for i, e := range in[0] {
+			out[i] = f(tc, e.(A))
+		}
+		return out
+	})
+	return fromNode[B](d.s, n)
+}
+
+// Filter keeps the elements for which pred is true.
+func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
+	n := d.s.newNode("filter", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, 0, len(in[0]))
+		for _, e := range in[0] {
+			if pred(e.(A)) {
+				out = append(out, e)
+			}
+		}
+		return out
+	})
+	n.pkey = d.n.pkey // filtering preserves the partitioning
+	return fromNode[A](d.s, n)
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[A, B any](d Dataset[A], f func(A) []B) Dataset[B] {
+	n := d.s.newNode("flatMap", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		var out []any
+		for _, e := range in[0] {
+			for _, b := range f(e.(A)) {
+				out = append(out, b)
+			}
+		}
+		return out
+	})
+	return fromNode[B](d.s, n)
+}
+
+// MapPartitions applies f to each whole partition.
+func MapPartitions[A, B any](d Dataset[A], f func([]A) []B) Dataset[B] {
+	n := d.s.newNode("mapPartitions", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		typed := make([]A, len(in[0]))
+		for i, e := range in[0] {
+			typed[i] = e.(A)
+		}
+		res := f(typed)
+		out := make([]any, len(res))
+		for i, b := range res {
+			out[i] = b
+		}
+		return out
+	})
+	return fromNode[B](d.s, n)
+}
+
+// Union concatenates two datasets (bag union, duplicates preserved). It is
+// a narrow operation: output partitions are the partitions of both inputs.
+func Union[A any](a, b Dataset[A]) Dataset[A] {
+	aParts := a.n.parts
+	parts := aParts + b.n.parts
+	deps := []dep{
+		{parent: a.n, kind: depNarrow, narrowMap: func(p int) []int {
+			if p < aParts {
+				return []int{p}
+			}
+			return nil
+		}},
+		{parent: b.n, kind: depNarrow, narrowMap: func(p int) []int {
+			if p >= aParts {
+				return []int{p - aParts}
+			}
+			return nil
+		}},
+	}
+	n := a.s.newNode("union", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+		if p < aParts {
+			return in[0]
+		}
+		return in[1]
+	})
+	return fromNode[A](a.s, n)
+}
+
+// ZipWithUniqueID pairs every element with a cluster-wide unique uint64,
+// without launching a job: element k of partition p receives id p + k*parts
+// (the same scheme as Spark's zipWithUniqueId). The paper uses it to mint
+// lifting tags for UDF invocations (Sec. 4.3).
+func ZipWithUniqueID[A any](d Dataset[A]) Dataset[Pair[uint64, A]] {
+	parts := d.n.parts
+	n := d.s.newNode("zipWithUniqueID", parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, len(in[0]))
+		for k, e := range in[0] {
+			out[k] = Pair[uint64, A]{Key: uint64(p) + uint64(k)*uint64(parts), Val: e.(A)}
+		}
+		return out
+	})
+	return fromNode[Pair[uint64, A]](d.s, n)
+}
+
+// KeyBy maps every element to a Pair keyed by f(elem).
+func KeyBy[A any, K comparable](d Dataset[A], f func(A) K) Dataset[Pair[K, A]] {
+	return Map(d, func(a A) Pair[K, A] { return Pair[K, A]{Key: f(a), Val: a} })
+}
+
+// Keys projects the keys of a pair dataset.
+func Keys[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[K] {
+	return Map(d, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair dataset.
+func Values[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[V] {
+	return Map(d, func(p Pair[K, V]) V { return p.Val })
+}
+
+// MapValues transforms only the value component; keys are untouched, so
+// any existing hash partitioning is preserved on the result.
+func MapValues[K comparable, V, W any](d Dataset[Pair[K, V]], f func(V) W) Dataset[Pair[K, W]] {
+	n := d.s.newNode("mapValues", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
+		out := make([]any, len(in[0]))
+		for i, e := range in[0] {
+			kv := e.(Pair[K, V])
+			out[i] = Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
+		}
+		return out
+	})
+	n.pkey = d.n.pkey
+	return fromNode[Pair[K, W]](d.s, n)
+}
+
+// Coalesce merges the dataset into parts partitions *without* a shuffle:
+// each output partition concatenates a contiguous range of input
+// partitions (Spark's coalesce). Useful after heavy filtering, when many
+// near-empty partitions would otherwise pay per-task overhead.
+func Coalesce[A any](d Dataset[A], parts int) Dataset[A] {
+	in := d.n.parts
+	if parts <= 0 || parts >= in {
+		return d
+	}
+	merge := dep{parent: d.n, kind: depNarrow, narrowMap: func(p int) []int {
+		lo, hi := p*in/parts, (p+1)*in/parts
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}}
+	n := d.s.newNode("coalesce", parts, []dep{merge}, func(tc *Ctx, p int, in [][]any) []any {
+		return in[0]
+	})
+	return fromNode[A](d.s, n)
+}

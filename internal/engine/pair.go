@@ -1,0 +1,17 @@
+package engine
+
+// Pair is a key-value record, the unit of keyed operations (reduceByKey,
+// groupByKey, join). It corresponds to Spark's 2-tuples in PairRDDs.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// KV constructs a Pair.
+func KV[K comparable, V any](k K, v V) Pair[K, V] { return Pair[K, V]{Key: k, Val: v} }
+
+// Tuple2 is an unkeyed 2-tuple (join payloads, unconstrained components).
+type Tuple2[A, B any] struct {
+	A A
+	B B
+}

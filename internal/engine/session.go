@@ -1,0 +1,103 @@
+// Package engine is a flat-parallel dataflow engine in the mould of Spark.
+//
+// It is the substrate the paper assumes (Sec. 3: "standard dataflow
+// engines"): datasets are immutable, partitioned collections transformed by
+// a lazy DAG of operators. Transformations (Map, Filter, ReduceByKey, Join,
+// ...) only extend the DAG; actions (Collect, Count, Reduce, IsEmpty)
+// launch a job that executes the necessary stages. Stages are split at
+// shuffle boundaries and narrow chains are pipelined into single tasks,
+// exactly the structure whose overheads the paper's experiments measure:
+// per-job launch cost, per-task scheduling cost, shuffle volume, broadcast
+// memory.
+//
+// Execution is real — every operator computes its actual result, in
+// parallel on the host's cores — while time and memory are accounted on a
+// simulated cluster (internal/cluster), so experiments are deterministic
+// and reproduce the paper's cluster-scale effects on a single machine.
+package engine
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"matryoshka/internal/cluster"
+)
+
+// Config configures a Session.
+type Config struct {
+	Cluster cluster.Config
+	// DefaultParallelism is the default number of partitions for sources
+	// and shuffles. The paper sets Spark parallelism to 3x the total core
+	// count (Sec. 9.1); NewSession applies the same rule when this is 0.
+	DefaultParallelism int
+	// DebugStages prints per-stage makespans above 1s (development aid).
+	DebugStages bool
+}
+
+// DefaultConfig returns a Config for the paper's 25-machine cluster.
+func DefaultConfig() Config {
+	return Config{Cluster: cluster.DefaultConfig()}
+}
+
+// Session is the driver context: it owns the DAG node namespace, the
+// simulated cluster, and the worker pool that executes tasks for real.
+type Session struct {
+	cfg    Config
+	sim    *cluster.Simulator
+	seed   maphash.Seed
+	nextID atomic.Int64
+
+	// workers bounds real (host) parallelism for task execution.
+	workers int
+
+	mu sync.Mutex
+}
+
+// NewSession creates a session with its own simulated cluster.
+func NewSession(cfg Config) *Session {
+	if cfg.Cluster.Machines == 0 {
+		cfg.Cluster = cluster.DefaultConfig()
+	}
+	if cfg.DefaultParallelism <= 0 {
+		cfg.DefaultParallelism = 3 * cfg.Cluster.Slots()
+	}
+	return &Session{
+		cfg:     cfg,
+		sim:     cluster.New(cfg.Cluster),
+		seed:    maphash.MakeSeed(),
+		workers: defaultWorkers(),
+	}
+}
+
+// Config returns the session configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// DefaultParallelism returns the session's default partition count.
+func (s *Session) DefaultParallelism() int { return s.cfg.DefaultParallelism }
+
+// Simulator exposes the simulated cluster (for harnesses and tests).
+func (s *Session) Simulator() *cluster.Simulator { return s.sim }
+
+// Clock returns the current virtual time in seconds.
+func (s *Session) Clock() float64 { return s.sim.Clock() }
+
+// Stats returns cluster statistics (jobs, stages, tasks, broadcasts).
+func (s *Session) Stats() cluster.Stats { return s.sim.Stats() }
+
+// ResetClock rewinds the virtual clock and stats; the DAG and caches are
+// kept. Useful to time a phase in isolation.
+func (s *Session) ResetClock() { s.sim.Reset() }
+
+func (s *Session) newID() int64 { return s.nextID.Add(1) }
+
+// hashOf hashes a comparable key for partitioning.
+func hashOf[K comparable](s *Session, k K) uint64 {
+	return maphash.Comparable(s.seed, k)
+}
+
+// HashKey hashes a comparable key with the session's seed (stable for the
+// session's lifetime). The lowering phase derives group tags from it, so
+// tagging inner elements is a narrow map rather than a shuffle partitioned
+// by the (possibly skewed) grouping key.
+func HashKey[K comparable](s *Session, k K) uint64 { return hashOf(s, k) }

@@ -1,0 +1,203 @@
+package engine
+
+import "sync/atomic"
+
+// keyPartitioner hashes Pair keys for shuffle routing.
+func keyPartitioner[K comparable, V any](s *Session) func(any, int) int {
+	return func(e any, n int) int {
+		return int(hashOf(s, e.(Pair[K, V]).Key) % uint64(n))
+	}
+}
+
+// ReduceByKey merges all values sharing a key with f, using the session's
+// default parallelism for the result.
+func ReduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V) Dataset[Pair[K, V]] {
+	return ReduceByKeyN(d, f, 0)
+}
+
+// ReduceByKeyN is ReduceByKey with an explicit output partition count
+// (<= 0 means the session default). The lowering phase's optimizer uses the
+// explicit form to right-size small InnerScalar bags (Sec. 8.1).
+//
+// A map-side combine runs before the shuffle, as in Spark, so shuffle
+// volume is proportional to distinct keys per partition, not input size.
+func ReduceByKeyN[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, parts int) Dataset[Pair[K, V]] {
+	return reduceByKey(d, f, parts, false)
+}
+
+// ReduceByKeyBound is ReduceByKeyN for key sets whose cardinality does not
+// scale with the input (e.g. lifting tags): the combine and reduce outputs
+// are marked unscaled so simulated costs reflect their true row counts.
+func ReduceByKeyBound[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, parts int) Dataset[Pair[K, V]] {
+	return reduceByKey(d, f, parts, true)
+}
+
+func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, parts int, bound bool) Dataset[Pair[K, V]] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	combined := MapPartitions(d, func(in []Pair[K, V]) []Pair[K, V] {
+		m := make(map[K]V, len(in))
+		for _, kv := range in {
+			if old, ok := m[kv.Key]; ok {
+				m[kv.Key] = f(old, kv.Val)
+			} else {
+				m[kv.Key] = kv.Val
+			}
+		}
+		out := make([]Pair[K, V], 0, len(m))
+		for k, v := range m {
+			out = append(out, Pair[K, V]{k, v})
+		}
+		return out
+	})
+	if bound {
+		combined = combined.Unscaled()
+	}
+	outWeight := combined.n.weight
+	sd := dep{parent: combined.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
+	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+		m := make(map[K]V, len(in[0]))
+		for _, e := range in[0] {
+			kv := e.(Pair[K, V])
+			if old, ok := m[kv.Key]; ok {
+				m[kv.Key] = f(old, kv.Val)
+			} else {
+				m[kv.Key] = kv.Val
+			}
+		}
+		out := make([]any, 0, len(m))
+		for k, v := range m {
+			out = append(out, Pair[K, V]{k, v})
+		}
+		tc.UseMemory(d.s.estResidentBytes(out, outWeight)) // resident build map ~ distinct keys
+		return out
+	})
+	return fromNode[Pair[K, V]](d.s, n)
+}
+
+// GroupByKey collects all values per key into a slice. Unlike ReduceByKey
+// there is no map-side combine: the full group materializes in one task,
+// which is exactly why the outer-parallel workaround OOMs on large or
+// skewed groups (Sec. 9.4, 9.5).
+func GroupByKey[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[Pair[K, []V]] {
+	return GroupByKeyN(d, 0)
+}
+
+// GroupByKeyN is GroupByKey with an explicit partition count.
+func GroupByKeyN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[Pair[K, []V]] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	inWeight := d.n.weight
+	sd := dep{parent: d.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
+	n := d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+		// Grouping buffers the whole input of the partition: that full
+		// residency is exactly what OOMs the outer-parallel workaround
+		// on large or skewed groups (Sec. 9.4, 9.5).
+		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
+		m := make(map[K][]V)
+		for _, e := range in[0] {
+			kv := e.(Pair[K, V])
+			m[kv.Key] = append(m[kv.Key], kv.Val)
+		}
+		out := make([]any, 0, len(m))
+		for k, vs := range m {
+			out = append(out, Pair[K, []V]{k, vs})
+		}
+		return out
+	})
+	return fromNode[Pair[K, []V]](d.s, n)
+}
+
+// Distinct removes duplicates (requires comparable elements).
+func Distinct[T comparable](d Dataset[T]) Dataset[T] {
+	return DistinctN(d, 0)
+}
+
+// DistinctN is Distinct with an explicit partition count. Duplicates are
+// dropped map-side first, then routed by element hash and dropped again.
+func DistinctN[T comparable](d Dataset[T], parts int) Dataset[T] {
+	return distinct(d, parts, false)
+}
+
+// DistinctBound is DistinctN for value sets whose cardinality does not
+// scale with the input (e.g. grouping keys): the result is unscaled.
+func DistinctBound[T comparable](d Dataset[T], parts int) Dataset[T] {
+	return distinct(d, parts, true)
+}
+
+func distinct[T comparable](d Dataset[T], parts int, bound bool) Dataset[T] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	local := MapPartitions(d, func(in []T) []T {
+		seen := make(map[T]struct{}, len(in))
+		out := in[:0:0]
+		for _, e := range in {
+			if _, ok := seen[e]; !ok {
+				seen[e] = struct{}{}
+				out = append(out, e)
+			}
+		}
+		return out
+	})
+	if bound {
+		local = local.Unscaled()
+	}
+	outWeight := local.n.weight
+	s := d.s
+	sd := dep{parent: local.n, kind: depShuffle, partitioner: func(e any, n int) int {
+		return int(hashOf(s, e.(T)) % uint64(n))
+	}}
+	n := s.newNode("distinct", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+		seen := make(map[T]struct{}, len(in[0]))
+		out := make([]any, 0, len(in[0]))
+		for _, e := range in[0] {
+			t := e.(T)
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				out = append(out, e)
+			}
+		}
+		tc.UseMemory(s.estResidentBytes(out, outWeight)) // resident dedup set
+		return out
+	})
+	return fromNode[T](s, n)
+}
+
+// PartitionByKey hash-partitions a pair dataset by its key into parts
+// partitions (<= 0: session default) and records the partitioning on the
+// result. A subsequent JoinWith whose key type and partition count match
+// reads this side narrowly, with no re-shuffle — cache the result and
+// iterative programs (PageRank's static edges, BFS adjacency) pay the
+// shuffle once instead of every superstep.
+func PartitionByKey[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[Pair[K, V]] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	if d.n.pkey.matches(partInfoFor[K](parts)) {
+		return d
+	}
+	sd := dep{parent: d.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
+	n := d.s.newNode("partitionByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+		return in[0]
+	})
+	n.pkey = partInfoFor[K](parts)
+	return fromNode[Pair[K, V]](d.s, n)
+}
+
+// Repartition redistributes elements round-robin into parts partitions.
+func Repartition[T any](d Dataset[T], parts int) Dataset[T] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	var ctr atomic.Uint64
+	sd := dep{parent: d.n, kind: depShuffle, partitioner: func(e any, n int) int {
+		return int(ctr.Add(1) % uint64(n))
+	}}
+	n := d.s.newNode("repartition", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+		return in[0]
+	})
+	return fromNode[T](d.s, n)
+}

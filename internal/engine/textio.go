@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SaveText is the engine's output operation (the paper's "writing a bag to
+// a distributed filesystem", Theorem 2): it launches a job and writes one
+// part-NNNNN file per partition under dir, formatting each element with
+// format. The directory is created if needed.
+func SaveText[T any](d Dataset[T], dir string, format func(T) string) error {
+	parts, err := d.s.runJob(d.n)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	for p, part := range parts {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%05d", p)))
+		if err != nil {
+			return fmt.Errorf("engine: save: %w", err)
+		}
+		w := bufio.NewWriter(f)
+		for _, e := range part {
+			if _, err := w.WriteString(format(e.(T)) + "\n"); err != nil {
+				f.Close()
+				return fmt.Errorf("engine: save: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("engine: save: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("engine: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadText reads every part-* (or arbitrary) file under dir, parsing each
+// line with parse, and returns a dataset with one partition per file — the
+// input side of the engine's filesystem story.
+func ReadText[T any](s *Session, dir string, parse func(string) (T, error)) (Dataset[T], error) {
+	var zero Dataset[T]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return zero, fmt.Errorf("engine: read: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var all []T
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return zero, fmt.Errorf("engine: read: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			v, err := parse(line)
+			if err != nil {
+				return zero, fmt.Errorf("engine: read %s: %w", name, err)
+			}
+			all = append(all, v)
+		}
+	}
+	parts := len(names)
+	if parts == 0 {
+		parts = 1
+	}
+	return Parallelize(s, all, parts), nil
+}

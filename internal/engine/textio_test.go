@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+func TestSaveAndReadTextRoundTrip(t *testing.T) {
+	s := testSession()
+	dir := t.TempDir()
+	d := Parallelize(s, ints(57), 4)
+	if err := SaveText(d, dir, strconv.Itoa); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("part files = %d, want 4", len(entries))
+	}
+	back, err := ReadText(s, dir, strconv.Atoi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedCollect(t, back, func(a, b int) bool { return a < b })
+	if len(got) != 57 || got[0] != 0 || got[56] != 56 {
+		t.Fatalf("round trip lost data: len=%d", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestSaveTextIsAJob(t *testing.T) {
+	s := testSession()
+	d := Parallelize(s, ints(10), 2)
+	before := s.Stats().Jobs
+	if err := SaveText(d, t.TempDir(), strconv.Itoa); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Jobs != before+1 {
+		t.Errorf("SaveText should launch exactly one job")
+	}
+}
+
+func TestReadTextParseError(t *testing.T) {
+	s := testSession()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "part-00000"), []byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadText(s, dir, strconv.Atoi); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestReadTextMissingDir(t *testing.T) {
+	s := testSession()
+	if _, err := ReadText(s, filepath.Join(t.TempDir(), "nope"), strconv.Atoi); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestSaveTextFormats(t *testing.T) {
+	s := testSession()
+	dir := t.TempDir()
+	d := Parallelize(s, []Pair[string, int]{{"a", 1}, {"b", 2}}, 1)
+	err := SaveText(d, dir, func(p Pair[string, int]) string {
+		return fmt.Sprintf("%s,%d", p.Key, p.Val)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "part-00000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,1\nb,2\n" && string(data) != "b,2\na,1\n" {
+		t.Fatalf("content = %q", data)
+	}
+}

@@ -1,0 +1,190 @@
+// Package graph provides the sequential graph algorithms that (a) the
+// outer-parallel workaround runs inside its UDFs, and (b) the tests use as
+// the reference the parallel strategies must agree with: PageRank with
+// convergence, connected components, and all-sources BFS average
+// distances.
+//
+// Each function reports an operation count so the outer-parallel UDFs can
+// charge their true sequential compute cost to the simulated cluster.
+package graph
+
+import "matryoshka/internal/datagen"
+
+// Adjacency builds a directed adjacency list.
+func Adjacency(edges []datagen.Edge) map[int64][]int64 {
+	adj := make(map[int64][]int64)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	return adj
+}
+
+// Vertices returns the distinct endpoints of the edge list.
+func Vertices(edges []datagen.Edge) []int64 {
+	seen := make(map[int64]struct{}, len(edges))
+	var out []int64
+	add := func(v int64) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	for _, e := range edges {
+		add(e.Src)
+		add(e.Dst)
+	}
+	return out
+}
+
+// PageRankResult is the output of PageRankSeq.
+type PageRankResult struct {
+	Ranks      map[int64]float64
+	Iterations int
+	Ops        int64 // per-edge/vertex work units performed
+}
+
+// Damping is the standard PageRank damping factor.
+const Damping = 0.85
+
+// PageRankSeq runs PageRank until the L1 rank change drops below eps or
+// maxIters is reached. Dangling mass is redistributed uniformly.
+func PageRankSeq(edges []datagen.Edge, eps float64, maxIters int) PageRankResult {
+	adj := Adjacency(edges)
+	verts := Vertices(edges)
+	n := float64(len(verts))
+	if n == 0 {
+		return PageRankResult{Ranks: map[int64]float64{}}
+	}
+	ranks := make(map[int64]float64, len(verts))
+	for _, v := range verts {
+		ranks[v] = 1 / n
+	}
+	var ops int64
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		next := make(map[int64]float64, len(verts))
+		var dangling float64
+		for _, v := range verts {
+			if len(adj[v]) == 0 {
+				dangling += ranks[v]
+			}
+		}
+		for _, v := range verts {
+			share := ranks[v] / float64(len(adj[v]))
+			for _, w := range adj[v] {
+				next[w] += share
+			}
+			ops += int64(len(adj[v])) + 1
+		}
+		var delta float64
+		for _, v := range verts {
+			nv := (1-Damping)/n + Damping*(next[v]+dangling/n)
+			d := nv - ranks[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			next[v] = nv
+		}
+		ranks = next
+		if delta < eps {
+			iters++
+			break
+		}
+	}
+	return PageRankResult{Ranks: ranks, Iterations: iters, Ops: ops}
+}
+
+// ComponentsResult is the output of ConnectedComponentsSeq.
+type ComponentsResult struct {
+	// Comp maps each vertex to its component id (the minimum vertex id
+	// in the component, the same convention as GraphX/Gelly).
+	Comp map[int64]int64
+	Ops  int64
+}
+
+// ConnectedComponentsSeq labels vertices of an undirected graph (edges
+// interpreted bidirectionally) with their component's minimum vertex id.
+func ConnectedComponentsSeq(edges []datagen.Edge) ComponentsResult {
+	adj := make(map[int64][]int64)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	comp := make(map[int64]int64)
+	var ops int64
+	for v := range adj {
+		if _, ok := comp[v]; ok {
+			continue
+		}
+		// BFS flood fill; the component id is the minimum id found.
+		member := []int64{v}
+		comp[v] = v
+		for i := 0; i < len(member); i++ {
+			for _, w := range adj[member[i]] {
+				ops++
+				if _, ok := comp[w]; !ok {
+					comp[w] = v
+					member = append(member, w)
+				}
+			}
+		}
+		minID := v
+		for _, u := range member {
+			if u < minID {
+				minID = u
+			}
+		}
+		for _, u := range member {
+			comp[u] = minID
+		}
+	}
+	return ComponentsResult{Comp: comp, Ops: ops}
+}
+
+// AvgDistancesResult is the output of AvgDistancesSeq.
+type AvgDistancesResult struct {
+	// Avg is the mean BFS distance over all ordered reachable pairs
+	// (u, v), u != v.
+	Avg   float64
+	Pairs int64
+	Ops   int64
+}
+
+// AvgDistancesSeq computes the average shortest-path distance between all
+// pairs of vertices of a (connected) graph via one BFS per source.
+func AvgDistancesSeq(edges []datagen.Edge) AvgDistancesResult {
+	adj := Adjacency(edges)
+	verts := Vertices(edges)
+	var sum, ops int64
+	var pairs int64
+	for _, src := range verts {
+		dist := map[int64]int64{src: 0}
+		frontier := []int64{src}
+		var depth int64
+		for len(frontier) > 0 {
+			depth++
+			var next []int64
+			for _, u := range frontier {
+				for _, w := range adj[u] {
+					ops++
+					if _, ok := dist[w]; !ok {
+						dist[w] = depth
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		for v, d := range dist {
+			if v != src {
+				sum += d
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return AvgDistancesResult{Ops: ops}
+	}
+	return AvgDistancesResult{Avg: float64(sum) / float64(pairs), Pairs: pairs, Ops: ops}
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"matryoshka/internal/datagen"
+)
+
+func line(n int) []datagen.Edge {
+	// 0 <-> 1 <-> 2 ... path graph, bidirectional.
+	var out []datagen.Edge
+	for i := int64(0); i < int64(n-1); i++ {
+		out = append(out, datagen.Edge{Src: i, Dst: i + 1}, datagen.Edge{Src: i + 1, Dst: i})
+	}
+	return out
+}
+
+func TestAdjacencyAndVertices(t *testing.T) {
+	edges := []datagen.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}
+	adj := Adjacency(edges)
+	if len(adj[1]) != 2 || len(adj[2]) != 1 {
+		t.Fatalf("adj = %v", adj)
+	}
+	if vs := Vertices(edges); len(vs) != 3 {
+		t.Fatalf("vertices = %v", vs)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	edges := datagen.GroupedGraph(1, 50, 300, false, 1)
+	var es []datagen.Edge
+	for _, ge := range edges {
+		es = append(es, ge.Edge)
+	}
+	res := PageRankSeq(es, 1e-9, 100)
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	if res.Iterations == 0 || res.Ops == 0 {
+		t.Fatalf("missing counters: %+v", res)
+	}
+}
+
+func TestPageRankStarCenterWins(t *testing.T) {
+	// Star: all point to 0.
+	var edges []datagen.Edge
+	for i := int64(1); i <= 10; i++ {
+		edges = append(edges, datagen.Edge{Src: i, Dst: 0})
+	}
+	res := PageRankSeq(edges, 1e-12, 200)
+	for i := int64(1); i <= 10; i++ {
+		if res.Ranks[0] <= res.Ranks[i] {
+			t.Fatalf("center rank %v not above leaf %v", res.Ranks[0], res.Ranks[i])
+		}
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	res := PageRankSeq(nil, 1e-6, 10)
+	if len(res.Ranks) != 0 {
+		t.Fatalf("ranks = %v", res.Ranks)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	edges := datagen.ComponentsGraph(3, 10, 2, 4)
+	res := ConnectedComponentsSeq(edges)
+	if len(res.Comp) != 30 {
+		t.Fatalf("labelled %d vertices", len(res.Comp))
+	}
+	for v, c := range res.Comp {
+		want := (v / 10) * 10 // min vertex id of the block
+		if c != want {
+			t.Fatalf("vertex %d -> comp %d, want %d", v, c, want)
+		}
+	}
+}
+
+func TestAvgDistancesLine(t *testing.T) {
+	// Path of 4 vertices: distances 1,2,3,1,1,2 (each direction) ->
+	// ordered pairs sum = 2*(1+2+3+1+2+1) = 20, pairs = 12, avg = 5/3.
+	res := AvgDistancesSeq(line(4))
+	if res.Pairs != 12 {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	if math.Abs(res.Avg-5.0/3) > 1e-12 {
+		t.Fatalf("avg = %v, want 5/3", res.Avg)
+	}
+}
+
+func TestAvgDistancesCompleteGraph(t *testing.T) {
+	var edges []datagen.Edge
+	for i := int64(0); i < 5; i++ {
+		for j := int64(0); j < 5; j++ {
+			if i != j {
+				edges = append(edges, datagen.Edge{Src: i, Dst: j})
+			}
+		}
+	}
+	res := AvgDistancesSeq(edges)
+	if res.Avg != 1 {
+		t.Fatalf("avg = %v, want 1", res.Avg)
+	}
+	if res.Pairs != 20 {
+		t.Fatalf("pairs = %d, want 20", res.Pairs)
+	}
+}

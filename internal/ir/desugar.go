@@ -1,0 +1,105 @@
+package ir
+
+import "matryoshka/internal/engine"
+
+// This file is the preparation step of the parsing phase (Sec. 4.6,
+// "Lifting non-Map UDFs"): operations whose UDFs could contain bag
+// operations are split into a map (carrying the UDF) plus the UDF-less
+// variant of the operation, so that only map UDFs ever need lifting.
+
+// GroupBy groups a bag by a key-extraction UDF. The parsing phase desugars
+// it to xs.map(x => (keyFunc(x), x)).groupByKey(), exactly the rewrite of
+// Sec. 4.6.
+type GroupBy struct {
+	In   Expr
+	KeyF func(any) any
+}
+
+func (GroupBy) isExpr() {}
+
+// desugarExpr rewrites composite operations into their map+UDF-less form.
+func desugarExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case GroupBy:
+		keyF := x.KeyF
+		return GroupByKey{In: Map{
+			In: desugarExpr(x.In),
+			F: func(v any) any {
+				return pairOf(keyF(v), v)
+			},
+		}}
+	case Map:
+		out := Map{In: desugarExpr(x.In), F: x.F}
+		if x.UDF != nil {
+			out.UDF = desugarFn(x.UDF)
+		}
+		return out
+	case Filter:
+		return Filter{In: desugarExpr(x.In), Pred: x.Pred}
+	case FlatMap:
+		return FlatMap{In: desugarExpr(x.In), F: x.F}
+	case GroupByKey:
+		return GroupByKey{In: desugarExpr(x.In)}
+	case ReduceByKey:
+		return ReduceByKey{In: desugarExpr(x.In), F: x.F}
+	case Distinct:
+		return Distinct{In: desugarExpr(x.In)}
+	case Count:
+		return Count{In: desugarExpr(x.In)}
+	case Reduce:
+		return Reduce{In: desugarExpr(x.In), F: x.F}
+	case Union:
+		return Union{A: desugarExpr(x.A), B: desugarExpr(x.B)}
+	case UnOp:
+		return UnOp{A: desugarExpr(x.A), F: x.F}
+	case BinOp:
+		return BinOp{A: desugarExpr(x.A), B: desugarExpr(x.B), F: x.F}
+	default:
+		return e
+	}
+}
+
+// desugarFn rewrites a UDF body in place, preserving the *Fn identity that
+// the Parsed annotations are keyed by.
+func desugarFn(fn *Fn) *Fn {
+	for i, st := range fn.Body {
+		fn.Body[i] = desugarStmt(st)
+	}
+	return fn
+}
+
+func desugarStmt(st Stmt) Stmt {
+	switch s := st.(type) {
+	case LetS:
+		return LetS{Name: s.Name, E: desugarExpr(s.E)}
+	case Return:
+		return Return{E: desugarExpr(s.E)}
+	case While:
+		return While{Vars: s.Vars, Body: desugarLets(s.Body), Cond: desugarExpr(s.Cond)}
+	case If:
+		return If{Vars: s.Vars, Cond: desugarExpr(s.Cond), Then: desugarLets(s.Then), Else: desugarLets(s.Else)}
+	}
+	return st
+}
+
+func desugarLets(ls []LetS) []LetS {
+	out := make([]LetS, len(ls))
+	for i, l := range ls {
+		out[i] = LetS{Name: l.Name, E: desugarExpr(l.E)}
+	}
+	return out
+}
+
+// desugar rewrites a whole program.
+func desugar(p *Program) *Program {
+	out := &Program{Result: p.Result}
+	for _, l := range p.Lets {
+		out.Lets = append(out.Lets, Let{Name: l.Name, E: desugarExpr(l.E)})
+	}
+	return out
+}
+
+// pairOf builds the IR's keyed-pair representation.
+func pairOf(k, v any) any {
+	return engine.KV[any, any](k, v)
+}

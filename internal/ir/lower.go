@@ -1,0 +1,507 @@
+package ir
+
+import (
+	"fmt"
+
+	"matryoshka/internal/core"
+	"matryoshka/internal/engine"
+)
+
+// value is a lowered runtime value: exactly one representation is set,
+// according to the kind the parsing phase assigned.
+type value struct {
+	kind Kind
+	sc   any
+	bag  engine.Dataset[any]
+	isc  core.InnerScalar[any]
+	ibg  core.InnerBag[any]
+	nbO  core.InnerScalar[any] // nested bag, outer components
+	nbI  core.InnerBag[any]    // nested bag, inner elements
+}
+
+// Lower runs the lowering phase (Sec. 4.1.2): it executes the parsed
+// program on the engine session, resolving every nesting-primitive
+// operation to flat physical operators through internal/core, with the
+// runtime optimizations of Sec. 8 applied along the way. Sources maps
+// Source names to their driver-side data. The result is []any for a bag
+// result or a single any for a scalar result.
+func Lower(ps *Parsed, sess *engine.Session, sources map[string][]any, opt core.Options) (any, error) {
+	lw := &lowerer{ps: ps, sess: sess, sources: sources, opt: opt, env: map[string]value{}}
+	for _, l := range ps.Prog.Lets {
+		v, err := lw.evalTop(l.E)
+		if err != nil {
+			return nil, fmt.Errorf("ir: let %s: %w", l.Name, err)
+		}
+		lw.env[l.Name] = v
+	}
+	res := lw.env[ps.Prog.Result]
+	switch res.kind {
+	case KBag:
+		return engine.Collect(res.bag)
+	case KScalar:
+		return res.sc, nil
+	default:
+		return nil, fmt.Errorf("ir: cannot return a %v result", res.kind)
+	}
+}
+
+type lowerer struct {
+	ps      *Parsed
+	sess    *engine.Session
+	sources map[string][]any
+	opt     core.Options
+	env     map[string]value
+}
+
+func (lw *lowerer) evalTop(e Expr) (value, error) {
+	switch x := e.(type) {
+	case Ref:
+		return lw.env[x.Name], nil
+	case Const:
+		return value{kind: KScalar, sc: x.V}, nil
+	case Source:
+		data, ok := lw.sources[x.Name]
+		if !ok {
+			return value{}, fmt.Errorf("source %q not provided", x.Name)
+		}
+		return value{kind: KBag, bag: engine.Parallelize(lw.sess, data, 0)}, nil
+	case GroupByKey:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		pairs := engine.Map(in.bag, func(e any) engine.Pair[any, any] { return e.(engine.Pair[any, any]) })
+		nb, err := core.GroupByKeyIntoNestedBag(pairs, lw.opt)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KNested, nbO: nb.Outer, nbI: nb.Inner}, nil
+	case Map:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		if x.F != nil {
+			return value{kind: KBag, bag: engine.Map(in.bag, x.F)}, nil
+		}
+		return lw.lowerLiftedMap(in, x.UDF)
+	case Filter:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KBag, bag: engine.Filter(in.bag, x.Pred)}, nil
+	case FlatMap:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KBag, bag: engine.FlatMap(in.bag, x.F)}, nil
+	case Distinct:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KBag, bag: engine.Distinct(in.bag)}, nil
+	case Union:
+		a, err := lw.evalTop(x.A)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lw.evalTop(x.B)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KBag, bag: engine.Union(a.bag, b.bag)}, nil
+	case ReduceByKey:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		pairs := engine.Map(in.bag, func(e any) engine.Pair[any, any] { return e.(engine.Pair[any, any]) })
+		red := engine.ReduceByKey(pairs, x.F)
+		return value{kind: KBag, bag: engine.Map(red, func(p engine.Pair[any, any]) any { return any(p) })}, nil
+	case Count:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		n, err := engine.Count(in.bag)
+		return value{kind: KScalar, sc: n}, err
+	case Reduce:
+		in, err := lw.evalTop(x.In)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := engine.Reduce(in.bag, x.F)
+		return value{kind: KScalar, sc: r}, err
+	case UnOp:
+		a, err := lw.evalTop(x.A)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KScalar, sc: x.F(a.sc)}, nil
+	case BinOp:
+		a, err := lw.evalTop(x.A)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lw.evalTop(x.B)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KScalar, sc: x.F(a.sc, b.sc)}, nil
+	}
+	return value{}, fmt.Errorf("unsupported top-level expression %T", e)
+}
+
+// lowerLiftedMap is mapWithLiftedUDF: the UDF runs exactly once, over the
+// lifted representations of all invocations (Sec. 4.2).
+func (lw *lowerer) lowerLiftedMap(in value, fn *Fn) (value, error) {
+	info := lw.ps.Fns[fn]
+	if info == nil || !info.Lifted {
+		return value{}, fmt.Errorf("map UDF was not marked lifted by the parsing phase")
+	}
+	runBody := func(ctx *core.Ctx, params []value) (value, error) {
+		env := map[string]value{}
+		for i, p := range fn.Params {
+			env[p] = params[i]
+		}
+		return lw.evalBody(ctx, fn.Body, env)
+	}
+	finishInner := func(res value, err error) (value, error) {
+		if err != nil {
+			return value{}, err
+		}
+		switch res.kind {
+		case KInnerScalar:
+			return value{kind: KBag, bag: engine.Values(res.isc.Repr())}, nil
+		case KInnerBag:
+			return value{kind: KBag, bag: core.FlattenBag(res.ibg)}, nil
+		}
+		return value{}, fmt.Errorf("lifted UDF returned %v", res.kind)
+	}
+	switch in.kind {
+	case KNested:
+		ctx := in.nbI.Ctx()
+		res, err := runBody(ctx, []value{
+			{kind: KInnerScalar, isc: in.nbO},
+			{kind: KInnerBag, ibg: in.nbI},
+		})
+		return finishInner(res, err)
+	case KBag:
+		res, err := core.LiftFlat(in.bag, lw.opt, func(ctx *core.Ctx, elems core.InnerScalar[any]) (value, error) {
+			return runBody(ctx, []value{{kind: KInnerScalar, isc: elems}})
+		})
+		return finishInner(res, err)
+	}
+	return value{}, fmt.Errorf("lifted map over %v", in.kind)
+}
+
+// evalBody executes the statements of a lifted UDF during lowering.
+func (lw *lowerer) evalBody(ctx *core.Ctx, body []Stmt, env map[string]value) (value, error) {
+	for _, st := range body {
+		switch s := st.(type) {
+		case LetS:
+			v, err := lw.evalInner(ctx, s.E, env)
+			if err != nil {
+				return value{}, fmt.Errorf("let %s: %w", s.Name, err)
+			}
+			env[s.Name] = v
+		case While:
+			if err := lw.lowerWhile(ctx, s, env); err != nil {
+				return value{}, fmt.Errorf("while: %w", err)
+			}
+		case If:
+			if err := lw.lowerIf(ctx, s, env); err != nil {
+				return value{}, fmt.Errorf("if: %w", err)
+			}
+		case Return:
+			return lw.evalInner(ctx, s.E, env)
+		}
+	}
+	return value{}, fmt.Errorf("UDF ended without return")
+}
+
+// evalInner lowers one expression inside a lifted UDF to core operations.
+func (lw *lowerer) evalInner(ctx *core.Ctx, e Expr, env map[string]value) (value, error) {
+	switch x := e.(type) {
+	case Ref:
+		if v, ok := env[x.Name]; ok {
+			return v, nil
+		}
+		// Closure over the driver scope (Sec. 5.2).
+		outer, ok := lw.env[x.Name]
+		if !ok {
+			return value{}, fmt.Errorf("unbound variable %s", x.Name)
+		}
+		switch outer.kind {
+		case KScalar:
+			return value{kind: KInnerScalar, isc: core.LiftScalarClosure(ctx, outer.sc)}, nil
+		case KBag:
+			return value{kind: KInnerBag, ibg: core.LiftBagClosure(ctx, outer.bag)}, nil
+		}
+		return value{}, fmt.Errorf("closure over %v", outer.kind)
+	case Const:
+		return value{kind: KInnerScalar, isc: core.Pure(ctx, x.V)}, nil
+	case Map:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerBag, ibg: core.MapBag(in, x.F)}, nil
+	case Filter:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerBag, ibg: core.FilterBag(in, x.Pred)}, nil
+	case FlatMap:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerBag, ibg: core.FlatMapBag(in, x.F)}, nil
+	case Distinct:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerBag, ibg: core.DistinctBag(in)}, nil
+	case Union:
+		a, err := lw.innerBag(ctx, x.A, env)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lw.innerBag(ctx, x.B, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerBag, ibg: core.UnionBags(a, b)}, nil
+	case ReduceByKey:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		keyed := core.MapBag(in, func(e any) engine.Pair[any, any] { return e.(engine.Pair[any, any]) })
+		red := core.ReduceByKeyBag(keyed, x.F)
+		return value{kind: KInnerBag, ibg: core.MapBag(red, func(p engine.Pair[any, any]) any { return any(p) })}, nil
+	case Count:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		cnt := core.CountBag(in)
+		return value{kind: KInnerScalar, isc: core.UnaryScalarOp(cnt, func(n int64) any { return n })}, nil
+	case Reduce:
+		in, err := lw.innerBag(ctx, x.In, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerScalar, isc: core.ReduceBag(in, x.F)}, nil
+	case UnOp:
+		a, err := lw.innerScalar(ctx, x.A, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerScalar, isc: core.UnaryScalarOp(a, x.F)}, nil
+	case BinOp:
+		a, err := lw.innerScalar(ctx, x.A, env)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := lw.innerScalar(ctx, x.B, env)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: KInnerScalar, isc: core.BinaryScalarOp(a, b, x.F)}, nil
+	}
+	return value{}, fmt.Errorf("unsupported inner expression %T", e)
+}
+
+func (lw *lowerer) innerBag(ctx *core.Ctx, e Expr, env map[string]value) (core.InnerBag[any], error) {
+	v, err := lw.evalInner(ctx, e, env)
+	if err != nil {
+		return core.InnerBag[any]{}, err
+	}
+	if v.kind != KInnerBag {
+		return core.InnerBag[any]{}, fmt.Errorf("expected an inner bag, got %v", v.kind)
+	}
+	return v.ibg, nil
+}
+
+func (lw *lowerer) innerScalar(ctx *core.Ctx, e Expr, env map[string]value) (core.InnerScalar[any], error) {
+	v, err := lw.evalInner(ctx, e, env)
+	if err != nil {
+		return core.InnerScalar[any]{}, err
+	}
+	if v.kind != KInnerScalar {
+		return core.InnerScalar[any]{}, fmt.Errorf("expected an inner scalar, got %v", v.kind)
+	}
+	return v.isc, nil
+}
+
+// dynState is the loop state of a lowered control-flow construct: the
+// current values of the named loop variables.
+type dynState struct {
+	kinds []Kind
+	vals  []value
+}
+
+// dynOps builds StateOps for a dynState shape from the per-kind instances.
+func dynOps(kinds []Kind) core.StateOps[dynState] {
+	so := core.ScalarState[any]()
+	bo := core.BagState[any]()
+	apply := func(s dynState, f func(i int, v value) value) dynState {
+		out := dynState{kinds: s.kinds, vals: make([]value, len(s.vals))}
+		for i, v := range s.vals {
+			out.vals[i] = f(i, v)
+		}
+		return out
+	}
+	return core.StateOps[dynState]{
+		Empty: func(ctx *core.Ctx) dynState {
+			s := dynState{kinds: kinds, vals: make([]value, len(kinds))}
+			for i, k := range kinds {
+				if k == KInnerScalar {
+					s.vals[i] = value{kind: k, isc: so.Empty(ctx)}
+				} else {
+					s.vals[i] = value{kind: k, ibg: bo.Empty(ctx)}
+				}
+			}
+			return s
+		},
+		Filter: func(s dynState, keep engine.Dataset[core.Tag], sub *core.Ctx) dynState {
+			return apply(s, func(i int, v value) value {
+				if v.kind == KInnerScalar {
+					return value{kind: v.kind, isc: so.Filter(v.isc, keep, sub)}
+				}
+				return value{kind: v.kind, ibg: bo.Filter(v.ibg, keep, sub)}
+			})
+		},
+		Union: func(a, b dynState) dynState {
+			out := dynState{kinds: a.kinds, vals: make([]value, len(a.vals))}
+			for i := range a.vals {
+				if a.vals[i].kind == KInnerScalar {
+					out.vals[i] = value{kind: a.vals[i].kind, isc: so.Union(a.vals[i].isc, b.vals[i].isc)}
+				} else {
+					out.vals[i] = value{kind: a.vals[i].kind, ibg: bo.Union(a.vals[i].ibg, b.vals[i].ibg)}
+				}
+			}
+			return out
+		},
+		Cache: func(s dynState) dynState {
+			return apply(s, func(i int, v value) value {
+				if v.kind == KInnerScalar {
+					return value{kind: v.kind, isc: so.Cache(v.isc)}
+				}
+				return value{kind: v.kind, ibg: bo.Cache(v.ibg)}
+			})
+		},
+	}
+}
+
+// loopState gathers the named loop variables from the environment.
+func loopState(vars []string, env map[string]value) dynState {
+	s := dynState{kinds: make([]Kind, len(vars)), vals: make([]value, len(vars))}
+	for i, name := range vars {
+		s.vals[i] = env[name]
+		s.kinds[i] = env[name].kind
+	}
+	return s
+}
+
+// lowerWhile lifts a while loop (Sec. 6.2 / Listing 4) via core.While.
+// Lowering errors inside the loop body surface as panics from the body
+// closure (core.While's signature has no error path there) and are
+// converted back to errors here.
+func (lw *lowerer) lowerWhile(ctx *core.Ctx, s While, env map[string]value) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	init := loopState(s.Vars, env)
+	out, err := core.While(ctx, init, dynOps(init.kinds), func(c *core.Ctx, cur dynState) (dynState, core.InnerScalar[bool]) {
+		inner := cloneEnv(env)
+		for i, name := range s.Vars {
+			inner[name] = cur.vals[i]
+		}
+		for _, l := range s.Body {
+			v, err := lw.evalInner(c, l.E, inner)
+			if err != nil {
+				panic(fmt.Errorf("ir: loop body let %s: %w", l.Name, err))
+			}
+			inner[l.Name] = v
+		}
+		condV, err := lw.innerScalar(c, s.Cond, inner)
+		if err != nil {
+			panic(fmt.Errorf("ir: loop condition: %w", err))
+		}
+		cond := core.UnaryScalarOp(condV, func(v any) bool { return v.(bool) })
+		return loopState(s.Vars, inner), cond
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range s.Vars {
+		env[name] = out.vals[i]
+	}
+	return nil
+}
+
+// lowerIf lifts an if statement (Sec. 6.2) via core.If, converting
+// branch-lowering panics back to errors as lowerWhile does.
+func (lw *lowerer) lowerIf(ctx *core.Ctx, s If, env map[string]value) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	condV, err := lw.innerScalar(ctx, s.Cond, env)
+	if err != nil {
+		return err
+	}
+	cond := core.UnaryScalarOp(condV, func(v any) bool { return v.(bool) })
+	init := loopState(s.Vars, env)
+	branch := func(body []LetS) func(*core.Ctx, dynState) dynState {
+		return func(c *core.Ctx, cur dynState) dynState {
+			inner := cloneEnv(env)
+			for i, name := range s.Vars {
+				inner[name] = cur.vals[i]
+			}
+			for _, l := range body {
+				v, err := lw.evalInner(c, l.E, inner)
+				if err != nil {
+					panic(fmt.Errorf("ir: branch let %s: %w", l.Name, err))
+				}
+				inner[l.Name] = v
+			}
+			return loopState(s.Vars, inner)
+		}
+	}
+	out, err := core.If(ctx, cond, init, dynOps(init.kinds), branch(s.Then), branch(s.Else))
+	if err != nil {
+		return err
+	}
+	for i, name := range s.Vars {
+		env[name] = out.vals[i]
+	}
+	return nil
+}
+
+func cloneEnv(env map[string]value) map[string]value {
+	out := make(map[string]value, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

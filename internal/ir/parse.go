@@ -1,0 +1,470 @@
+package ir
+
+import "fmt"
+
+// Kind is the nesting kind the parsing phase assigns to every variable and
+// expression — the information that decides which nesting primitive
+// represents it after rewriting (Sec. 4.1.1).
+type Kind int
+
+const (
+	// KScalar is a driver-side scalar outside any lifted UDF.
+	KScalar Kind = iota
+	// KBag is a flat bag (a plain engine dataset).
+	KBag
+	// KNested is a nested bag outside a UDF -> NestedBag primitive.
+	KNested
+	// KInnerScalar is a scalar inside a lifted UDF -> InnerScalar.
+	KInnerScalar
+	// KInnerBag is a bag inside a lifted UDF -> InnerBag.
+	KInnerBag
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KScalar:
+		return "Scalar"
+	case KBag:
+		return "Bag"
+	case KNested:
+		return "NestedBag"
+	case KInnerScalar:
+		return "InnerScalar"
+	case KInnerBag:
+		return "InnerBag"
+	}
+	return "?"
+}
+
+// FnInfo is the parsing phase's annotation of one UDF.
+type FnInfo struct {
+	// Lifted reports whether the UDF contains bag operations and must be
+	// lifted (its map becomes mapWithLiftedUDF, Sec. 4.2).
+	Lifted bool
+	// ParamKinds are the kinds of the parameters inside the (possibly
+	// lifted) UDF.
+	ParamKinds []Kind
+	// VarKinds are the kinds of the let-bound variables in the body.
+	VarKinds map[string]Kind
+	// Closures lists free variables the body references from the
+	// enclosing scope, with their outer kinds (Sec. 5: these must be
+	// made explicit so the lowering phase can lift them).
+	Closures map[string]Kind
+	// ReturnKind is the kind of the UDF's result inside the UDF.
+	ReturnKind Kind
+}
+
+// Parsed is the output of the parsing phase: the original program plus the
+// primitive-level annotations — a logical plan in the paper's sense, with
+// concrete operator implementations still open (Sec. 3).
+type Parsed struct {
+	Prog *Program
+	// TopKinds maps each top-level variable to its kind.
+	TopKinds map[string]Kind
+	// Fns maps each *Fn in the program to its annotations.
+	Fns map[*Fn]*FnInfo
+	// ResultKind is the kind of the program result.
+	ResultKind Kind
+}
+
+// Parse runs the parsing phase (Sec. 4.1.1) over a nested program: it
+// infers nesting kinds, decides which UDFs to lift, records closures, and
+// validates the structural restrictions of Sec. 7 (bags may not appear in
+// aggregation UDFs or inside other data structures; nesting at most two
+// levels through this front end — deeper programs use internal/core
+// directly).
+func Parse(p *Program) (*Parsed, error) {
+	p = desugar(p) // the preparation step of Sec. 4.6
+	ps := &Parsed{
+		Prog:     p,
+		TopKinds: map[string]Kind{},
+		Fns:      map[*Fn]*FnInfo{},
+	}
+	for _, l := range p.Lets {
+		k, err := ps.inferTop(l.E)
+		if err != nil {
+			return nil, fmt.Errorf("ir: let %s: %w", l.Name, err)
+		}
+		if _, dup := ps.TopKinds[l.Name]; dup {
+			return nil, fmt.Errorf("ir: duplicate binding %s", l.Name)
+		}
+		ps.TopKinds[l.Name] = k
+	}
+	rk, ok := ps.TopKinds[p.Result]
+	if !ok {
+		return nil, fmt.Errorf("ir: result %s is not bound", p.Result)
+	}
+	ps.ResultKind = rk
+	return ps, nil
+}
+
+// inferTop assigns a kind to a top-level expression.
+func (ps *Parsed) inferTop(e Expr) (Kind, error) {
+	switch x := e.(type) {
+	case Ref:
+		k, ok := ps.TopKinds[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %s", x.Name)
+		}
+		return k, nil
+	case Const:
+		return KScalar, nil
+	case Source:
+		return KBag, nil
+	case GroupByKey:
+		in, err := ps.inferTop(x.In)
+		if err != nil {
+			return 0, err
+		}
+		if in != KBag {
+			return 0, fmt.Errorf("groupByKey needs a flat bag, got %v", in)
+		}
+		// The nested output becomes a NestedBag primitive (Sec. 4.5).
+		return KNested, nil
+	case Map:
+		in, err := ps.inferTop(x.In)
+		if err != nil {
+			return 0, err
+		}
+		if (x.F == nil) == (x.UDF == nil) {
+			return 0, fmt.Errorf("map needs exactly one of F or UDF")
+		}
+		if x.F != nil {
+			if in != KBag {
+				return 0, fmt.Errorf("plain map needs a flat bag, got %v", in)
+			}
+			return KBag, nil
+		}
+		return ps.parseUDFMap(in, x.UDF)
+	case Filter:
+		return ps.sameBag(x.In, "filter")
+	case FlatMap:
+		return ps.sameBag(x.In, "flatMap")
+	case Distinct:
+		return ps.sameBag(x.In, "distinct")
+	case Union:
+		a, err := ps.inferTop(x.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := ps.inferTop(x.B)
+		if err != nil {
+			return 0, err
+		}
+		if a != KBag || b != KBag {
+			return 0, fmt.Errorf("union needs flat bags, got %v and %v", a, b)
+		}
+		return KBag, nil
+	case ReduceByKey:
+		return ps.sameBag(x.In, "reduceByKey")
+	case Count:
+		if _, err := ps.sameBag(x.In, "count"); err != nil {
+			return 0, err
+		}
+		return KScalar, nil
+	case Reduce:
+		if _, err := ps.sameBag(x.In, "reduce"); err != nil {
+			return 0, err
+		}
+		return KScalar, nil
+	case UnOp:
+		in, err := ps.inferTop(x.A)
+		if err != nil {
+			return 0, err
+		}
+		if in != KScalar {
+			return 0, fmt.Errorf("scalar op over %v", in)
+		}
+		return KScalar, nil
+	case BinOp:
+		for _, sub := range []Expr{x.A, x.B} {
+			in, err := ps.inferTop(sub)
+			if err != nil {
+				return 0, err
+			}
+			if in != KScalar {
+				return 0, fmt.Errorf("scalar op over %v", in)
+			}
+		}
+		return KScalar, nil
+	}
+	return 0, fmt.Errorf("unsupported top-level expression %T", e)
+}
+
+func (ps *Parsed) sameBag(in Expr, op string) (Kind, error) {
+	k, err := ps.inferTop(in)
+	if err != nil {
+		return 0, err
+	}
+	if k != KBag {
+		return 0, fmt.Errorf("%s over %v is not supported at top level", op, k)
+	}
+	return KBag, nil
+}
+
+// parseUDFMap analyses a map whose UDF is a program: it decides whether
+// the UDF must be lifted and annotates its body.
+func (ps *Parsed) parseUDFMap(in Kind, fn *Fn) (Kind, error) {
+	info := &FnInfo{
+		VarKinds: map[string]Kind{},
+		Closures: map[string]Kind{},
+	}
+	switch in {
+	case KNested:
+		if len(fn.Params) != 2 {
+			return 0, fmt.Errorf("map over a nested bag takes (outer, group) parameters, got %d", len(fn.Params))
+		}
+		// Inside the lifted UDF the outer component is an InnerScalar
+		// and the group an InnerBag (Listing 2 line 5).
+		info.Lifted = true
+		info.ParamKinds = []Kind{KInnerScalar, KInnerBag}
+	case KBag:
+		if len(fn.Params) != 1 {
+			return 0, fmt.Errorf("map over a flat bag takes 1 parameter, got %d", len(fn.Params))
+		}
+		// Lifted iff the body contains bag operations (hyperparameter
+		// pattern, Sec. 2.3): the element becomes an InnerScalar.
+		info.Lifted = bodyHasBagOps(fn.Body, ps.TopKinds)
+		if info.Lifted {
+			info.ParamKinds = []Kind{KInnerScalar}
+		} else {
+			return 0, fmt.Errorf("map UDF without bag operations: use an opaque F instead")
+		}
+	default:
+		return 0, fmt.Errorf("map over %v", in)
+	}
+
+	env := map[string]Kind{}
+	for i, p := range fn.Params {
+		env[p] = info.ParamKinds[i]
+	}
+	retKind, err := ps.parseBody(fn.Body, env, info)
+	if err != nil {
+		return 0, err
+	}
+	info.ReturnKind = retKind
+	ps.Fns[fn] = info
+
+	// The lifted UDF's InnerScalar result reads back as a flat bag of
+	// per-invocation values at the top level.
+	switch retKind {
+	case KInnerScalar, KInnerBag:
+		return KBag, nil
+	default:
+		return 0, fmt.Errorf("lifted UDF must return an inner value, got %v", retKind)
+	}
+}
+
+// parseBody annotates the statements of a lifted UDF.
+func (ps *Parsed) parseBody(body []Stmt, env map[string]Kind, info *FnInfo) (Kind, error) {
+	var retKind Kind
+	haveReturn := false
+	for _, st := range body {
+		switch s := st.(type) {
+		case LetS:
+			k, err := ps.inferInner(s.E, env, info)
+			if err != nil {
+				return 0, fmt.Errorf("let %s: %w", s.Name, err)
+			}
+			env[s.Name] = k
+			info.VarKinds[s.Name] = k
+		case While:
+			if err := ps.parseLoop(s.Vars, s.Body, s.Cond, env, info); err != nil {
+				return 0, fmt.Errorf("while: %w", err)
+			}
+		case If:
+			if err := ps.parseLoop(s.Vars, append(append([]LetS{}, s.Then...), s.Else...), s.Cond, env, info); err != nil {
+				return 0, fmt.Errorf("if: %w", err)
+			}
+		case Return:
+			k, err := ps.inferInner(s.E, env, info)
+			if err != nil {
+				return 0, fmt.Errorf("return: %w", err)
+			}
+			retKind, haveReturn = k, true
+		default:
+			return 0, fmt.Errorf("unsupported statement %T", st)
+		}
+	}
+	if !haveReturn {
+		return 0, fmt.Errorf("UDF has no return")
+	}
+	return retKind, nil
+}
+
+// parseLoop validates a control-flow construct: loop variables must exist,
+// the body may only rebind them (and temporaries), and the condition must
+// be an inner boolean scalar.
+func (ps *Parsed) parseLoop(vars []string, body []LetS, cond Expr, env map[string]Kind, info *FnInfo) error {
+	for _, v := range vars {
+		if _, ok := env[v]; !ok {
+			return fmt.Errorf("loop variable %s is not bound before the loop", v)
+		}
+	}
+	// Loop body sees the current loop variables; temporaries are scoped
+	// to the body.
+	inner := map[string]Kind{}
+	for k, v := range env {
+		inner[k] = v
+	}
+	for _, s := range body {
+		k, err := ps.inferInner(s.E, inner, info)
+		if err != nil {
+			return fmt.Errorf("let %s: %w", s.Name, err)
+		}
+		inner[s.Name] = k
+		info.VarKinds[s.Name] = k
+	}
+	for _, v := range vars {
+		if env[v] != inner[v] {
+			return fmt.Errorf("loop variable %s changes kind from %v to %v", v, env[v], inner[v])
+		}
+	}
+	ck, err := ps.inferInner(cond, inner, info)
+	if err != nil {
+		return fmt.Errorf("condition: %w", err)
+	}
+	if ck != KInnerScalar {
+		return fmt.Errorf("condition must be an inner scalar, got %v", ck)
+	}
+	return nil
+}
+
+// inferInner assigns kinds inside a lifted UDF, recording closures for
+// free variables (Sec. 5).
+func (ps *Parsed) inferInner(e Expr, env map[string]Kind, info *FnInfo) (Kind, error) {
+	switch x := e.(type) {
+	case Ref:
+		if k, ok := env[x.Name]; ok {
+			return k, nil
+		}
+		// Free variable: a closure over the enclosing (driver) scope.
+		if k, ok := ps.TopKinds[x.Name]; ok {
+			info.Closures[x.Name] = k
+			switch k {
+			case KScalar:
+				return KInnerScalar, nil // lifted by replication (Sec. 5.2)
+			case KBag:
+				return KInnerBag, nil // lifted bag closure (Sec. 5.2)
+			default:
+				return 0, fmt.Errorf("closure over %v is not supported", k)
+			}
+		}
+		return 0, fmt.Errorf("unbound variable %s", x.Name)
+	case Const:
+		return KInnerScalar, nil // constants replicate per invocation
+	case Map:
+		if x.UDF != nil {
+			return 0, fmt.Errorf("nested lifted UDFs are not supported by the IR front end (use internal/core for >2 levels)")
+		}
+		return ps.innerBagIn(x.In, env, info, "map")
+	case Filter:
+		return ps.innerBagIn(x.In, env, info, "filter")
+	case FlatMap:
+		return ps.innerBagIn(x.In, env, info, "flatMap")
+	case Distinct:
+		return ps.innerBagIn(x.In, env, info, "distinct")
+	case ReduceByKey:
+		return ps.innerBagIn(x.In, env, info, "reduceByKey")
+	case Union:
+		if _, err := ps.innerBagIn(x.A, env, info, "union"); err != nil {
+			return 0, err
+		}
+		return ps.innerBagIn(x.B, env, info, "union")
+	case Count:
+		if _, err := ps.innerBagIn(x.In, env, info, "count"); err != nil {
+			return 0, err
+		}
+		return KInnerScalar, nil
+	case Reduce:
+		if _, err := ps.innerBagIn(x.In, env, info, "reduce"); err != nil {
+			return 0, err
+		}
+		return KInnerScalar, nil
+	case UnOp:
+		k, err := ps.inferInner(x.A, env, info)
+		if err != nil {
+			return 0, err
+		}
+		if k != KInnerScalar {
+			return 0, fmt.Errorf("unary scalar op over %v", k)
+		}
+		return KInnerScalar, nil
+	case BinOp:
+		for _, sub := range []Expr{x.A, x.B} {
+			k, err := ps.inferInner(sub, env, info)
+			if err != nil {
+				return 0, err
+			}
+			if k != KInnerScalar {
+				return 0, fmt.Errorf("binary scalar op over %v", k)
+			}
+		}
+		return KInnerScalar, nil
+	case GroupByKey:
+		return 0, fmt.Errorf("groupByKey inside a lifted UDF needs a third nesting level; use internal/core directly")
+	case Source:
+		return 0, fmt.Errorf("sources must be bound at top level")
+	}
+	return 0, fmt.Errorf("unsupported inner expression %T", e)
+}
+
+func (ps *Parsed) innerBagIn(in Expr, env map[string]Kind, info *FnInfo, op string) (Kind, error) {
+	k, err := ps.inferInner(in, env, info)
+	if err != nil {
+		return 0, err
+	}
+	if k != KInnerBag {
+		return 0, fmt.Errorf("%s over %v inside a lifted UDF", op, k)
+	}
+	return KInnerBag, nil
+}
+
+// bodyHasBagOps reports whether a UDF body contains bag operations —
+// the criterion for lifting (Sec. 4.2). References to outer bags count.
+func bodyHasBagOps(body []Stmt, top map[string]Kind) bool {
+	var exprHas func(e Expr) bool
+	exprHas = func(e Expr) bool {
+		switch x := e.(type) {
+		case Map, Filter, FlatMap, Distinct, ReduceByKey, Union, Count, Reduce, GroupByKey:
+			return true
+		case Ref:
+			return top[x.Name] == KBag || top[x.Name] == KNested
+		case UnOp:
+			return exprHas(x.A)
+		case BinOp:
+			return exprHas(x.A) || exprHas(x.B)
+		}
+		return false
+	}
+	var stmtHas func(st Stmt) bool
+	stmtHas = func(st Stmt) bool {
+		switch s := st.(type) {
+		case LetS:
+			return exprHas(s.E)
+		case Return:
+			return exprHas(s.E)
+		case While:
+			for _, l := range s.Body {
+				if exprHas(l.E) {
+					return true
+				}
+			}
+			return exprHas(s.Cond)
+		case If:
+			for _, l := range append(append([]LetS{}, s.Then...), s.Else...) {
+				if exprHas(l.E) {
+					return true
+				}
+			}
+			return exprHas(s.Cond)
+		}
+		return false
+	}
+	for _, st := range body {
+		if stmtHas(st) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render pretty-prints the parsing phase's output: the program with every
+// binding annotated by its nesting primitive, lifted maps marked as
+// mapWithLiftedUDF, groupBys as groupByKeyIntoNestedBag, and closures made
+// explicit — a textual form of the paper's Listing 1 → Listing 2 rewrite.
+func (ps *Parsed) Render() string {
+	var b strings.Builder
+	for _, l := range ps.Prog.Lets {
+		fmt.Fprintf(&b, "val %s: %s = %s\n", l.Name, ps.TopKinds[l.Name], ps.renderTop(l.E, &b))
+	}
+	fmt.Fprintf(&b, "return %s\n", ps.Prog.Result)
+	return b.String()
+}
+
+// renderTop returns the one-line form of a top-level expression, emitting
+// lifted UDF bodies inline through b when needed.
+func (ps *Parsed) renderTop(e Expr, b *strings.Builder) string {
+	switch x := e.(type) {
+	case Ref:
+		return x.Name
+	case Const:
+		return fmt.Sprintf("%v", x.V)
+	case Source:
+		return fmt.Sprintf("read(%q)", x.Name)
+	case GroupByKey:
+		return fmt.Sprintf("%s.groupByKeyIntoNestedBag()", ps.renderTop(x.In, b))
+	case Map:
+		if x.UDF == nil {
+			return fmt.Sprintf("%s.map(f)", ps.renderTop(x.In, b))
+		}
+		info := ps.Fns[x.UDF]
+		in := ps.renderTop(x.In, b)
+		if info == nil || !info.Lifted {
+			return fmt.Sprintf("%s.map(udf)", in)
+		}
+		var params []string
+		for i, p := range x.UDF.Params {
+			params = append(params, fmt.Sprintf("%s: %s", p, info.ParamKinds[i]))
+		}
+		body := renderBody(x.UDF.Body, info, "  ")
+		closures := ""
+		if len(info.Closures) > 0 {
+			var cs []string
+			for name, k := range info.Closures {
+				cs = append(cs, fmt.Sprintf("%s: %s", name, k))
+			}
+			sort.Strings(cs)
+			closures = fmt.Sprintf("  // closures: %s\n", strings.Join(cs, ", "))
+		}
+		return fmt.Sprintf("%s.mapWithLiftedUDF { (%s) =>\n%s%s}",
+			in, strings.Join(params, ", "), closures+body, "")
+	case Filter:
+		return fmt.Sprintf("%s.filter(p)", ps.renderTop(x.In, b))
+	case FlatMap:
+		return fmt.Sprintf("%s.flatMap(f)", ps.renderTop(x.In, b))
+	case Distinct:
+		return fmt.Sprintf("%s.distinct()", ps.renderTop(x.In, b))
+	case ReduceByKey:
+		return fmt.Sprintf("%s.reduceByKey(f)", ps.renderTop(x.In, b))
+	case Count:
+		return fmt.Sprintf("%s.count()", ps.renderTop(x.In, b))
+	case Reduce:
+		return fmt.Sprintf("%s.reduce(f)", ps.renderTop(x.In, b))
+	case Union:
+		return fmt.Sprintf("%s.union(%s)", ps.renderTop(x.A, b), ps.renderTop(x.B, b))
+	case UnOp:
+		return fmt.Sprintf("unaryScalarOp(%s)(f)", ps.renderTop(x.A, b))
+	case BinOp:
+		return fmt.Sprintf("binaryScalarOp(%s, %s)(f)", ps.renderTop(x.A, b), ps.renderTop(x.B, b))
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+func renderBody(body []Stmt, info *FnInfo, indent string) string {
+	var b strings.Builder
+	for _, st := range body {
+		switch s := st.(type) {
+		case LetS:
+			fmt.Fprintf(&b, "%sval %s: %s = %s\n", indent, s.Name, info.VarKinds[s.Name], renderInner(s.E, info))
+		case While:
+			fmt.Fprintf(&b, "%sliftedWhile(%s) {\n", indent, strings.Join(s.Vars, ", "))
+			for _, l := range s.Body {
+				fmt.Fprintf(&b, "%s  val %s = %s\n", indent, l.Name, renderInner(l.E, info))
+			}
+			fmt.Fprintf(&b, "%s} while (%s)\n", indent, renderInner(s.Cond, info))
+		case If:
+			fmt.Fprintf(&b, "%sliftedIf(%s) over (%s) { ... } else { ... }\n",
+				indent, renderInner(s.Cond, info), strings.Join(s.Vars, ", "))
+		case Return:
+			fmt.Fprintf(&b, "%sreturn %s\n", indent, renderInner(s.E, info))
+		}
+	}
+	return b.String()
+}
+
+func renderInner(e Expr, info *FnInfo) string {
+	switch x := e.(type) {
+	case Ref:
+		if k, ok := info.Closures[x.Name]; ok {
+			return fmt.Sprintf("%s/*closure:%s*/", x.Name, k)
+		}
+		return x.Name
+	case Const:
+		return fmt.Sprintf("%v", x.V)
+	case Map:
+		return fmt.Sprintf("%s.map(f)", renderInner(x.In, info))
+	case Filter:
+		return fmt.Sprintf("%s.filter(p)", renderInner(x.In, info))
+	case FlatMap:
+		return fmt.Sprintf("%s.flatMap(f)", renderInner(x.In, info))
+	case Distinct:
+		return fmt.Sprintf("%s.distinct()", renderInner(x.In, info))
+	case ReduceByKey:
+		return fmt.Sprintf("%s.reduceByKey(f)", renderInner(x.In, info))
+	case Count:
+		return fmt.Sprintf("%s.count()", renderInner(x.In, info))
+	case Reduce:
+		return fmt.Sprintf("%s.reduce(f)", renderInner(x.In, info))
+	case Union:
+		return fmt.Sprintf("%s.union(%s)", renderInner(x.A, info), renderInner(x.B, info))
+	case UnOp:
+		return fmt.Sprintf("unaryScalarOp(%s)(f)", renderInner(x.A, info))
+	case BinOp:
+		return fmt.Sprintf("binaryScalarOp(%s, %s)(f)", renderInner(x.A, info), renderInner(x.B, info))
+	}
+	return fmt.Sprintf("<%T>", e)
+}

@@ -1,0 +1,253 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"matryoshka/internal/core"
+	"matryoshka/internal/engine"
+)
+
+// This file is an executable version of the paper's completeness and
+// correctness arguments (Theorems 1 and 2) for the IR front end: randomly
+// generated nested programs — groupBy followed by a lifted UDF built from
+// a random sequence of bag and scalar operations, optionally ending with a
+// random loop — must (a) always pass the parsing phase and (b) produce the
+// same result when lowered to the flat engine as a driver-side reference
+// evaluation of the nested semantics.
+
+// refGroups evaluates the generated UDF sequentially per group.
+type genOp struct {
+	name  string
+	apply func(g *genProgram)
+}
+
+// genProgram accumulates a random UDF body and, in parallel, a reference
+// implementation over plain slices.
+type genProgram struct {
+	rng  *rand.Rand
+	body []Stmt
+	// curBag names the current bag variable; ref computes it per group.
+	curBag string
+	refBag func(group []int64) []int64
+	nVars  int
+}
+
+func (g *genProgram) fresh(prefix string) string {
+	g.nVars++
+	return fmt.Sprintf("%s%d", prefix, g.nVars)
+}
+
+// ops is the pool of random bag transformations.
+var ops = []genOp{
+	{"mapAdd", func(g *genProgram) {
+		k := int64(g.rng.Intn(7) + 1)
+		name := g.fresh("m")
+		g.body = append(g.body, LetS{name, Map{In: Ref{g.curBag},
+			F: func(v any) any { return v.(int64) + k }}})
+		prev := g.refBag
+		g.refBag = func(group []int64) []int64 {
+			in := prev(group)
+			out := make([]int64, len(in))
+			for i, v := range in {
+				out[i] = v + k
+			}
+			return out
+		}
+		g.curBag = name
+	}},
+	{"filterMod", func(g *genProgram) {
+		m := int64(g.rng.Intn(3) + 2)
+		name := g.fresh("f")
+		g.body = append(g.body, LetS{name, Filter{In: Ref{g.curBag},
+			Pred: func(v any) bool { return v.(int64)%m != 0 }}})
+		prev := g.refBag
+		g.refBag = func(group []int64) []int64 {
+			var out []int64
+			for _, v := range prev(group) {
+				if v%m != 0 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		g.curBag = name
+	}},
+	{"flatDup", func(g *genProgram) {
+		name := g.fresh("d")
+		g.body = append(g.body, LetS{name, FlatMap{In: Ref{g.curBag},
+			F: func(v any) []any { return []any{v, v.(int64) * 2} }}})
+		prev := g.refBag
+		g.refBag = func(group []int64) []int64 {
+			var out []int64
+			for _, v := range prev(group) {
+				out = append(out, v, v*2)
+			}
+			return out
+		}
+		g.curBag = name
+	}},
+	{"distinct", func(g *genProgram) {
+		name := g.fresh("u")
+		g.body = append(g.body, LetS{name, Distinct{In: Ref{g.curBag}}})
+		prev := g.refBag
+		g.refBag = func(group []int64) []int64 {
+			seen := map[int64]bool{}
+			var out []int64
+			for _, v := range prev(group) {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		g.curBag = name
+	}},
+	{"union", func(g *genProgram) {
+		name := g.fresh("un")
+		g.body = append(g.body, LetS{name, Union{A: Ref{g.curBag}, B: Ref{g.curBag}}})
+		prev := g.refBag
+		g.refBag = func(group []int64) []int64 {
+			in := prev(group)
+			return append(append([]int64{}, in...), in...)
+		}
+		g.curBag = name
+	}},
+}
+
+// generate builds a random program and a per-group reference function.
+func generate(seed int64) (*Program, func(group []int64) int64, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	g := &genProgram{rng: rng, curBag: "group", refBag: func(group []int64) []int64 { return group }}
+	nOps := rng.Intn(4) + 1
+	for i := 0; i < nOps; i++ {
+		ops[rng.Intn(len(ops))].apply(g)
+	}
+	// Terminal aggregation: count of the transformed bag (well-defined
+	// even when the transformations empty a group, Sec. 4.4).
+	withLoop := rng.Intn(2) == 0
+	g.body = append(g.body, LetS{"agg", Count{In: Ref{g.curBag}}})
+	refAgg := func(group []int64) int64 { return int64(len(g.refBag(group))) }
+
+	finalRef := refAgg
+	if withLoop {
+		// Loop: halve agg until < 3, counting iterations; return agg*100+iters.
+		g.body = append(g.body, LetS{"iters", Const{int64(0)}})
+		g.body = append(g.body, While{
+			Vars: []string{"agg", "iters"},
+			Body: []LetS{
+				{"agg", UnOp{A: Ref{"agg"}, F: func(v any) any { return v.(int64) / 2 }}},
+				{"iters", UnOp{A: Ref{"iters"}, F: func(v any) any { return v.(int64) + 1 }}},
+			},
+			Cond: UnOp{A: Ref{"agg"}, F: func(v any) any { return v.(int64) >= 3 }},
+		})
+		g.body = append(g.body, Return{E: BinOp{A: Ref{"agg"}, B: Ref{"iters"},
+			F: func(a, b any) any { return a.(int64)*100 + b.(int64) }}})
+		finalRef = func(group []int64) int64 {
+			agg := refAgg(group)
+			var iters int64
+			for {
+				agg /= 2
+				iters++
+				if agg < 3 {
+					break
+				}
+			}
+			return agg*100 + iters
+		}
+	} else {
+		g.body = append(g.body, Return{E: Ref{"agg"}})
+	}
+
+	udf := &Fn{Params: []string{"key", "group"}, Body: g.body}
+	prog := &Program{
+		Lets: []Let{
+			{"data", Source{"data"}},
+			{"groups", GroupBy{In: Ref{"data"}, KeyF: func(v any) any { return v.(int64) % 5 }}},
+			{"res", Map{In: Ref{"groups"}, UDF: udf}},
+		},
+		Result: "res",
+	}
+	// Wrap the return so the group key travels with the result.
+	last := udf.Body[len(udf.Body)-1].(Return)
+	udf.Body[len(udf.Body)-1] = Return{E: BinOp{A: Ref{"key"}, B: last.E,
+		F: func(k, v any) any { return engine.KV[any, any](k, v) }}}
+	return prog, finalRef, withLoop
+}
+
+func TestRandomNestedProgramsMatchReference(t *testing.T) {
+	sess := testSession()
+	for seed := int64(0); seed < 40; seed++ {
+		prog, ref, withLoop := generate(seed)
+		ps, err := Parse(prog)
+		if err != nil {
+			t.Fatalf("seed %d: parsing phase rejected a valid nested program: %v", seed, err)
+		}
+		// Random input, grouped by v%5 (the GroupBy key UDF).
+		rng := rand.New(rand.NewSource(seed + 1000))
+		var raw []int64
+		for i := 0; i < 60; i++ {
+			raw = append(raw, int64(rng.Intn(40)))
+		}
+		data := make([]any, len(raw))
+		for i, v := range raw {
+			data[i] = v
+		}
+		res, err := Lower(ps, sess, map[string][]any{"data": data}, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d (loop=%v): lowering failed: %v", seed, withLoop, err)
+		}
+		got := map[int64]int64{}
+		for _, r := range res.([]any) {
+			kv := r.(engine.Pair[any, any])
+			got[kv.Key.(int64)] = kv.Val.(int64)
+		}
+		// Reference: group sequentially, run the reference per group.
+		groups := map[int64][]int64{}
+		for _, v := range raw {
+			groups[v%5] = append(groups[v%5], v)
+		}
+		if len(got) != len(groups) {
+			t.Fatalf("seed %d: %d groups, want %d", seed, len(got), len(groups))
+		}
+		var keys []int64
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			want := ref(groups[k])
+			if got[k] != want {
+				t.Errorf("seed %d (loop=%v) group %d: got %d, want %d", seed, withLoop, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestGroupByDesugarsToMapGroupByKey(t *testing.T) {
+	prog := &Program{
+		Lets: []Let{
+			{"d", Source{"d"}},
+			{"g", GroupBy{In: Ref{"d"}, KeyF: func(v any) any { return v.(int64) % 2 }}},
+		},
+		Result: "g",
+	}
+	ps, err := Parse(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.TopKinds["g"] != KNested {
+		t.Fatalf("g kind = %v, want NestedBag", ps.TopKinds["g"])
+	}
+	// The desugared program must contain groupByKey(map(...)), per Sec. 4.6.
+	gbk, ok := ps.Prog.Lets[1].E.(GroupByKey)
+	if !ok {
+		t.Fatalf("desugared expr is %T, want GroupByKey", ps.Prog.Lets[1].E)
+	}
+	if _, ok := gbk.In.(Map); !ok {
+		t.Fatalf("groupByKey input is %T, want Map", gbk.In)
+	}
+}

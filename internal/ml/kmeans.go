@@ -1,0 +1,116 @@
+// Package ml provides the sequential K-means used by the outer-parallel
+// workaround's UDFs and as the reference for cross-strategy result checks.
+package ml
+
+import "matryoshka/internal/datagen"
+
+// Point aliases the generator's point type.
+type Point = datagen.Point
+
+// Dist2 is the squared Euclidean distance.
+func Dist2(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}
+
+// Nearest returns the index of the centroid closest to p.
+func Nearest(means []Point, p Point) int {
+	best, bestD := 0, Dist2(means[0], p)
+	for i := 1; i < len(means); i++ {
+		if d := Dist2(means[i], p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// PointSum accumulates points for centroid updates.
+type PointSum struct {
+	X, Y float64
+	N    int64
+}
+
+// Add folds a point into the sum.
+func (s PointSum) Add(p Point) PointSum {
+	return PointSum{X: s.X + p.X, Y: s.Y + p.Y, N: s.N + 1}
+}
+
+// Merge combines two sums.
+func (s PointSum) Merge(o PointSum) PointSum {
+	return PointSum{X: s.X + o.X, Y: s.Y + o.Y, N: s.N + o.N}
+}
+
+// Mean returns the centroid, or fallback when the sum is empty (empty
+// cluster: keep the previous mean, the standard Lloyd's convention).
+func (s PointSum) Mean(fallback Point) Point {
+	if s.N == 0 {
+		return fallback
+	}
+	return Point{X: s.X / float64(s.N), Y: s.Y / float64(s.N)}
+}
+
+// UpdateMeans is one Lloyd's update: assign every point to its nearest
+// mean and return the new means. Exported so all strategies share the
+// arithmetic (keeping results bit-comparable across summation orders is
+// not required — tests compare with tolerance — but sharing the kernel
+// keeps them honest).
+func UpdateMeans(points []Point, means []Point) []Point {
+	sums := make([]PointSum, len(means))
+	for _, p := range points {
+		i := Nearest(means, p)
+		sums[i] = sums[i].Add(p)
+	}
+	out := make([]Point, len(means))
+	for i, s := range sums {
+		out[i] = s.Mean(means[i])
+	}
+	return out
+}
+
+// MaxShift returns the largest squared centroid movement between two
+// aligned mean sets (the convergence criterion).
+func MaxShift(a, b []Point) float64 {
+	var m float64
+	for i := range a {
+		if d := Dist2(a[i], b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Result is the output of KMeansSeq.
+type Result struct {
+	Means      []Point
+	Iterations int
+	Ops        int64 // point-centroid distance evaluations
+}
+
+// KMeansSeq runs Lloyd's algorithm from the given initial means until the
+// largest centroid shift falls below eps (squared) or maxIters is reached.
+func KMeansSeq(points []Point, init []Point, eps float64, maxIters int) Result {
+	means := append([]Point(nil), init...)
+	var ops int64
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		next := UpdateMeans(points, means)
+		ops += int64(len(points)) * int64(len(means))
+		shift := MaxShift(means, next)
+		means = next
+		if shift < eps {
+			iters++
+			break
+		}
+	}
+	return Result{Means: means, Iterations: iters, Ops: ops}
+}
+
+// WCSS is the within-cluster sum of squares of points under means — the
+// model quality score hyperparameter search minimizes.
+func WCSS(points []Point, means []Point) float64 {
+	var total float64
+	for _, p := range points {
+		total += Dist2(means[Nearest(means, p)], p)
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"matryoshka/internal/datagen"
+)
+
+func TestNearest(t *testing.T) {
+	means := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}}
+	cases := []struct {
+		p    Point
+		want int
+	}{
+		{Point{X: 1, Y: 1}, 0},
+		{Point{X: 9, Y: 1}, 1},
+		{Point{X: 1, Y: 9}, 2},
+	}
+	for _, c := range cases {
+		if got := Nearest(means, c.p); got != c.want {
+			t.Errorf("Nearest(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointSumMeanAndFallback(t *testing.T) {
+	s := PointSum{}.Add(Point{X: 2, Y: 4}).Add(Point{X: 4, Y: 8})
+	if m := s.Mean(Point{}); m.X != 3 || m.Y != 6 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := (PointSum{}).Mean(Point{X: 7, Y: 7}); m.X != 7 {
+		t.Fatalf("empty cluster should keep fallback, got %v", m)
+	}
+}
+
+func TestPointSumMergeCommutes(t *testing.T) {
+	f := func(ax, ay, bx, by int16, an, bn uint8) bool {
+		a := PointSum{float64(ax), float64(ay), int64(an)}
+		b := PointSum{float64(bx), float64(by), int64(bn)}
+		l, r := a.Merge(b), b.Merge(a)
+		return l.N == r.N && math.Abs(l.X-r.X) < 1e-9 && math.Abs(l.Y-r.Y) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansFindsSeparatedClusters(t *testing.T) {
+	pts := datagen.GaussianPoints(2000, 4, 1)
+	init := []Point{{X: 10, Y: 10}, {X: 90, Y: 5}, {X: 210, Y: -5}, {X: 290, Y: 10}}
+	res := KMeansSeq(pts, init, 1e-8, 100)
+	if res.Iterations == 0 || res.Ops == 0 {
+		t.Fatalf("missing counters: %+v", res)
+	}
+	// Means should land near the true centers (0,0) (100,0) (200,0) (300,0).
+	for i, want := range []Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}, {X: 300, Y: 0}} {
+		if Dist2(res.Means[i], want) > 4 {
+			t.Errorf("mean %d = %v, want near %v", i, res.Means[i], want)
+		}
+	}
+}
+
+func TestKMeansConvergenceMonotone(t *testing.T) {
+	pts := datagen.GaussianPoints(500, 2, 2)
+	means := []Point{{X: 50, Y: 50}, {X: 60, Y: 60}}
+	prev := WCSS(pts, means)
+	for i := 0; i < 10; i++ {
+		means = UpdateMeans(pts, means)
+		cur := WCSS(pts, means)
+		if cur > prev+1e-9 {
+			t.Fatalf("WCSS increased at iter %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestKMeansRespectsMaxIters(t *testing.T) {
+	pts := datagen.GaussianPoints(500, 4, 3)
+	res := KMeansSeq(pts, []Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}, 0, 5)
+	if res.Iterations != 5 {
+		t.Fatalf("iterations = %d, want capped at 5", res.Iterations)
+	}
+}
+
+func TestMaxShiftZeroForIdentical(t *testing.T) {
+	a := []Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	if MaxShift(a, a) != 0 {
+		t.Fatal("identical means should have zero shift")
+	}
+	b := []Point{{X: 1, Y: 2}, {X: 3, Y: 7}}
+	if MaxShift(a, b) != 9 {
+		t.Fatalf("shift = %v, want 9", MaxShift(a, b))
+	}
+}

@@ -1,0 +1,167 @@
+package sizeest
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitives(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		min  int64
+	}{
+		{"int", 42, 8},
+		{"bool", true, 1},
+		{"float64", 3.14, 8},
+		{"string", "hello", 5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Of(c.v); got < c.min {
+				t.Errorf("Of(%v) = %d, want >= %d", c.v, got, c.min)
+			}
+		})
+	}
+}
+
+func TestNilIsSmall(t *testing.T) {
+	if got := Of(nil); got <= 0 || got > 64 {
+		t.Errorf("Of(nil) = %d, want small positive", got)
+	}
+}
+
+func TestSliceScalesWithLength(t *testing.T) {
+	small := Of(make([]int64, 10))
+	large := Of(make([]int64, 1000))
+	if large <= small {
+		t.Fatalf("large slice (%d) should exceed small slice (%d)", large, small)
+	}
+	// ~8 bytes per extra element.
+	perElem := float64(large-small) / 990
+	if perElem < 7 || perElem > 9 {
+		t.Errorf("per-element cost = %.2f, want ~8", perElem)
+	}
+}
+
+func TestStringsCountBytes(t *testing.T) {
+	a := Of("x")
+	b := Of("x" + string(make([]byte, 1000)))
+	if b-a < 900 {
+		t.Errorf("long string should cost ~1000 more bytes, delta=%d", b-a)
+	}
+}
+
+func TestStructDeep(t *testing.T) {
+	type inner struct {
+		Name string
+		Vals []float64
+	}
+	type outer struct {
+		ID int64
+		In inner
+	}
+	v := outer{ID: 1, In: inner{Name: "abc", Vals: make([]float64, 100)}}
+	got := Of(v)
+	if got < 800 {
+		t.Errorf("deep struct = %d, want >= 800 (100 float64s inside)", got)
+	}
+}
+
+func TestSharedPointerCountedOnce(t *testing.T) {
+	big := make([]int64, 1000)
+	type two struct{ A, B *[]int64 }
+	shared := Of(two{&big, &big})
+	distinct := Of(two{&big, ptrTo(make([]int64, 1000))})
+	if shared >= distinct {
+		t.Errorf("shared ptr (%d) should be smaller than distinct (%d)", shared, distinct)
+	}
+}
+
+func ptrTo[T any](v T) *T { return &v }
+
+func TestMapScales(t *testing.T) {
+	m1 := map[int]int{1: 1}
+	m2 := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		m2[i] = i
+	}
+	if Of(m2) <= Of(m1) {
+		t.Error("bigger map should have bigger estimate")
+	}
+}
+
+func TestOfSliceMatchesSumOrder(t *testing.T) {
+	vs := []any{int64(1), "hello", 3.0}
+	if got := OfSlice(vs); got < 30 {
+		t.Errorf("OfSlice = %d, want >= 30", got)
+	}
+}
+
+// Property: the estimate is always positive and monotone in slice length.
+func TestQuickMonotone(t *testing.T) {
+	f := func(n uint8) bool {
+		a := Of(make([]int32, int(n)))
+		b := Of(make([]int32, int(n)+10))
+		return a > 0 && b > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicStructure(t *testing.T) {
+	type node struct {
+		Next *node
+		Data [64]byte
+	}
+	a := &node{}
+	b := &node{Next: a}
+	a.Next = b   // cycle
+	got := Of(a) // must terminate
+	if got < 128 {
+		t.Errorf("cycle of two nodes = %d, want >= 128", got)
+	}
+}
+
+func TestMoreKinds(t *testing.T) {
+	type fixedArr struct{ A [4]int32 }
+	cases := []any{
+		complex64(1 + 2i),
+		complex128(3 + 4i),
+		uint16(7),
+		int8(1),
+		[3]string{"a", "bb", "ccc"}, // array of variable-size elems
+		fixedArr{},
+		make(chan int),
+		func() {},
+		map[string][]int{"k": {1, 2, 3}},
+		struct{ P *int }{},
+		[]any{nil, 1, "x"},
+	}
+	for _, c := range cases {
+		if got := Of(c); got <= 0 {
+			t.Errorf("Of(%T) = %d, want positive", c, got)
+		}
+	}
+}
+
+func TestNilSliceAndMap(t *testing.T) {
+	var s []int
+	var m map[int]int
+	if Of(s) <= 0 || Of(m) <= 0 {
+		t.Error("nil containers still have header sizes")
+	}
+	if Of(s) >= Of(make([]int, 100)) {
+		t.Error("nil slice should be smaller than a populated one")
+	}
+}
+
+func TestOfSliceEmptyAndNilElems(t *testing.T) {
+	if OfSlice(nil) < 0 {
+		t.Error("negative size")
+	}
+	if OfSlice([]any{nil, nil}) <= 0 {
+		t.Error("nil elements still cost headers")
+	}
+}
