@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check test race vet build bench figures
+
+## check: everything CI runs — vet, build, tests, race tests.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: run the engine hot-path benchmarks and save them as JSON.
+## Committed results live in BENCH_engine.json; regenerate on a quiet
+## machine and note GOMAXPROCS when comparing across hosts.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_engine.json
+
+## figures: regenerate the simulated-cluster paper figures (bench_rows.csv).
+figures:
+	$(GO) run ./cmd/matbench -q -csv bench_rows.csv

@@ -1,0 +1,42 @@
+package bench
+
+// The engine's parallel executor (worker pool, parallel shuffle routing,
+// narrow fan-in memo) must be a pure host-side optimization: every
+// simulated-cluster number the paper figures are built from has to come
+// out bit-identical to the retained serial reference executor. This test
+// runs real experiments from the registry under both executors and
+// compares the raw rows with ==, not a tolerance.
+
+import (
+	"reflect"
+	"testing"
+
+	"matryoshka/internal/tasks"
+)
+
+func TestExecutorModesBitIdentical(t *testing.T) {
+	// Small scale keeps the runtime reasonable; the plans and operators
+	// exercised are the full ones (shuffles, broadcasts, skewed groups,
+	// control flow), only the record counts shrink.
+	sc := Scale{RecordsPerGB: 300}
+	for _, id := range []string{"fig1", "fig7-bounce"} {
+		exp, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s not in registry", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			tasks.LegacyExec = true
+			ref := exp.Run(sc)
+			tasks.LegacyExec = false
+			par := exp.Run(sc)
+			if !reflect.DeepEqual(ref, par) {
+				for i := range ref {
+					if i < len(par) && ref[i] != par[i] {
+						t.Errorf("row %d differs:\nlegacy:   %+v\nparallel: %+v", i, ref[i], par[i])
+					}
+				}
+				t.Fatalf("executors disagree (%d vs %d rows)", len(ref), len(par))
+			}
+		})
+	}
+}

@@ -19,8 +19,42 @@ type job struct {
 	// bcast memoizes flattened broadcast inputs per dep.
 	bcast map[*dep][]any
 
-	onceMu   sync.Mutex
-	onceVals map[int64]any
+	// memoNodes marks narrow, non-root nodes whose partitions are consumed
+	// more than once in this job (diamond DAGs, overlapping narrowMaps,
+	// nodes read from several stages). evalPart computes each of their
+	// partitions exactly once instead of once per consumer.
+	memoNodes map[*node]bool
+	memo      sync.Map // memoKey -> *memoEntry
+
+	// onceVals shards per-job Once entries by id, so concurrent builds of
+	// unrelated structures (e.g. two broadcast joins' hash tables) never
+	// serialize on a job-wide mutex; only callers of the same id wait for
+	// its single build.
+	onceVals sync.Map // int64 -> *onceEntry
+}
+
+type memoKey struct {
+	n *node
+	p int
+}
+
+// memoEntry caches one computed partition of a fan-in>1 narrow node plus
+// the task-cost deltas incurred computing it. Every consumer — including
+// the task that ran the computation — replays the deltas into its own Ctx,
+// so simulated-cluster accounting is identical to recomputing the
+// partition per consumer: the charges are sums of per-row terms, and each
+// consumer receives exactly the same sum it would have accumulated inline.
+type memoEntry struct {
+	once         sync.Once
+	data         []any
+	work         float64
+	shuffleBytes float64
+	mem          int64
+}
+
+type onceEntry struct {
+	once sync.Once
+	val  any
 }
 
 // runJob launches a job whose result is the materialized target node.
@@ -29,12 +63,12 @@ func (s *Session) runJob(target *node) ([][]any, error) {
 	defer s.mu.Unlock()
 	s.sim.StartJob()
 	j := &job{
-		s:        s,
-		roots:    map[*node]bool{},
-		mat:      map[*node][][]any{},
-		blocks:   map[*dep][][]any{},
-		bcast:    map[*dep][]any{},
-		onceVals: map[int64]any{},
+		s:         s,
+		roots:     map[*node]bool{},
+		mat:       map[*node][][]any{},
+		blocks:    map[*dep][][]any{},
+		bcast:     map[*dep][]any{},
+		memoNodes: map[*node]bool{},
 	}
 	j.planRoots(target)
 	out, err := j.materialize(target)
@@ -61,6 +95,54 @@ func (j *job) planRoots(target *node) {
 		}
 	}
 	walk(target)
+	j.planMemo(seen)
+}
+
+// planMemo marks the narrow, non-root nodes with partition fan-in > 1: a
+// parent partition listed by several consuming child partitions (Concat/
+// Coalesce-style narrowMaps) or consumed by several child nodes (diamond
+// DAGs) would otherwise be recomputed once per consumer by evalPart. The
+// count is a static over-approximation of demand — memoizing a partition
+// that is consumed once is harmless (the replayed costs are exact).
+func (j *job) planMemo(seen map[*node]bool) {
+	if j.s.legacyExec {
+		return // reference mode: recompute per consumer, as the old engine did
+	}
+	refs := map[*node][]int32{}
+	for n := range seen {
+		for i := range n.deps {
+			d := &n.deps[i]
+			if d.kind != depNarrow || j.roots[d.parent] {
+				continue // roots are materialized in mat, never recomputed
+			}
+			rs := refs[d.parent]
+			if rs == nil {
+				rs = make([]int32, d.parent.parts)
+				refs[d.parent] = rs
+			}
+			if d.narrowMap == nil {
+				for p := 0; p < n.parts && p < len(rs); p++ {
+					rs[p]++
+				}
+			} else {
+				for p := 0; p < n.parts; p++ {
+					for _, pp := range d.narrowMap(p) {
+						if pp >= 0 && pp < len(rs) {
+							rs[pp]++
+						}
+					}
+				}
+			}
+		}
+	}
+	for n, rs := range refs {
+		for _, c := range rs {
+			if c > 1 {
+				j.memoNodes[n] = true
+				break
+			}
+		}
+	}
 }
 
 // materialize computes all partitions of stage root n (memoized).
@@ -99,48 +181,64 @@ func (j *job) materialize(n *node) ([][]any, error) {
 		}
 	}
 
-	// Run the stage's tasks for real, in parallel, measuring costs.
+	// Run the stage's tasks for real, in parallel on the session's
+	// persistent worker pool, measuring costs. results cannot be pooled
+	// (it outlives the stage in j.mat and possibly the node cache) but the
+	// cost buffer is per-stage scratch reused across the session.
 	results := make([][]any, n.parts)
-	costs := make([]cluster.Task, n.parts)
+	costs := j.s.stageCosts(n.parts)
 	var panicOnce sync.Once
 	var panicked any
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, j.s.workers)
-	for p := 0; p < n.parts; p++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = fmt.Errorf("engine: task %d of %s panicked: %v", p, n.label, r) })
-				}
-			}()
-			tc := &Ctx{job: j}
-			out := j.evalPart(tc, n, p)
-			results[p] = out
-			// The stage root's output is materialized: charge the
-			// rows it emits and hold it resident alongside
-			// operator-claimed memory.
-			tc.work += float64(len(out)) * n.weight
-			tc.UseMemory(j.s.estResidentBytes(out, n.weight))
-			cc := j.s.cfg.Cluster
-			costs[p] = cluster.Task{
-				Compute: tc.work*cc.PerElementCost + tc.shuffleBytes*cc.PerByteShuffle,
-				Memory:  tc.mem,
+	runTask := func(p int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = fmt.Errorf("engine: task %d of %s panicked: %v", p, n.label, r) })
 			}
-		}(p)
+		}()
+		tc := &Ctx{job: j}
+		out := j.evalPart(tc, n, p)
+		results[p] = out
+		// The stage root's output is materialized: charge the rows it
+		// emits and hold it resident alongside operator-claimed memory.
+		tc.work += float64(len(out)) * n.weight
+		tc.UseMemory(j.s.estResidentBytes(out, n.weight))
+		cc := j.s.cfg.Cluster
+		costs[p] = cluster.Task{
+			Compute: tc.work*cc.PerElementCost + tc.shuffleBytes*cc.PerByteShuffle,
+			Memory:  tc.mem,
+		}
 	}
-	wg.Wait()
+	if j.s.legacyExec {
+		// Reference mode: the pre-pool launch — one goroutine per
+		// partition, bounded by a stage-local semaphore.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, j.s.workers)
+		for p := 0; p < n.parts; p++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(p int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runTask(p)
+			}(p)
+		}
+		wg.Wait()
+	} else {
+		j.s.pool.parallelFor(j.s.workers, n.parts, runTask)
+	}
 	if panicked != nil {
 		panic(panicked)
 	}
-	if dbg := j.s.cfg.DebugStages; dbg {
-		before := j.s.sim.Clock()
-		if err := j.s.sim.RunStage(costs); err != nil {
-			return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
-		}
+
+	dbg := j.s.cfg.DebugStages
+	var before float64
+	if dbg {
+		before = j.s.sim.Clock()
+	}
+	if err := j.s.sim.RunStage(costs); err != nil {
+		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
+	}
+	if dbg {
 		if d := j.s.sim.Clock() - before; d > 1 {
 			var mxC float64
 			for _, c := range costs {
@@ -159,16 +257,6 @@ func (j *job) materialize(n *node) ([][]any, error) {
 			}
 			fmt.Printf("DBGSTAGE %-16s parts=%-5d dt=%.1f maxtask=%.1f w=%.0f chain=%s\n", n.label, len(costs), d, mxC, n.weight, chain)
 		}
-		j.mat[n] = results
-		if n.cached {
-			n.cacheMu.Lock()
-			n.cacheData = results
-			n.cacheMu.Unlock()
-		}
-		return results, nil
-	}
-	if err := j.s.sim.RunStage(costs); err != nil {
-		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
 	}
 	j.mat[n] = results
 	if n.cached {
@@ -219,20 +307,17 @@ func (j *job) stageBoundary(n *node) []*dep {
 }
 
 // buildBlocks routes the materialized parent of shuffle dep d into the
-// child's partitions.
+// child's partitions (see route.go for the parallel router).
 func (j *job) buildBlocks(d *dep) error {
 	if _, ok := j.blocks[d]; ok {
 		return nil
 	}
 	parent := j.mat[d.parent]
-	blocks := make([][]any, d.childParts)
-	for _, part := range parent {
-		for _, e := range part {
-			t := d.partitioner(e, d.childParts)
-			blocks[t] = append(blocks[t], e)
-		}
+	if j.s.legacyExec {
+		j.blocks[d] = routeSerial(d, parent)
+	} else {
+		j.blocks[d] = j.s.routeParallel(d, parent)
 	}
-	j.blocks[d] = blocks
 	return nil
 }
 
@@ -243,13 +328,11 @@ func (j *job) pinBroadcast(d *dep) error {
 		return nil
 	}
 	parent := j.mat[d.parent]
-	var total int
-	for _, part := range parent {
-		total += len(part)
-	}
-	flat := make([]any, 0, total)
-	for _, part := range parent {
-		flat = append(flat, part...)
+	var flat []any
+	if j.s.legacyExec {
+		flat = flattenSerial(parent)
+	} else {
+		flat = j.s.flattenParallel(parent)
 	}
 	if err := j.s.sim.Broadcast(j.s.estResidentBytes(flat, d.parent.weight)); err != nil {
 		return fmt.Errorf("engine: broadcast of %s failed: %w", d.parent.label, err)
@@ -259,17 +342,37 @@ func (j *job) pinBroadcast(d *dep) error {
 }
 
 // evalPart computes partition p of node n inside a task, pipelining narrow
-// parents and reading materialized data at stage boundaries.
+// parents and reading materialized data at stage boundaries. Partitions of
+// fan-in>1 narrow nodes are computed exactly once per job and their task
+// costs replayed to every consumer (see memoEntry).
+func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
+	if data, ok := j.mat[n]; ok {
+		return data[p]
+	}
+	if j.memoNodes[n] {
+		ei, _ := j.memo.LoadOrStore(memoKey{n, p}, &memoEntry{})
+		e := ei.(*memoEntry)
+		e.once.Do(func() {
+			sub := &Ctx{job: j}
+			e.data = j.evalPartDirect(sub, n, p)
+			e.work, e.shuffleBytes, e.mem = sub.work, sub.shuffleBytes, sub.mem
+		})
+		tc.work += e.work
+		tc.shuffleBytes += e.shuffleBytes
+		tc.UseMemory(e.mem)
+		return e.data
+	}
+	return j.evalPartDirect(tc, n, p)
+}
+
+// evalPartDirect is evalPart without the fan-in memo check.
 //
 // Work is charged input-based: each node pays for the rows it consumes,
 // weighted by the producing node's record weight, so a row that stands for
 // many real records costs proportionally more and a cardinality-bounded
 // row (weight 1) costs exactly one row — regardless of which operator
 // produced it.
-func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
-	if data, ok := j.mat[n]; ok {
-		return data[p]
-	}
+func (j *job) evalPartDirect(tc *Ctx, n *node, p int) []any {
 	inputs := make([][]any, len(n.deps))
 	for i := range n.deps {
 		d := &n.deps[i]
@@ -308,14 +411,11 @@ func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
 
 // once runs f exactly once per job for the given node id, caching the
 // result. Typed operators use it to build per-job lookup structures (e.g.
-// the hash table of a broadcast join) once instead of per task.
+// the hash table of a broadcast join) once instead of per task. Entries
+// are sharded per id, so builds for different ids proceed concurrently.
 func (j *job) once(id int64, f func() any) any {
-	j.onceMu.Lock()
-	defer j.onceMu.Unlock()
-	if v, ok := j.onceVals[id]; ok {
-		return v
-	}
-	v := f()
-	j.onceVals[id] = v
-	return v
+	ei, _ := j.onceVals.LoadOrStore(id, &onceEntry{})
+	e := ei.(*onceEntry)
+	e.once.Do(func() { e.val = f() })
+	return e.val
 }

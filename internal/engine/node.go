@@ -31,6 +31,12 @@ type dep struct {
 	childParts  int                   // partition count of the owning node
 	partitioner func(any, int) int    // shuffle only: elem, nParts -> part
 	narrowMap   func(child int) []int // narrow only; nil means identity
+	// posPartitioner, when set, routes by (source partition, element index)
+	// instead of element value. Shuffle routing runs concurrently, so
+	// partitioners must be pure; position-dependent routing (Repartition's
+	// round-robin) uses this form rather than a shared counter, keeping it
+	// deterministic across visit orders and worker counts.
+	posPartitioner func(srcPart, idx, nParts int) int
 }
 
 // node is an untyped dataset DAG vertex. Elements are boxed as any; the

@@ -169,3 +169,10 @@ func Coalesce[A any](d Dataset[A], parts int) Dataset[A] {
 	})
 	return fromNode[A](d.s, n)
 }
+
+// Concat merges every partition into a single partition without a shuffle,
+// preserving partition order (Coalesce to one partition). The single task
+// reads every input partition — when those inputs are also consumed
+// elsewhere in the same job, the engine's fan-in memo ensures they are
+// still computed only once.
+func Concat[A any](d Dataset[A]) Dataset[A] { return Coalesce(d, 1) }

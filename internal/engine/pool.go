@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerPool is a persistent set of goroutines executing submitted
+// functions. One pool is created per Session and reused for every stage of
+// every job, replacing the goroutine-per-partition + fresh-semaphore
+// launch that paid spawn and scheduling cost on every stage.
+//
+// Workers reference only the pool, never the Session, so an abandoned
+// Session stays collectable: a runtime cleanup registered in NewSession
+// closes the task channel and the workers exit.
+type workerPool struct {
+	tasks     chan func()
+	closeOnce sync.Once
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for f := range p.tasks {
+		f()
+	}
+}
+
+// submit schedules f on an idle worker, blocking while all workers are
+// busy. Submitted functions must not panic (a panic kills the worker and
+// the process) and must not submit to the pool themselves (deadlock);
+// parallelFor callers recover inside their bodies.
+func (p *workerPool) submit(f func()) { p.tasks <- f }
+
+// close stops the workers after in-flight tasks drain. The pool must not
+// be used afterwards. Idempotent.
+func (p *workerPool) close() { p.closeOnce.Do(func() { close(p.tasks) }) }
+
+// parallelFor runs body(i) for every i in [0, n) and returns when all are
+// done, fanning out to at most width concurrent runners. Runners claim
+// indices from a shared atomic counter, so submission cost is O(width),
+// not O(n) — a stage with 1200 partitions hands the pool a handful of
+// loop runners instead of 1200 channel sends. With width <= 1 the loop
+// runs inline on the caller, bypassing the pool entirely.
+func (p *workerPool) parallelFor(width, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if width > n {
+		width = n
+	}
+	if width <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		p.submit(func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		})
+	}
+	wg.Wait()
+}
+
+// parallelForSafe is parallelFor with panic capture: a panicking body
+// records the first panic, the remaining indices still run, and the panic
+// is re-raised on the caller's goroutine — matching what inline serial
+// execution would do without killing pool workers.
+func (p *workerPool) parallelForSafe(width, n int, body func(i int)) {
+	var once sync.Once
+	var panicked any
+	p.parallelFor(width, n, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				once.Do(func() { panicked = r })
+			}
+		}()
+		body(i)
+	})
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+// Map-side shuffle routing. The partitioned parent of a shuffle dep is
+// routed into the child's partitions here; this is the hottest structural
+// loop in the engine (every shuffled element passes through it once per
+// stage boundary), so it has a parallel implementation with exact
+// pre-sizing alongside the single-goroutine reference it replaced.
+
+// partTarget returns the target partition for element idx of source
+// partition src under dep d. Partitioners must be pure: routing runs
+// concurrently and may evaluate sources in any order.
+func partTarget(d *dep, src, idx int, e any) int {
+	if d.posPartitioner != nil {
+		return d.posPartitioner(src, idx, d.childParts)
+	}
+	return d.partitioner(e, d.childParts)
+}
+
+// routeSerial is the retained single-goroutine reference router: it visits
+// every element of every parent partition in order and appends it to its
+// target block, growing blocks as it goes. Tests assert the parallel
+// router produces identical blocks; benchmarks use it as the
+// pre-parallelism baseline; legacy-mode sessions still execute it.
+func routeSerial(d *dep, parent [][]any) [][]any {
+	blocks := make([][]any, d.childParts)
+	for src, part := range parent {
+		for idx, e := range part {
+			t := partTarget(d, src, idx, e)
+			blocks[t] = append(blocks[t], e)
+		}
+	}
+	return blocks
+}
+
+// routeParallel is the map-side shuffle router: source partitions are
+// routed concurrently on the session's worker pool. A counting pass
+// records each element's target (the partitioner hash runs exactly once
+// per element — targets are cached for the write pass), the per-(source,
+// target) counts are prefix-summed into exact offsets, and a second
+// parallel pass writes every element directly into its final slot. There
+// is no append growth in the hot loop, and the output block order is
+// identical to routeSerial's: sources in order, elements in source order,
+// so downstream size estimation and task costs are unchanged.
+func (s *Session) routeParallel(d *dep, parent [][]any) [][]any {
+	nsrc := len(parent)
+	nt := d.childParts
+	blocks := make([][]any, nt)
+	if nsrc == 0 {
+		return blocks
+	}
+	// Counting pass: counts[src*nt+t] = elements of source src bound for
+	// target t; targets[src][idx] caches each element's target.
+	targets := make([][]int32, nsrc)
+	counts := make([]int32, nsrc*nt)
+	s.pool.parallelForSafe(s.workers, nsrc, func(src int) {
+		part := parent[src]
+		tg := make([]int32, len(part))
+		ct := counts[src*nt : (src+1)*nt]
+		for idx, e := range part {
+			t := partTarget(d, src, idx, e)
+			tg[idx] = int32(t)
+			ct[t]++
+		}
+		targets[src] = tg
+	})
+	// Prefix-sum counts into write offsets (per target, sources in order)
+	// and allocate each block exactly once at its final size.
+	for t := 0; t < nt; t++ {
+		var run int32
+		for src := 0; src < nsrc; src++ {
+			c := counts[src*nt+t]
+			counts[src*nt+t] = run
+			run += c
+		}
+		if run > 0 { // keep empty blocks nil, as the append-based reference does
+			blocks[t] = make([]any, run, blockCap(int(run)))
+		}
+	}
+	// Write pass: each source owns its offset row, so writes to a shared
+	// block land in disjoint slots.
+	s.pool.parallelForSafe(s.workers, nsrc, func(src int) {
+		off := counts[src*nt : (src+1)*nt]
+		tg := targets[src]
+		for idx, e := range parent[src] {
+			t := tg[idx]
+			blocks[t][off[t]] = e
+			off[t]++
+		}
+	})
+	return blocks
+}
+
+// blockCap returns the capacity to allocate for a block of n elements.
+// Slice capacity is observable in simulated accounting: sizeest.OfSlice
+// charges cap, and estPartitionBytes hands whole blocks of up to sampleN
+// elements to it directly. The append-based reference grows such small
+// blocks through the power-of-two capacities of one-at-a-time appends, so
+// the pre-sized router allocates the same capacity to keep simulated
+// numbers bit-identical. Larger blocks go through position sampling, where
+// capacity is never observed, and get exactly n.
+func blockCap(n int) int {
+	if n > sampleN {
+		return n
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// flattenSerial is the retained reference flatten for broadcast pinning.
+func flattenSerial(parent [][]any) []any {
+	var total int
+	for _, part := range parent {
+		total += len(part)
+	}
+	flat := make([]any, 0, total)
+	for _, part := range parent {
+		flat = append(flat, part...)
+	}
+	return flat
+}
+
+// flattenParallel copies every parent partition into its pre-computed
+// region of one exactly-sized slice, partitions concurrently.
+func (s *Session) flattenParallel(parent [][]any) []any {
+	offsets := make([]int, len(parent)+1)
+	for i, part := range parent {
+		offsets[i+1] = offsets[i] + len(part)
+	}
+	flat := make([]any, offsets[len(parent)])
+	s.pool.parallelForSafe(s.workers, len(parent), func(src int) {
+		copy(flat[offsets[src]:offsets[src+1]], parent[src])
+	})
+	return flat
+}

@@ -18,6 +18,7 @@ package engine
 
 import (
 	"hash/maphash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,16 @@ type Config struct {
 	DefaultParallelism int
 	// DebugStages prints per-stage makespans above 1s (development aid).
 	DebugStages bool
+	// HostParallelism bounds the real host-side worker pool that executes
+	// tasks and shuffle routing (<= 0: GOMAXPROCS). It affects wall-clock
+	// speed only, never the simulated cluster's accounting.
+	HostParallelism int
+	// LegacyExec selects the retained serial reference executor (serial
+	// shuffle routing and broadcast flatten, goroutine-per-partition stage
+	// launch, no fan-in memo). Results and simulated accounting are
+	// identical to the parallel executor — tests assert it — so this
+	// exists only for A/B verification and as a benchmark baseline.
+	LegacyExec bool
 }
 
 // DefaultConfig returns a Config for the paper's 25-machine cluster.
@@ -48,11 +59,32 @@ type Session struct {
 	seed   maphash.Seed
 	nextID atomic.Int64
 
-	// workers bounds real (host) parallelism for task execution.
+	// workers bounds real (host) parallelism for task execution; pool is
+	// the persistent worker pool they run on, created once per session and
+	// reused across all stages and jobs.
 	workers int
+	pool    *workerPool
+
+	// costsScratch is the per-stage task-cost buffer, reused across stages
+	// (guarded by mu: one job runs at a time, and cluster.RunStage copies
+	// the slice it is handed).
+	costsScratch []cluster.Task
+
+	// legacyExec reverts to the retained serial reference execution path —
+	// single-goroutine shuffle routing and flatten, goroutine-per-partition
+	// stage launch, no fan-in memo. Equivalence tests and A/B benchmarks
+	// flip it; production sessions never do.
+	legacyExec bool
 
 	mu sync.Mutex
 }
+
+// processSeed is the hash seed shared by every session in the process.
+// Partitioning hashes are still randomized across processes (as with a
+// per-session seed), but two sessions in one process now place elements
+// identically — which is what lets A/B tests compare a legacy-executor run
+// against a parallel-executor run of the same workload bit-for-bit.
+var processSeed = maphash.MakeSeed()
 
 // NewSession creates a session with its own simulated cluster.
 func NewSession(cfg Config) *Session {
@@ -62,12 +94,41 @@ func NewSession(cfg Config) *Session {
 	if cfg.DefaultParallelism <= 0 {
 		cfg.DefaultParallelism = 3 * cfg.Cluster.Slots()
 	}
-	return &Session{
-		cfg:     cfg,
-		sim:     cluster.New(cfg.Cluster),
-		seed:    maphash.MakeSeed(),
-		workers: defaultWorkers(),
+	workers := cfg.HostParallelism
+	if workers <= 0 {
+		workers = defaultWorkers()
 	}
+	s := &Session{
+		cfg:        cfg,
+		sim:        cluster.New(cfg.Cluster),
+		seed:       processSeed,
+		workers:    workers,
+		pool:       newWorkerPool(workers),
+		legacyExec: cfg.LegacyExec,
+	}
+	// The pool's workers reference only the pool, so a dropped Session is
+	// still collectable; this cleanup then shuts its workers down. Close
+	// does the same deterministically.
+	runtime.AddCleanup(s, func(p *workerPool) { p.close() }, s.pool)
+	return s
+}
+
+// Close releases the session's host worker pool. The session must not be
+// used afterwards. Closing is optional — abandoned sessions are cleaned up
+// by the garbage collector — but makes the release deterministic.
+func (s *Session) Close() { s.pool.close() }
+
+// stageCosts returns a zeroed []cluster.Task of length n backed by the
+// session's reusable scratch buffer.
+func (s *Session) stageCosts(n int) []cluster.Task {
+	if cap(s.costsScratch) < n {
+		s.costsScratch = make([]cluster.Task, n)
+	}
+	c := s.costsScratch[:n]
+	for i := range c {
+		c[i] = cluster.Task{}
+	}
+	return c
 }
 
 // Config returns the session configuration.

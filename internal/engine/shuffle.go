@@ -1,7 +1,5 @@
 package engine
 
-import "sync/atomic"
-
 // keyPartitioner hashes Pair keys for shuffle routing.
 func keyPartitioner[K comparable, V any](s *Session) func(any, int) int {
 	return func(e any, n int) int {
@@ -188,13 +186,16 @@ func PartitionByKey[K comparable, V any](d Dataset[Pair[K, V]], parts int) Datas
 }
 
 // Repartition redistributes elements round-robin into parts partitions.
+// The target is derived from (source partition, element index) — each
+// source partition deals its elements out starting at its own offset — so
+// routing is pure and deterministic regardless of element-visit order or
+// host worker count, where a shared counter would not be.
 func Repartition[T any](d Dataset[T], parts int) Dataset[T] {
 	if parts <= 0 {
 		parts = d.s.cfg.DefaultParallelism
 	}
-	var ctr atomic.Uint64
-	sd := dep{parent: d.n, kind: depShuffle, partitioner: func(e any, n int) int {
-		return int(ctr.Add(1) % uint64(n))
+	sd := dep{parent: d.n, kind: depShuffle, posPartitioner: func(src, idx, n int) int {
+		return (src + idx) % n
 	}}
 	n := d.s.newNode("repartition", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
 		return in[0]

@@ -67,7 +67,7 @@ func (o Outcome) String() string {
 
 // newSession builds an engine session on a fresh simulated cluster.
 func newSession(cc cluster.Config) *engine.Session {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages})
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec})
 }
 
 // recordWeight is the session's simulation scale (real records per
@@ -100,3 +100,9 @@ func finish(task string, strat Strategy, sess *engine.Session, value any, err er
 // DebugStages enables per-stage tracing on sessions created by tasks
 // (development aid).
 var DebugStages bool
+
+// LegacyExec runs sessions created by tasks on the engine's retained
+// serial reference executor. The bench suite's executor-equivalence test
+// flips it to assert that every simulated number is bit-identical across
+// the two execution paths.
+var LegacyExec bool
