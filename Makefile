@@ -1,9 +1,18 @@
 GO ?= go
 
-.PHONY: check test race vet build bench figures
+.PHONY: check test race vet build bench figures fmt-check
 
-## check: everything CI runs — vet, build, tests, race tests.
-check: vet build test race
+## check: everything CI runs — formatting, vet, build, tests, race tests.
+check: fmt-check vet build test race
+
+## fmt-check: fail if any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt -l found unformatted files:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -174,7 +174,10 @@ func BenchmarkEngine_ShuffleThroughput(b *testing.B) {
 	cfg := engine.DefaultConfig()
 	cfg.Cluster.Machines = 4
 	cfg.Cluster.CoresPerMachine = 4
-	sess := engine.NewSession(cfg)
+	sess, err := engine.NewSession(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	pairs := make([]engine.Pair[int64, int64], 100_000)
 	for i := range pairs {
 		pairs[i] = engine.KV(int64(i%997), int64(1))
@@ -196,7 +199,10 @@ func BenchmarkCore_LiftedLoop(b *testing.B) {
 	cfg := engine.DefaultConfig()
 	cfg.Cluster.Machines = 4
 	cfg.Cluster.CoresPerMachine = 4
-	sess := engine.NewSession(cfg)
+	sess, err := engine.NewSession(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	var pairs []engine.Pair[int64, int64]
 	for g := int64(0); g < 32; g++ {
 		for v := int64(0); v < 8; v++ {
@@ -211,10 +217,10 @@ func BenchmarkCore_LiftedLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		iters := core.Pure(nb.Ctx(), int64(0))
 		out, err := core.While(nb.Ctx(), iters, core.ScalarState[int64](),
-			func(c *core.Ctx, v core.InnerScalar[int64]) (core.InnerScalar[int64], core.InnerScalar[bool]) {
+			func(c *core.Ctx, v core.InnerScalar[int64]) (core.InnerScalar[int64], core.InnerScalar[bool], error) {
 				next := core.UnaryScalarOp(v, func(i int64) int64 { return i + 1 })
 				cond := core.UnaryScalarOp(next, func(i int64) bool { return i < 5 })
-				return next, cond
+				return next, cond, nil
 			})
 		if err != nil {
 			b.Fatal(err)

@@ -8,6 +8,8 @@
 //	matbench -list
 //	matbench -records-per-gb 2000   # smaller/faster sweep
 //	matbench -csv rows.csv          # raw rows for external plotting
+//	matbench -explain bounce-rate   # EXPLAIN ANALYZE one task's Matryoshka run
+//	matbench -trace bounce-rate     # raw job/stage/decision event stream
 //
 // Reported times are simulated cluster seconds (see internal/cluster);
 // absolute values depend on the scale, the relative shapes are the result.
@@ -31,6 +33,8 @@ func main() {
 		perGB   = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		csvPath = flag.String("csv", "", "also write raw rows as CSV to this file")
+		explain = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances)")
+		trace   = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
 	)
 	flag.Parse()
 
@@ -41,6 +45,20 @@ func main() {
 		return
 	}
 	sc := bench.Scale{RecordsPerGB: *perGB}
+
+	if *explain != "" || *trace != "" {
+		task, asTrace := *explain, false
+		if *trace != "" {
+			task, asTrace = *trace, true
+		}
+		out, err := bench.ExplainRun(task, sc, asTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	var exps []bench.Experiment
 	if *expID == "all" {

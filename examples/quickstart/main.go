@@ -15,7 +15,10 @@ import (
 )
 
 func main() {
-	sess := engine.NewSession(engine.DefaultConfig())
+	sess, err := engine.NewSession(engine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A tiny page-visit log: (day, visitor IP).
 	visits := engine.Parallelize(sess, []engine.Pair[string, int64]{

@@ -68,7 +68,10 @@ func main() {
 	} {
 		data = append(data, engine.KV[any, any](v.day, v.ip))
 	}
-	sess := engine.NewSession(engine.DefaultConfig())
+	sess, err := engine.NewSession(engine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := ir.Lower(parsed, sess, map[string][]any{"visits": data}, core.Options{})
 	if err != nil {
 		log.Fatal(err)

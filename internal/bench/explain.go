@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+
+	"matryoshka/internal/obs"
+	"matryoshka/internal/tasks"
+)
+
+// ExplainTasks lists the task names ExplainRun accepts.
+func ExplainTasks() []string {
+	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances"}
+}
+
+// ExplainRun runs one task's Matryoshka strategy at this scale with the
+// event spine attached and renders what happened: the EXPLAIN ANALYZE
+// report (per-job physical plans, per-stage measured costs, and the
+// Sec. 8 optimizer decision log), or, when trace is set, the raw event
+// stream. It is the engine behind matbench's -explain/-trace flags.
+//
+// The run is deliberately small (a few groups at the configured scale):
+// the point is the plan and the decisions, not the figure-scale numbers.
+func ExplainRun(task string, sc Scale, trace bool) (string, error) {
+	rec := obs.NewRecorder()
+	prev := tasks.Obs
+	tasks.Obs = rec
+	defer func() { tasks.Obs = prev }()
+
+	cc := sc.PaperCluster()
+	var out tasks.Outcome
+	switch task {
+	case "bounce-rate":
+		out = bounceSpec(sc, 8, 2, false).Run(tasks.Matryoshka, cc)
+	case "pagerank":
+		out = pageRankSpec(sc, 8, 2, false).Run(tasks.Matryoshka, cc)
+	case "k-means":
+		out = kmeansSpec(sc, 8).Run(tasks.Matryoshka, cc)
+	case "avg-distances":
+		out = avgDistSpec(8).Run(tasks.Matryoshka, cc)
+	default:
+		return "", fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
+	}
+	if out.Err != nil {
+		return "", out.Err
+	}
+	if trace {
+		return rec.Trace(), nil
+	}
+	return rec.Report(), nil
+}

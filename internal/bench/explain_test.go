@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+
+	"matryoshka/internal/obs"
+	"matryoshka/internal/tasks"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// normalize replaces measured quantities (simulated seconds, byte sizes)
+// with a placeholder. Everything structural — stage layout, task counts,
+// memo-hit counts, decision justifications — is deterministic and kept.
+var measuredTok = regexp.MustCompile(`\d+(\.\d+)?(s|GB|MB|KB|B)\b`)
+
+func normalize(s string) string { return measuredTok.ReplaceAllString(s, "_") }
+
+func explainScale() Scale { return Scale{RecordsPerGB: 300} }
+
+func TestExplainRunBounceRateGolden(t *testing.T) {
+	out, err := ExplainRun("bounce-rate", explainScale(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalize(out)
+
+	path := filepath.Join("testdata", "explain_bounce.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("EXPLAIN ANALYZE drifted (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExplainRunReportShape(t *testing.T) {
+	out, err := ExplainRun("bounce-rate", explainScale(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"EXPLAIN ANALYZE:",
+		"Stage 1 root=",       // planned stages
+		"tasks=",              // measured stage lines
+		"shuffle=",            // shuffle-bytes counter
+		"memo-hits=",          // fan-in memoization counter
+		"pinned cluster-wide", // broadcast events
+		"Optimizer decisions (Sec. 8):",
+		"[partitions]",
+		"[scalar-join]",
+		"Sec. 8.1:",
+		"Sec. 8.2:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainRunTraceShape(t *testing.T) {
+	out, err := ExplainRun("bounce-rate", explainScale(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"job 1 start target=", "stage 1 label=", "decision rule="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainRunUnknownTask(t *testing.T) {
+	if _, err := ExplainRun("no-such-task", explainScale(), false); err == nil {
+		t.Fatal("want error for unknown task")
+	}
+}
+
+// TestSec8DecisionCoverage runs every task with the event spine attached
+// and checks that each Sec. 8 rule fires at least once with a recorded
+// justification across the suite.
+func TestSec8DecisionCoverage(t *testing.T) {
+	rec := obs.NewRecorder()
+	prev := tasks.Obs
+	tasks.Obs = rec
+	defer func() { tasks.Obs = prev }()
+
+	sc := explainScale()
+	cc := sc.PaperCluster()
+	for _, run := range []tasks.Outcome{
+		bounceSpec(sc, 8, 2, false).Run(tasks.Matryoshka, cc),
+		pageRankSpec(sc, 8, 2, false).Run(tasks.Matryoshka, cc),
+		kmeansSpec(sc, 8).Run(tasks.Matryoshka, cc),
+		avgDistSpec(8).Run(tasks.Matryoshka, cc),
+	} {
+		if run.Err != nil {
+			t.Fatalf("%s/%s: %v", run.Task, run.Strategy, run.Err)
+		}
+	}
+
+	rules := rec.SortedRules()
+	for _, want := range []string{"bag-scalar-join", "half-lifted", "partitions", "scalar-join"} {
+		if !slices.Contains(rules, want) {
+			t.Errorf("rule %q never fired; recorded rules: %v", want, rules)
+		}
+	}
+	for _, d := range rec.Decisions() {
+		if d.Why == "" {
+			t.Errorf("decision %q/%q recorded without justification", d.Rule, d.Choice)
+		}
+	}
+}

@@ -164,12 +164,14 @@ type Simulator struct {
 	rng      *rand.Rand // failure injection; fixed seed for determinism
 }
 
-// New creates a simulator; it panics on an invalid config (programmer error).
-func New(cfg Config) *Simulator {
+// New creates a simulator, rejecting invalid configurations with an error
+// that callers (the engine session constructor, harnesses) propagate
+// instead of panicking.
+func New(cfg Config) (*Simulator, error) {
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return &Simulator{cfg: cfg, rng: rand.New(rand.NewSource(42))}
+	return &Simulator{cfg: cfg, rng: rand.New(rand.NewSource(42))}, nil
 }
 
 // Config returns the simulator's configuration.
@@ -214,29 +216,54 @@ func (s *Simulator) StartJob() {
 	s.clock += s.cfg.JobLaunchOverhead
 }
 
-// RunStage schedules tasks onto the cluster's slots (longest-processing-time
-// list scheduling) and advances the clock by the resulting makespan plus the
-// stage overhead.
+// StageReport is the simulator's structured account of one executed
+// stage: what the list scheduler saw and how long the stage took. The
+// engine feeds it into the observation spine (internal/obs).
+type StageReport struct {
+	Tasks       int
+	Waves       int     // ceil(tasks / slots): scheduling waves
+	Makespan    float64 // stage time excluding StageOverhead
+	Seconds     float64 // clock delta: StageOverhead + Makespan
+	BusySeconds float64 // summed task durations
+	Retries     int     // injected transient failures in this stage
+	MaxTaskSec  float64 // slowest task duration (incl. TaskOverhead)
+	MaxTaskMem  int64   // largest task memory claim
+}
+
+// RunStage schedules tasks onto the cluster's slots; see RunStageReport.
+func (s *Simulator) RunStage(tasks []Task) error {
+	_, err := s.RunStageReport(tasks)
+	return err
+}
+
+// RunStageReport schedules tasks onto the cluster's slots
+// (longest-processing-time list scheduling), advances the clock by the
+// resulting makespan plus the stage overhead, and reports what happened.
 //
 // Memory is modelled as shared per machine, as in Spark executors: tasks
 // run in waves of up to Slots() at a time, heavy (long) tasks first and
 // spread round-robin across machines; within a wave, the sum of a
 // machine's resident task memory plus pinned broadcasts must fit the
-// machine budget, or the stage fails with an *OOMError. This reproduces the Spark behaviours the paper reports: a few
-// huge groups OOM even on an otherwise idle cluster, while the same total
-// data in many small partitions runs fine.
-func (s *Simulator) RunStage(tasks []Task) error {
+// machine budget, or the stage fails with an *OOMError. This reproduces
+// the Spark behaviours the paper reports: a few huge groups OOM even on
+// an otherwise idle cluster, while the same total data in many small
+// partitions runs fine.
+func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Stages++
 	s.stats.Tasks += len(tasks)
 	budget := s.cfg.MemoryPerMachine - s.resident
+	rep := StageReport{Tasks: len(tasks)}
 
 	order := make([]Task, len(tasks))
 	copy(order, tasks)
 	sort.Slice(order, func(i, j int) bool { return order[i].Compute > order[j].Compute })
 
 	slots := s.cfg.Slots()
+	if len(order) > 0 {
+		rep.Waves = (len(order) + slots - 1) / slots
+	}
 	durations := make([]float64, 0, len(order))
 	perMachine := make([]int64, s.cfg.Machines)
 	for w := 0; w < len(order); w += slots {
@@ -249,7 +276,7 @@ func (s *Simulator) RunStage(tasks []Task) error {
 		}
 		for _, m := range perMachine {
 			if m > budget {
-				return &OOMError{What: "task", Bytes: m, Limit: budget}
+				return rep, &OOMError{What: "task", Bytes: m, Limit: budget}
 			}
 		}
 	}
@@ -258,13 +285,23 @@ func (s *Simulator) RunStage(tasks []Task) error {
 		if s.cfg.TaskFailureRate > 0 && s.rng.Float64() < s.cfg.TaskFailureRate {
 			// Transient failure: the task reruns from scratch.
 			s.stats.TaskRetries++
+			rep.Retries++
 			d *= 2
 		}
 		durations = append(durations, d)
 		s.stats.BusySeconds += d
+		rep.BusySeconds += d
+		if d > rep.MaxTaskSec {
+			rep.MaxTaskSec = d
+		}
+		if t.Memory > rep.MaxTaskMem {
+			rep.MaxTaskMem = t.Memory
+		}
 	}
-	s.clock += s.cfg.StageOverhead + makespan(durations, slots)
-	return nil
+	rep.Makespan = makespan(durations, slots)
+	rep.Seconds = s.cfg.StageOverhead + rep.Makespan
+	s.clock += rep.Seconds
+	return rep, nil
 }
 
 // Broadcast pins bytes of data on every machine for the remainder of the

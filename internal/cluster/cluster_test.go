@@ -7,6 +7,15 @@ import (
 	"testing/quick"
 )
 
+// mustNew unwraps New for tests using known-valid configs.
+func mustNew(c Config) *Simulator {
+	s, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func testConfig() Config {
 	c := DefaultConfig()
 	c.Machines = 2
@@ -20,7 +29,7 @@ func testConfig() Config {
 }
 
 func TestMemorySharedWithinWave(t *testing.T) {
-	s := New(testConfig()) // 2 machines x 2 cores, 1000 bytes each
+	s := mustNew(testConfig()) // 2 machines x 2 cores, 1000 bytes each
 	// Four concurrent 600-byte tasks: two land on each machine -> 1200 > 1000.
 	tasks := make([]Task, 4)
 	for i := range tasks {
@@ -32,7 +41,7 @@ func TestMemorySharedWithinWave(t *testing.T) {
 }
 
 func TestFewTasksGetWholeMachine(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	// Two 900-byte tasks spread to the two machines: each fits alone.
 	if err := s.RunStage([]Task{{Compute: 1, Memory: 900}, {Compute: 1, Memory: 900}}); err != nil {
 		t.Fatalf("err = %v, want nil (one heavy task per machine)", err)
@@ -40,7 +49,7 @@ func TestFewTasksGetWholeMachine(t *testing.T) {
 }
 
 func TestJobOverheadAccumulates(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	for i := 0; i < 5; i++ {
 		s.StartJob()
 	}
@@ -53,7 +62,7 @@ func TestJobOverheadAccumulates(t *testing.T) {
 }
 
 func TestStageMakespanPerfectlyParallel(t *testing.T) {
-	s := New(testConfig()) // 4 slots
+	s := mustNew(testConfig()) // 4 slots
 	tasks := make([]Task, 4)
 	for i := range tasks {
 		tasks[i] = Task{Compute: 1}
@@ -69,7 +78,7 @@ func TestStageMakespanPerfectlyParallel(t *testing.T) {
 }
 
 func TestStageMakespanSerializesBeyondSlots(t *testing.T) {
-	s := New(testConfig()) // 4 slots
+	s := mustNew(testConfig()) // 4 slots
 	tasks := make([]Task, 8)
 	for i := range tasks {
 		tasks[i] = Task{Compute: 1}
@@ -84,7 +93,7 @@ func TestStageMakespanSerializesBeyondSlots(t *testing.T) {
 }
 
 func TestStragglerDominatesMakespan(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	tasks := []Task{{Compute: 10}, {Compute: 0.1}, {Compute: 0.1}, {Compute: 0.1}}
 	if err := s.RunStage(tasks); err != nil {
 		t.Fatal(err)
@@ -98,7 +107,7 @@ func TestStragglerDominatesMakespan(t *testing.T) {
 }
 
 func TestTaskOOM(t *testing.T) {
-	s := New(testConfig()) // 1000 bytes per machine
+	s := mustNew(testConfig()) // 1000 bytes per machine
 	err := s.RunStage([]Task{{Compute: 1, Memory: 2000}})
 	if !errors.Is(err, ErrOutOfMemory) {
 		t.Fatalf("err = %v, want ErrOutOfMemory", err)
@@ -110,7 +119,7 @@ func TestTaskOOM(t *testing.T) {
 }
 
 func TestBroadcastOOMAndResidency(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	if err := s.Broadcast(600); err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +138,7 @@ func TestBroadcastOOMAndResidency(t *testing.T) {
 }
 
 func TestResetClearsEverything(t *testing.T) {
-	s := New(testConfig())
+	s := mustNew(testConfig())
 	s.StartJob()
 	if err := s.Broadcast(500); err != nil {
 		t.Fatal(err)
@@ -184,13 +193,10 @@ func TestMoreMachinesNeverSlower(t *testing.T) {
 	}
 }
 
-func TestInvalidConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New with zero machines should panic")
-		}
-	}()
-	New(Config{Machines: 0, CoresPerMachine: 1, MemoryPerMachine: 1})
+func TestInvalidConfigReturnsError(t *testing.T) {
+	if _, err := New(Config{Machines: 0, CoresPerMachine: 1, MemoryPerMachine: 1}); err == nil {
+		t.Error("New with zero machines should return an error")
+	}
 }
 
 func TestDefaultConfigsSane(t *testing.T) {
@@ -211,7 +217,7 @@ func TestFailureInjectionRetriesAndDeterminism(t *testing.T) {
 	run := func() (Stats, float64) {
 		cfg := testConfig()
 		cfg.TaskFailureRate = 0.3
-		s := New(cfg)
+		s := mustNew(cfg)
 		for i := 0; i < 20; i++ {
 			tasks := make([]Task, 10)
 			for j := range tasks {
@@ -234,7 +240,7 @@ func TestFailureInjectionRetriesAndDeterminism(t *testing.T) {
 	}
 	// Retries make the run slower than a failure-free one.
 	cfg := testConfig()
-	s := New(cfg)
+	s := mustNew(cfg)
 	for i := 0; i < 20; i++ {
 		tasks := make([]Task, 10)
 		for j := range tasks {

@@ -40,7 +40,8 @@ type StateOps[S any] struct {
 // operations keep making correct physical decisions as the population
 // shrinks. The returned condition is true where the original loop would
 // run another iteration (do-while semantics: the body runs at least once).
-func While[S any](ctx *Ctx, init S, ops StateOps[S], body func(*Ctx, S) (S, InnerScalar[bool])) (S, error) {
+// A body error aborts the loop and is returned as-is.
+func While[S any](ctx *Ctx, init S, ops StateOps[S], body func(*Ctx, S) (S, InnerScalar[bool], error)) (S, error) {
 	var zero S
 	maxIter := ctx.Opt.MaxLoopIterations
 	if maxIter <= 0 {
@@ -53,7 +54,10 @@ func While[S any](ctx *Ctx, init S, ops StateOps[S], body func(*Ctx, S) (S, Inne
 		if iter >= maxIter {
 			return zero, fmt.Errorf("core: lifted loop exceeded %d iterations", maxIter)
 		}
-		next, cond := body(curCtx, cur)
+		next, cond, err := body(curCtx, cur)
+		if err != nil {
+			return zero, err
+		}
 		next = ops.Cache(next)
 		condRepr := cond.Repr().Cache()
 
@@ -89,9 +93,10 @@ func While[S any](ctx *Ctx, init S, ops StateOps[S], body func(*Ctx, S) (S, Inne
 
 // If is the lifted if statement (Sec. 6.2): both branches execute, each
 // receiving only the state of the tags whose condition selects it, and the
-// branch results are unioned.
+// branch results are unioned. A branch error aborts the statement and is
+// returned as-is.
 func If[S any](ctx *Ctx, cond InnerScalar[bool], state S, ops StateOps[S],
-	thenF, elseF func(*Ctx, S) S) (S, error) {
+	thenF, elseF func(*Ctx, S) (S, error)) (S, error) {
 	var zero S
 	condRepr := cond.Repr().Cache()
 	thenTags := engine.Map(engine.Filter(condRepr, func(p engine.Pair[Tag, bool]) bool { return p.Val }),
@@ -106,8 +111,14 @@ func If[S any](ctx *Ctx, cond InnerScalar[bool], state S, ops StateOps[S],
 
 	thenCtx := ctx.withTags(thenTags, nThen)
 	elseCtx := ctx.withTags(elseTags, nElse)
-	thenRes := thenF(thenCtx, ops.Filter(state, thenTags, thenCtx))
-	elseRes := elseF(elseCtx, ops.Filter(state, elseTags, elseCtx))
+	thenRes, err := thenF(thenCtx, ops.Filter(state, thenTags, thenCtx))
+	if err != nil {
+		return zero, err
+	}
+	elseRes, err := elseF(elseCtx, ops.Filter(state, elseTags, elseCtx))
+	if err != nil {
+		return zero, err
+	}
 	return ops.Union(thenRes, elseRes), nil
 }
 

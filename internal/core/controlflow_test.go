@@ -28,7 +28,7 @@ func TestLiftedWhileCollatzSteps(t *testing.T) {
 			}
 			init := UnaryScalarOp(elems, func(n int64) state { return state{n, n, 0} })
 			ops := ScalarState[state]()
-			out, err := While(ctx, init, ops, func(c *Ctx, cur InnerScalar[state]) (InnerScalar[state], InnerScalar[bool]) {
+			out, err := While(ctx, init, ops, func(c *Ctx, cur InnerScalar[state]) (InnerScalar[state], InnerScalar[bool], error) {
 				next := UnaryScalarOp(cur, func(v state) state {
 					if v.Cur == 1 {
 						return v // do-while body runs once even for n=1
@@ -39,7 +39,7 @@ func TestLiftedWhileCollatzSteps(t *testing.T) {
 					return state{v.Start, 3*v.Cur + 1, v.Steps + 1}
 				})
 				cond := UnaryScalarOp(next, func(v state) bool { return v.Cur != 1 })
-				return next, cond
+				return next, cond, nil
 			})
 			if err != nil {
 				return InnerScalar[engine.Tuple2[int64, int64]]{}, err
@@ -98,10 +98,10 @@ func TestLiftedWhileMatchesSequentialLoops(t *testing.T) {
 		res, err := LiftFlat(engine.Parallelize(s, lims, 3), Options{},
 			func(ctx *Ctx, elems InnerScalar[int64]) (InnerScalar[state], error) {
 				init := UnaryScalarOp(elems, func(l int64) state { return state{l, 0} })
-				return While(ctx, init, ScalarState[state](), func(c *Ctx, cur InnerScalar[state]) (InnerScalar[state], InnerScalar[bool]) {
+				return While(ctx, init, ScalarState[state](), func(c *Ctx, cur InnerScalar[state]) (InnerScalar[state], InnerScalar[bool], error) {
 					next := UnaryScalarOp(cur, func(v state) state { return state{v.Lim, v.I + 1} })
 					cond := UnaryScalarOp(next, func(v state) bool { return v.I < v.Lim })
-					return next, cond
+					return next, cond, nil
 				})
 			})
 		if err != nil {
@@ -133,12 +133,12 @@ func TestLiftedWhileWithBagState(t *testing.T) {
 	type loopState = State2[InnerBag[int], InnerScalar[int64]]
 	ops := State2Ops(BagState[int](), ScalarState[int64]())
 	init := loopState{A: nb.Inner, B: Pure(nb.Ctx(), int64(0))}
-	out, err := While(nb.Ctx(), init, ops, func(c *Ctx, st loopState) (loopState, InnerScalar[bool]) {
+	out, err := While(nb.Ctx(), init, ops, func(c *Ctx, st loopState) (loopState, InnerScalar[bool], error) {
 		grown := UnionBags(st.A, st.A)
 		iters := UnaryScalarOp(st.B, func(i int64) int64 { return i + 1 })
 		sizes := CountBag(grown)
 		cond := UnaryScalarOp(sizes, func(n int64) bool { return n < 4 })
-		return loopState{A: grown, B: iters}, cond
+		return loopState{A: grown, B: iters}, cond, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,11 +159,11 @@ func TestLiftedIfBothBranches(t *testing.T) {
 	counts := CountBag(nb.Inner)
 	cond := UnaryScalarOp(counts, func(n int64) bool { return n >= 2 })
 	res, err := If(nb.Ctx(), cond, counts, ScalarState[int64](),
-		func(c *Ctx, v InnerScalar[int64]) InnerScalar[int64] {
-			return UnaryScalarOp(v, func(n int64) int64 { return n * 100 })
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], error) {
+			return UnaryScalarOp(v, func(n int64) int64 { return n * 100 }), nil
 		},
-		func(c *Ctx, v InnerScalar[int64]) InnerScalar[int64] {
-			return UnaryScalarOp(v, func(n int64) int64 { return -n })
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], error) {
+			return UnaryScalarOp(v, func(n int64) int64 { return -n }), nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -179,9 +179,9 @@ func TestLiftedIfAllOneSide(t *testing.T) {
 	nb := buildNested(t, s, map[string][]int{"a": {1}, "b": {2}})
 	cond := Pure(nb.Ctx(), true)
 	res, err := If(nb.Ctx(), cond, CountBag(nb.Inner), ScalarState[int64](),
-		func(c *Ctx, v InnerScalar[int64]) InnerScalar[int64] { return v },
-		func(c *Ctx, v InnerScalar[int64]) InnerScalar[int64] {
-			return UnaryScalarOp(v, func(int64) int64 { return -999 })
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], error) { return v, nil },
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], error) {
+			return UnaryScalarOp(v, func(int64) int64 { return -999 }), nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -201,8 +201,8 @@ func TestWhileTerminationGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = While(nb.Ctx(), CountBag(nb.Inner), ScalarState[int64](),
-		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool]) {
-			return v, Pure(c, true) // never finishes
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool], error) {
+			return v, Pure(c, true), nil // never finishes
 		})
 	if err == nil {
 		t.Fatal("expected iteration-guard error")
@@ -419,12 +419,12 @@ func TestState3LoopAllComponents(t *testing.T) {
 	type st = State3[InnerBag[int], InnerScalar[int64], InnerScalar[int64]]
 	ops := State3Ops(BagState[int](), ScalarState[int64](), ScalarState[int64]())
 	init := st{A: nb.Inner, B: Pure(nb.Ctx(), int64(0)), C: CountBag(nb.Inner)}
-	out, err := While(nb.Ctx(), init, ops, func(c *Ctx, cur st) (st, InnerScalar[bool]) {
+	out, err := While(nb.Ctx(), init, ops, func(c *Ctx, cur st) (st, InnerScalar[bool], error) {
 		grown := UnionBags(cur.A, cur.A)
 		iters := UnaryScalarOp(cur.B, func(i int64) int64 { return i + 1 })
 		sizes := CountBag(grown)
 		cond := UnaryScalarOp(sizes, func(n int64) bool { return n < 8 })
-		return st{A: grown, B: iters, C: sizes}, cond
+		return st{A: grown, B: iters, C: sizes}, cond, nil
 	})
 	if err != nil {
 		t.Fatal(err)

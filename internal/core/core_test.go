@@ -16,7 +16,11 @@ func testSession() *engine.Session {
 	cfg.Cluster.Machines = 4
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.DefaultParallelism = 6
-	return engine.NewSession(cfg)
+	s, err := engine.NewSession(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func TestTagPushPopDepth(t *testing.T) {
@@ -532,8 +536,8 @@ func TestWhileOverEmptyTagUniverse(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := While(nb.Ctx(), CountBag(nb.Inner), ScalarState[int64](),
-		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool]) {
-			return v, Pure(c, true)
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool], error) {
+			return v, Pure(c, true), nil
 		})
 	if err != nil {
 		t.Fatal(err)
@@ -574,11 +578,11 @@ func TestOptionsPropagateThroughContexts(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = While(nb.Ctx(), CountBag(nb.Inner), ScalarState[int64](),
-		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool]) {
+		func(c *Ctx, v InnerScalar[int64]) (InnerScalar[int64], InnerScalar[bool], error) {
 			if c.Opt.ForceScalarJoin == nil || *c.Opt.ForceScalarJoin != engine.JoinRepartition {
 				t.Error("forced join lost inside loop context")
 			}
-			return v, Pure(c, true) // runs until the guard
+			return v, Pure(c, true), nil // runs until the guard
 		})
 	if err == nil {
 		t.Fatal("expected the MaxLoopIterations guard to fire")

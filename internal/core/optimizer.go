@@ -1,11 +1,29 @@
 package core
 
-import "matryoshka/internal/engine"
+import (
+	"fmt"
+
+	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
+)
 
 // This file is the lowering phase's optimizer (Sec. 8). Every decision uses
 // information the nesting primitives expose *before* the data is computed:
 // the InnerScalar size (= tag count) from the LiftingContext, and the fact
 // that tags are unique join keys.
+//
+// Each rule logs its choice — and the observed sizes that justified it — to
+// the session's event recorder (engine.Config.Obs), so EXPLAIN ANALYZE can
+// show why every physical implementation was picked.
+
+// decide records an optimizer decision on the session's event spine.
+func (c *Ctx) decide(rule, choice string, forced bool, whyFormat string, args ...any) {
+	rec := c.Sess.Obs()
+	if !rec.Enabled() {
+		return
+	}
+	rec.Decide(obs.Decision{Rule: rule, Choice: choice, Forced: forced, Why: fmt.Sprintf(whyFormat, args...)})
+}
 
 // defaultScalarsPerPartition targets enough elements per partition that the
 // per-partition overhead does not dominate (Sec. 8.1: "it is important to
@@ -27,6 +45,8 @@ func (c *Ctx) partsFor(size int64) int {
 	if max := c.Sess.DefaultParallelism(); p > max {
 		p = max
 	}
+	c.decide("partitions", fmt.Sprintf("%d", p), false,
+		"Sec. 8.1: %d inner scalars / target %d per partition, capped at parallelism %d", size, target, c.Sess.DefaultParallelism())
 	return p
 }
 
@@ -40,11 +60,16 @@ func (c *Ctx) partsFor(size int64) int {
 // Zipf head group's entire state into one task (cf. Sec. 9.5).
 func (c *Ctx) ScalarJoinStrategy() engine.JoinStrategy {
 	if f := c.Opt.ForceScalarJoin; f != nil {
+		c.decide("scalar-join", f.String(), true, "Options.ForceScalarJoin override")
 		return *f
 	}
 	if c.Size >= int64(c.Sess.DefaultParallelism()) {
+		c.decide("scalar-join", engine.JoinRepartition.String(), false,
+			"Sec. 8.2: %d tags >= parallelism %d", c.Size, c.Sess.DefaultParallelism())
 		return engine.JoinRepartition
 	}
+	c.decide("scalar-join", engine.JoinBroadcastLeft.String(), false,
+		"Sec. 8.2: %d tags < parallelism %d", c.Size, c.Sess.DefaultParallelism())
 	return engine.JoinBroadcastLeft
 }
 
@@ -55,11 +80,16 @@ func (c *Ctx) ScalarJoinStrategy() engine.JoinStrategy {
 // occupy the cluster (Sec. 8.2).
 func (c *Ctx) BagScalarJoinStrategy() engine.JoinStrategy {
 	if f := c.Opt.ForceScalarJoin; f != nil {
+		c.decide("bag-scalar-join", f.String(), true, "Options.ForceScalarJoin override")
 		return *f
 	}
 	if c.Size >= int64(c.Sess.DefaultParallelism()) {
+		c.decide("bag-scalar-join", engine.JoinRepartition.String(), false,
+			"Sec. 8.2: %d tags >= parallelism %d", c.Size, c.Sess.DefaultParallelism())
 		return engine.JoinRepartition
 	}
+	c.decide("bag-scalar-join", engine.JoinBroadcastLeft.String(), false,
+		"Sec. 8.2: %d tags < parallelism %d", c.Size, c.Sess.DefaultParallelism())
 	return engine.JoinBroadcastLeft
 }
 
@@ -93,13 +123,19 @@ func ForceHalf(h HalfLiftedChoice) *HalfLiftedChoice { return &h }
 // the smaller one." Unknown sizes are passed as -1.
 func (c *Ctx) HalfLiftedStrategy(scalarBytes, primaryBytes int64) HalfLiftedChoice {
 	if f := c.Opt.ForceHalfLifted; f != nil {
+		c.decide("half-lifted", f.String(), true, "Options.ForceHalfLifted override")
 		return *f
 	}
 	if c.Parts == 1 {
+		c.decide("half-lifted", BroadcastScalar.String(), false, "Sec. 8.3: InnerScalar has 1 partition")
 		return BroadcastScalar
 	}
 	if scalarBytes >= 0 && primaryBytes >= 0 && primaryBytes < scalarBytes {
+		c.decide("half-lifted", BroadcastPrimary.String(), false,
+			"Sec. 8.3: primary %dB < scalar %dB (SizeEstimator)", primaryBytes, scalarBytes)
 		return BroadcastPrimary
 	}
+	c.decide("half-lifted", BroadcastScalar.String(), false,
+		"Sec. 8.3: scalar %dB <= primary %dB (or size unknown)", scalarBytes, primaryBytes)
 	return BroadcastScalar
 }

@@ -11,12 +11,21 @@ import (
 	"matryoshka/internal/cluster"
 )
 
+// mustSession unwraps NewSession for tests using known-valid configs.
+func mustSession(cfg Config) *Session {
+	s, err := NewSession(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func testSession() *Session {
 	cfg := DefaultConfig()
 	cfg.Cluster.Machines = 4
 	cfg.Cluster.CoresPerMachine = 4
 	cfg.DefaultParallelism = 8
-	return NewSession(cfg)
+	return mustSession(cfg)
 }
 
 func ints(n int) []int {
@@ -406,7 +415,7 @@ func TestBroadcastOOM(t *testing.T) {
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.Cluster.MemoryPerMachine = 4 << 10 // 4 KB machines
 	cfg.DefaultParallelism = 4
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	small := Parallelize(s, makePairs(2000), 4) // far beyond 4 KB when broadcast
 	big := Parallelize(s, makePairs(10), 2)
 	_, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
@@ -421,7 +430,7 @@ func TestHugeTaskOOM(t *testing.T) {
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.Cluster.MemoryPerMachine = 8 << 10
 	cfg.DefaultParallelism = 4
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	// One giant group: groupByKey puts it in a single task.
 	pairs := make([]Pair[int, int64], 5000)
 	for i := range pairs {
@@ -498,7 +507,7 @@ func TestMoreMachinesFasterForParallelWork(t *testing.T) {
 		cfg.Cluster.Machines = machines
 		cfg.Cluster.CoresPerMachine = 4
 		cfg.DefaultParallelism = machines * 12
-		s := NewSession(cfg)
+		s := mustSession(cfg)
 		d := Parallelize(s, ints(200_000), machines*12)
 		if _, err := Count(Map(d, inc)); err != nil {
 			panic(err)
@@ -676,7 +685,7 @@ func TestRecordWeightScalesCosts(t *testing.T) {
 		cfg.Cluster.CoresPerMachine = 2
 		cfg.Cluster.MemoryPerMachine = 1 << 42 // cost scaling only; no OOM
 		cfg.Cluster.RecordWeight = weight
-		s := NewSession(cfg)
+		s := mustSession(cfg)
 		d := Parallelize(s, ints(50_000), 8)
 		if _, err := Count(Map(d, inc)); err != nil {
 			t.Fatal(err)
@@ -695,7 +704,7 @@ func TestUnscaledDataIsCheapUnderWeight(t *testing.T) {
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.Cluster.MemoryPerMachine = 1 << 44
 	cfg.Cluster.RecordWeight = 100_000
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	scaled := Parallelize(s, ints(20_000), 8)
 	unscaled := Parallelize(s, ints(20_000), 8).Unscaled()
 	c0 := s.Clock()
@@ -716,7 +725,7 @@ func TestUnscaledDataIsCheapUnderWeight(t *testing.T) {
 func TestWeightPropagatesMaxOfParents(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cluster.RecordWeight = 7
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	scaled := Parallelize(s, ints(10), 2)
 	unscaled := Parallelize(s, ints(10), 2).Unscaled()
 	u := Union(scaled, unscaled)
@@ -731,7 +740,7 @@ func TestWeightPropagatesMaxOfParents(t *testing.T) {
 func TestReduceByKeyBoundOutputUnscaled(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cluster.RecordWeight = 50
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	pairs := make([]Pair[int, int64], 10_000)
 	for i := range pairs {
 		pairs[i] = KV(i%4, int64(1))
@@ -796,7 +805,7 @@ func TestStageErrorIncludesChain(t *testing.T) {
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.Cluster.MemoryPerMachine = 1 << 10
 	cfg.DefaultParallelism = 2
-	s := NewSession(cfg)
+	s := mustSession(cfg)
 	d := Map(Parallelize(s, ints(50_000), 2), inc)
 	_, err := Collect(d)
 	if err == nil {

@@ -3,28 +3,37 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"matryoshka/internal/cluster"
+	"matryoshka/internal/engine/plan"
+	"matryoshka/internal/obs"
 )
 
-// job executes one action. Stage roots (action target, shuffle/broadcast
-// map sides, cached nodes) are materialized fully; everything else is
-// pipelined into the tasks of its consuming stage.
+// job executes one action against a physical plan built in a distinct
+// planning step (see internal/engine/plan and physical.go). Stage roots
+// (action target, shuffle/broadcast map sides, cached nodes) are
+// materialized fully; everything else is pipelined into the tasks of its
+// consuming stage. The executor makes no planning decision of its own —
+// stage boundaries, operator chains and memo sites all come from the plan,
+// in both the parallel and the retained serial (LegacyExec) paths.
 type job struct {
-	s     *Session
-	roots map[*node]bool
-	mat   map[*node][][]any // materialized partitions of stage roots
+	s   *Session
+	ep  *execPlan         // the bound physical plan
+	mat map[*node][][]any // materialized partitions of stage roots
 	// blocks memoizes shuffle routing per dep: blocks[d][childPart].
 	blocks map[*dep][][]any
 	// bcast memoizes flattened broadcast inputs per dep.
 	bcast map[*dep][]any
 
-	// memoNodes marks narrow, non-root nodes whose partitions are consumed
-	// more than once in this job (diamond DAGs, overlapping narrowMaps,
-	// nodes read from several stages). evalPart computes each of their
-	// partitions exactly once instead of once per consumer.
-	memoNodes map[*node]bool
-	memo      sync.Map // memoKey -> *memoEntry
+	// memo caches computed partitions of the plan's fan-in>1 narrow
+	// nodes (diamond DAGs, overlapping narrowMaps, nodes read from
+	// several stages): evalPart computes each exactly once instead of
+	// once per consumer.
+	memo sync.Map // memoKey -> *memoEntry
+	// memoHits counts fan-in partitions served from the memo (an
+	// event-spine counter; snapshot per stage).
+	memoHits atomic.Int64
 
 	// onceVals shards per-job Once entries by id, so concurrent builds of
 	// unrelated structures (e.g. two broadcast joins' hash tables) never
@@ -57,92 +66,28 @@ type onceEntry struct {
 	val  any
 }
 
-// runJob launches a job whose result is the materialized target node.
+// runJob plans and launches a job whose result is the materialized target
+// node: a planning step builds the physical plan, the event spine records
+// it, and the executor consumes it.
 func (s *Session) runJob(target *node) ([][]any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.sim.StartJob()
 	j := &job{
-		s:         s,
-		roots:     map[*node]bool{},
-		mat:       map[*node][][]any{},
-		blocks:    map[*dep][][]any{},
-		bcast:     map[*dep][]any{},
-		memoNodes: map[*node]bool{},
+		s:      s,
+		ep:     s.buildExecPlan(target),
+		mat:    map[*node][][]any{},
+		blocks: map[*dep][][]any{},
+		bcast:  map[*dep][]any{},
 	}
-	j.planRoots(target)
+	clockBefore := s.sim.Clock()
+	s.sim.StartJob()
+	if s.obs.Enabled() {
+		s.obs.StartJob(fmt.Sprintf("#%d %s", target.id, target.label), j.ep.plan.String())
+	}
 	out, err := j.materialize(target)
 	s.sim.ReleaseBroadcasts()
+	s.obs.EndJob(s.sim.Clock()-clockBefore, err)
 	return out, err
-}
-
-// planRoots marks stage boundaries reachable from target.
-func (j *job) planRoots(target *node) {
-	j.roots[target] = true
-	seen := map[*node]bool{}
-	var walk func(n *node)
-	walk = func(n *node) {
-		if seen[n] {
-			return
-		}
-		seen[n] = true
-		for i := range n.deps {
-			d := &n.deps[i]
-			if d.kind != depNarrow || d.parent.cached {
-				j.roots[d.parent] = true
-			}
-			walk(d.parent)
-		}
-	}
-	walk(target)
-	j.planMemo(seen)
-}
-
-// planMemo marks the narrow, non-root nodes with partition fan-in > 1: a
-// parent partition listed by several consuming child partitions (Concat/
-// Coalesce-style narrowMaps) or consumed by several child nodes (diamond
-// DAGs) would otherwise be recomputed once per consumer by evalPart. The
-// count is a static over-approximation of demand — memoizing a partition
-// that is consumed once is harmless (the replayed costs are exact).
-func (j *job) planMemo(seen map[*node]bool) {
-	if j.s.legacyExec {
-		return // reference mode: recompute per consumer, as the old engine did
-	}
-	refs := map[*node][]int32{}
-	for n := range seen {
-		for i := range n.deps {
-			d := &n.deps[i]
-			if d.kind != depNarrow || j.roots[d.parent] {
-				continue // roots are materialized in mat, never recomputed
-			}
-			rs := refs[d.parent]
-			if rs == nil {
-				rs = make([]int32, d.parent.parts)
-				refs[d.parent] = rs
-			}
-			if d.narrowMap == nil {
-				for p := 0; p < n.parts && p < len(rs); p++ {
-					rs[p]++
-				}
-			} else {
-				for p := 0; p < n.parts; p++ {
-					for _, pp := range d.narrowMap(p) {
-						if pp >= 0 && pp < len(rs) {
-							rs[pp]++
-						}
-					}
-				}
-			}
-		}
-	}
-	for n, rs := range refs {
-		for _, c := range rs {
-			if c > 1 {
-				j.memoNodes[n] = true
-				break
-			}
-		}
-	}
 }
 
 // materialize computes all partitions of stage root n (memoized).
@@ -160,15 +105,17 @@ func (j *job) materialize(n *node) ([][]any, error) {
 		}
 	}
 
-	// Find this stage's boundary deps and materialize their parents first.
-	boundary := j.stageBoundary(n)
-	for _, d := range boundary {
-		if _, err := j.materialize(d.parent); err != nil {
+	// The plan lists this stage's boundary deps; materialize their
+	// parents first.
+	st := j.ep.stageOf(n)
+	for _, pd := range st.Boundary {
+		if _, err := j.materialize(j.ep.enode(pd.Parent)); err != nil {
 			return nil, err
 		}
 	}
 	// Route shuffle blocks and pin broadcasts for the boundary deps.
-	for _, d := range boundary {
+	for _, pd := range st.Boundary {
+		d := j.ep.edep(pd)
 		switch d.kind {
 		case depShuffle:
 			if err := j.buildBlocks(d); err != nil {
@@ -187,6 +134,12 @@ func (j *job) materialize(n *node) ([][]any, error) {
 	// cost buffer is per-stage scratch reused across the session.
 	results := make([][]any, n.parts)
 	costs := j.s.stageCosts(n.parts)
+	observing := j.s.obs.Enabled()
+	var shufScratch []float64
+	if observing {
+		shufScratch = make([]float64, n.parts)
+	}
+	memoHitsBefore := j.memoHits.Load()
 	var panicOnce sync.Once
 	var panicked any
 	runTask := func(p int) {
@@ -206,6 +159,9 @@ func (j *job) materialize(n *node) ([][]any, error) {
 		costs[p] = cluster.Task{
 			Compute: tc.work*cc.PerElementCost + tc.shuffleBytes*cc.PerByteShuffle,
 			Memory:  tc.mem,
+		}
+		if observing {
+			shufScratch[p] = tc.shuffleBytes
 		}
 	}
 	if j.s.legacyExec {
@@ -230,33 +186,38 @@ func (j *job) materialize(n *node) ([][]any, error) {
 		panic(panicked)
 	}
 
-	dbg := j.s.cfg.DebugStages
-	var before float64
-	if dbg {
-		before = j.s.sim.Clock()
+	rep, err := j.s.sim.RunStageReport(costs)
+	if err != nil {
+		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(st), err)
 	}
-	if err := j.s.sim.RunStage(costs); err != nil {
-		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(n), err)
-	}
-	if dbg {
-		if d := j.s.sim.Clock() - before; d > 1 {
-			var mxC float64
-			for _, c := range costs {
-				if c.Compute > mxC {
-					mxC = c.Compute
-				}
-			}
-			chain := n.label
-			cur := n
-			for len(cur.deps) > 0 && cur.deps[0].kind == depNarrow && !j.roots[cur.deps[0].parent] {
-				cur = cur.deps[0].parent
-				chain += "<-" + cur.label
-			}
-			if len(cur.deps) > 0 {
-				chain += "<-[" + cur.deps[0].parent.label + "]"
-			}
-			fmt.Printf("DBGSTAGE %-16s parts=%-5d dt=%.1f maxtask=%.1f w=%.0f chain=%s\n", n.label, len(costs), d, mxC, n.weight, chain)
+	if observing {
+		var shuffleBytes float64
+		for _, sb := range shufScratch {
+			shuffleBytes += sb
 		}
+		j.s.obs.StageRan(obs.Stage{
+			Stage:        st.ID,
+			Label:        n.label,
+			Chain:        st.ChainString(),
+			Parts:        n.parts,
+			ShuffleBytes: shuffleBytes,
+			MemoHits:     j.memoHits.Load() - memoHitsBefore,
+			Seconds:      rep.Seconds,
+			BusySeconds:  rep.BusySeconds,
+			Retries:      rep.Retries,
+			MaxTaskSec:   rep.MaxTaskSec,
+			MaxTaskMem:   rep.MaxTaskMem,
+		})
+	}
+	if j.s.cfg.DebugStages && rep.Seconds > 1 {
+		var mxC float64
+		for _, c := range costs {
+			if c.Compute > mxC {
+				mxC = c.Compute
+			}
+		}
+		fmt.Printf("DBGSTAGE %-16s parts=%-5d dt=%.1f maxtask=%.1f w=%.0f chain=%s\n",
+			n.label, len(costs), rep.Seconds, mxC, n.weight, st.ChainString())
 	}
 	j.mat[n] = results
 	if n.cached {
@@ -267,43 +228,20 @@ func (j *job) materialize(n *node) ([][]any, error) {
 	return results, nil
 }
 
-// chainOf renders the stage's pipelined operator chain for error messages.
-func (j *job) chainOf(n *node) string {
-	chain := n.label
-	cur := n
-	for len(cur.deps) > 0 && cur.deps[0].kind == depNarrow && !j.roots[cur.deps[0].parent] {
-		cur = cur.deps[0].parent
-		chain += fmt.Sprintf("<-%s/w%.0f", cur.label, cur.weight)
+// chainOf renders the stage's pipelined operator chain with record
+// weights, for error messages.
+func (j *job) chainOf(st *plan.Stage) string {
+	var b []byte
+	b = append(b, st.Root.Label...)
+	for _, pn := range st.Chain[1:] {
+		b = fmt.Appendf(b, "<-%s/w%.0f", pn.Label, pn.Weight)
 	}
-	if len(cur.deps) > 0 {
-		p := cur.deps[0].parent
-		chain += fmt.Sprintf("<-[%s/w%.0f]", p.label, p.weight)
+	last := st.Chain[len(st.Chain)-1]
+	if len(last.Deps) > 0 {
+		p := last.Deps[0].Parent
+		b = fmt.Appendf(b, "<-[%s/w%.0f]", p.Label, p.Weight)
 	}
-	return chain
-}
-
-// stageBoundary returns the deps at the edge of n's stage: every shuffle or
-// broadcast dep, and every narrow dep whose parent is itself a stage root,
-// reachable from n without crossing such a boundary.
-func (j *job) stageBoundary(n *node) []*dep {
-	var out []*dep
-	seen := map[*node]bool{n: true}
-	var walk func(m *node)
-	walk = func(m *node) {
-		for i := range m.deps {
-			d := &m.deps[i]
-			if d.kind != depNarrow || j.roots[d.parent] {
-				out = append(out, d)
-				continue
-			}
-			if !seen[d.parent] {
-				seen[d.parent] = true
-				walk(d.parent)
-			}
-		}
-	}
-	walk(n)
-	return out
+	return string(b)
 }
 
 // buildBlocks routes the materialized parent of shuffle dep d into the
@@ -334,8 +272,17 @@ func (j *job) pinBroadcast(d *dep) error {
 	} else {
 		flat = j.s.flattenParallel(parent)
 	}
-	if err := j.s.sim.Broadcast(j.s.estResidentBytes(flat, d.parent.weight)); err != nil {
+	bytes := j.s.estResidentBytes(flat, d.parent.weight)
+	clockBefore := j.s.sim.Clock()
+	if err := j.s.sim.Broadcast(bytes); err != nil {
 		return fmt.Errorf("engine: broadcast of %s failed: %w", d.parent.label, err)
+	}
+	if j.s.obs.Enabled() {
+		j.s.obs.BroadcastPinned(obs.Broadcast{
+			Label:   d.parent.label,
+			Bytes:   bytes,
+			Seconds: j.s.sim.Clock() - clockBefore,
+		})
 	}
 	j.bcast[d] = flat
 	return nil
@@ -343,20 +290,25 @@ func (j *job) pinBroadcast(d *dep) error {
 
 // evalPart computes partition p of node n inside a task, pipelining narrow
 // parents and reading materialized data at stage boundaries. Partitions of
-// fan-in>1 narrow nodes are computed exactly once per job and their task
-// costs replayed to every consumer (see memoEntry).
+// the plan's fan-in>1 narrow nodes are computed exactly once per job and
+// their task costs replayed to every consumer (see memoEntry).
 func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
 	if data, ok := j.mat[n]; ok {
 		return data[p]
 	}
-	if j.memoNodes[n] {
+	if j.ep.memo[n] {
 		ei, _ := j.memo.LoadOrStore(memoKey{n, p}, &memoEntry{})
 		e := ei.(*memoEntry)
+		hit := true
 		e.once.Do(func() {
+			hit = false
 			sub := &Ctx{job: j}
 			e.data = j.evalPartDirect(sub, n, p)
 			e.work, e.shuffleBytes, e.mem = sub.work, sub.shuffleBytes, sub.mem
 		})
+		if hit {
+			j.memoHits.Add(1)
+		}
 		tc.work += e.work
 		tc.shuffleBytes += e.shuffleBytes
 		tc.UseMemory(e.mem)

@@ -16,7 +16,7 @@ func poolSession(workers int) *Session {
 	cfg.Cluster.CoresPerMachine = 4
 	cfg.DefaultParallelism = 8
 	cfg.HostParallelism = workers
-	return NewSession(cfg)
+	return mustSession(cfg)
 }
 
 // randomParent builds a random materialized partition structure of ints.

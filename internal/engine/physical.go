@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"matryoshka/internal/engine/plan"
+)
+
+// execPlan binds a physical plan to the engine's internal node graph: the
+// planner works on its own Node/Dep representation, and the executor maps
+// planned stages and memo sites back to *node/*dep via these tables.
+type execPlan struct {
+	plan   *plan.Plan
+	pnodes map[*node]*plan.Node
+	enodes map[*plan.Node]*node
+	// memo is plan.Memo translated to engine nodes for the evaluator's
+	// hot path.
+	memo map[*node]bool
+}
+
+func kindOf(k depKind) plan.DepKind {
+	switch k {
+	case depShuffle:
+		return plan.Shuffle
+	case depBroadcast:
+		return plan.Broadcast
+	}
+	return plan.Narrow
+}
+
+// buildExecPlan converts the DAG reachable from target into the planner's
+// representation, runs the planner, and returns the bound plan. It is the
+// distinct planning step of every job: the executor below only consumes
+// its output.
+func (s *Session) buildExecPlan(target *node) *execPlan {
+	ep := &execPlan{
+		pnodes: map[*node]*plan.Node{},
+		enodes: map[*plan.Node]*node{},
+	}
+	var conv func(n *node) *plan.Node
+	conv = func(n *node) *plan.Node {
+		if pn, ok := ep.pnodes[n]; ok {
+			return pn
+		}
+		pn := &plan.Node{ID: n.id, Label: n.label, Parts: n.parts, Weight: n.weight, Cached: n.cached}
+		ep.pnodes[n] = pn
+		ep.enodes[pn] = n
+		for i := range n.deps {
+			d := &n.deps[i]
+			pn.Deps = append(pn.Deps, &plan.Dep{
+				Owner:     pn,
+				Index:     i,
+				Parent:    conv(d.parent),
+				Kind:      kindOf(d.kind),
+				NarrowMap: d.narrowMap,
+			})
+		}
+		return pn
+	}
+	root := conv(target)
+	ep.plan = plan.Build(root, plan.Options{Memo: !s.legacyExec})
+	ep.memo = make(map[*node]bool, len(ep.plan.Memo))
+	for pn := range ep.plan.Memo {
+		ep.memo[ep.enodes[pn]] = true
+	}
+	return ep
+}
+
+// stageOf returns the planned stage rooted at n.
+func (ep *execPlan) stageOf(n *node) *plan.Stage { return ep.plan.StageOf(ep.pnodes[n]) }
+
+// edep resolves a planned boundary edge back to the engine's dependency
+// record.
+func (ep *execPlan) edep(d *plan.Dep) *dep {
+	owner := ep.enodes[d.Owner]
+	return &owner.deps[d.Index]
+}
+
+// enode resolves a planned node back to the engine node.
+func (ep *execPlan) enode(n *plan.Node) *node { return ep.enodes[n] }

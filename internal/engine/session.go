@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"matryoshka/internal/cluster"
+	"matryoshka/internal/obs"
 )
 
 // Config configures a Session.
@@ -44,6 +45,10 @@ type Config struct {
 	// identical to the parallel executor — tests assert it — so this
 	// exists only for A/B verification and as a benchmark baseline.
 	LegacyExec bool
+	// Obs, when non-nil, receives the structured job/stage/broadcast
+	// events and optimizer decisions of every job the session runs (the
+	// event spine behind EXPLAIN ANALYZE; see internal/obs).
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns a Config for the paper's 25-machine cluster.
@@ -76,6 +81,10 @@ type Session struct {
 	// flip it; production sessions never do.
 	legacyExec bool
 
+	// obs is the session's event sink; nil when observation is off (all
+	// Recorder methods are nil-safe).
+	obs *obs.Recorder
+
 	mu sync.Mutex
 }
 
@@ -86,13 +95,19 @@ type Session struct {
 // against a parallel-executor run of the same workload bit-for-bit.
 var processSeed = maphash.MakeSeed()
 
-// NewSession creates a session with its own simulated cluster.
-func NewSession(cfg Config) *Session {
+// NewSession creates a session with its own simulated cluster. An invalid
+// cluster configuration is reported as an error rather than a panic, so
+// harnesses sweeping configurations can surface it as a failed run.
+func NewSession(cfg Config) (*Session, error) {
 	if cfg.Cluster.Machines == 0 {
 		cfg.Cluster = cluster.DefaultConfig()
 	}
 	if cfg.DefaultParallelism <= 0 {
 		cfg.DefaultParallelism = 3 * cfg.Cluster.Slots()
+	}
+	sim, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
 	}
 	workers := cfg.HostParallelism
 	if workers <= 0 {
@@ -100,17 +115,18 @@ func NewSession(cfg Config) *Session {
 	}
 	s := &Session{
 		cfg:        cfg,
-		sim:        cluster.New(cfg.Cluster),
+		sim:        sim,
 		seed:       processSeed,
 		workers:    workers,
 		pool:       newWorkerPool(workers),
 		legacyExec: cfg.LegacyExec,
+		obs:        cfg.Obs,
 	}
 	// The pool's workers reference only the pool, so a dropped Session is
 	// still collectable; this cleanup then shuts its workers down. Close
 	// does the same deterministically.
 	runtime.AddCleanup(s, func(p *workerPool) { p.close() }, s.pool)
-	return s
+	return s, nil
 }
 
 // Close releases the session's host worker pool. The session must not be
@@ -139,6 +155,10 @@ func (s *Session) DefaultParallelism() int { return s.cfg.DefaultParallelism }
 
 // Simulator exposes the simulated cluster (for harnesses and tests).
 func (s *Session) Simulator() *cluster.Simulator { return s.sim }
+
+// Obs returns the session's event recorder; nil (a valid no-op sink) when
+// observation is off. The lowering phase logs optimizer decisions here.
+func (s *Session) Obs() *obs.Recorder { return s.obs }
 
 // Clock returns the current virtual time in seconds.
 func (s *Session) Clock() float64 { return s.sim.Clock() }

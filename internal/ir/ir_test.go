@@ -15,7 +15,11 @@ func testSession() *engine.Session {
 	cfg.Cluster.Machines = 4
 	cfg.Cluster.CoresPerMachine = 2
 	cfg.DefaultParallelism = 6
-	return engine.NewSession(cfg)
+	s, err := engine.NewSession(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // bounceRateProgram is the paper's Listing 1, written in the IR: group the

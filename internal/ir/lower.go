@@ -412,21 +412,11 @@ func loopState(vars []string, env map[string]value) dynState {
 }
 
 // lowerWhile lifts a while loop (Sec. 6.2 / Listing 4) via core.While.
-// Lowering errors inside the loop body surface as panics from the body
-// closure (core.While's signature has no error path there) and are
-// converted back to errors here.
-func (lw *lowerer) lowerWhile(ctx *core.Ctx, s While, env map[string]value) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-				return
-			}
-			panic(r)
-		}
-	}()
+// Lowering errors inside the loop body flow out through the body closure's
+// error return.
+func (lw *lowerer) lowerWhile(ctx *core.Ctx, s While, env map[string]value) error {
 	init := loopState(s.Vars, env)
-	out, err := core.While(ctx, init, dynOps(init.kinds), func(c *core.Ctx, cur dynState) (dynState, core.InnerScalar[bool]) {
+	out, err := core.While(ctx, init, dynOps(init.kinds), func(c *core.Ctx, cur dynState) (dynState, core.InnerScalar[bool], error) {
 		inner := cloneEnv(env)
 		for i, name := range s.Vars {
 			inner[name] = cur.vals[i]
@@ -434,16 +424,16 @@ func (lw *lowerer) lowerWhile(ctx *core.Ctx, s While, env map[string]value) (err
 		for _, l := range s.Body {
 			v, err := lw.evalInner(c, l.E, inner)
 			if err != nil {
-				panic(fmt.Errorf("ir: loop body let %s: %w", l.Name, err))
+				return dynState{}, core.InnerScalar[bool]{}, fmt.Errorf("loop body let %s: %w", l.Name, err)
 			}
 			inner[l.Name] = v
 		}
 		condV, err := lw.innerScalar(c, s.Cond, inner)
 		if err != nil {
-			panic(fmt.Errorf("ir: loop condition: %w", err))
+			return dynState{}, core.InnerScalar[bool]{}, fmt.Errorf("loop condition: %w", err)
 		}
 		cond := core.UnaryScalarOp(condV, func(v any) bool { return v.(bool) })
-		return loopState(s.Vars, inner), cond
+		return loopState(s.Vars, inner), cond, nil
 	})
 	if err != nil {
 		return err
@@ -454,26 +444,17 @@ func (lw *lowerer) lowerWhile(ctx *core.Ctx, s While, env map[string]value) (err
 	return nil
 }
 
-// lowerIf lifts an if statement (Sec. 6.2) via core.If, converting
-// branch-lowering panics back to errors as lowerWhile does.
-func (lw *lowerer) lowerIf(ctx *core.Ctx, s If, env map[string]value) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok {
-				err = e
-				return
-			}
-			panic(r)
-		}
-	}()
+// lowerIf lifts an if statement (Sec. 6.2) via core.If. Branch-lowering
+// errors flow out through the branch closures' error returns.
+func (lw *lowerer) lowerIf(ctx *core.Ctx, s If, env map[string]value) error {
 	condV, err := lw.innerScalar(ctx, s.Cond, env)
 	if err != nil {
 		return err
 	}
 	cond := core.UnaryScalarOp(condV, func(v any) bool { return v.(bool) })
 	init := loopState(s.Vars, env)
-	branch := func(body []LetS) func(*core.Ctx, dynState) dynState {
-		return func(c *core.Ctx, cur dynState) dynState {
+	branch := func(body []LetS) func(*core.Ctx, dynState) (dynState, error) {
+		return func(c *core.Ctx, cur dynState) (dynState, error) {
 			inner := cloneEnv(env)
 			for i, name := range s.Vars {
 				inner[name] = cur.vals[i]
@@ -481,11 +462,11 @@ func (lw *lowerer) lowerIf(ctx *core.Ctx, s If, env map[string]value) (err error
 			for _, l := range body {
 				v, err := lw.evalInner(c, l.E, inner)
 				if err != nil {
-					panic(fmt.Errorf("ir: branch let %s: %w", l.Name, err))
+					return dynState{}, fmt.Errorf("branch let %s: %w", l.Name, err)
 				}
 				inner[l.Name] = v
 			}
-			return loopState(s.Vars, inner)
+			return loopState(s.Vars, inner), nil
 		}
 	}
 	out, err := core.If(ctx, cond, init, dynOps(init.kinds), branch(s.Then), branch(s.Else))

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// record feeds a deterministic three-job run: one job with every counter
+// populated, then two identical jobs (an iterative superstep shape).
+func record() *Recorder {
+	r := NewRecorder()
+	r.StartJob("#5 count", "Stage 1 root=#5 count parts=4 chain=count<-map\n")
+	r.StageRan(Stage{
+		Stage: 1, Label: "count", Chain: "count<-map", Parts: 4,
+		ShuffleBytes: 2048, MemoHits: 3, Seconds: 1.5, BusySeconds: 4,
+		Retries: 1, MaxTaskSec: 0.5, MaxTaskMem: 1024,
+	})
+	r.BroadcastPinned(Broadcast{Label: "map", Bytes: 4096, Seconds: 0.25})
+	r.EndJob(1.75, nil)
+	for i := 0; i < 2; i++ {
+		r.StartJob("#7 reduce", "Stage 1 root=#7 reduce parts=2\n")
+		r.StageRan(Stage{Stage: 1, Label: "reduce", Chain: "reduce", Parts: 2,
+			Seconds: 0.9, BusySeconds: 1, MaxTaskSec: 0.45})
+		r.EndJob(1, nil)
+	}
+	r.Decide(Decision{Rule: "scalar-join", Choice: "broadcast-left", Why: "8 tags < parallelism 16"})
+	r.Decide(Decision{Rule: "scalar-join", Choice: "broadcast-left", Why: "8 tags < parallelism 16"})
+	r.Decide(Decision{Rule: "half-lifted", Choice: "bypass", Forced: true, Why: "Options override"})
+	return r
+}
+
+func TestReportGolden(t *testing.T) {
+	got := record().Report()
+	want := strings.Join([]string{
+		"EXPLAIN ANALYZE: 3 jobs, 3 stages, clock 3.75s, busy 6.00s",
+		"",
+		"Job 1: #5 count  1.75s",
+		"  Stage 1 root=#5 count parts=4 chain=count<-map",
+		"  Stage 1 count            1.50s tasks=4 shuffle=2.0KB memo-hits=3 retries=1 maxtask=0.50s chain=count<-map",
+		"  Broadcast map            0.25s 4.0KB pinned cluster-wide",
+		"",
+		"Job 2..3 (x2): #7 reduce  2.00s total",
+		"  Stage 1 root=#7 reduce parts=2",
+		"  Stage 1 reduce           0.90s tasks=2 maxtask=0.45s",
+		"",
+		"Optimizer decisions (Sec. 8):",
+		"  [scalar-join] broadcast-left — 8 tags < parallelism 16  (x2)",
+		"  [half-lifted] bypass (forced) — Options override",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("Report():\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	got := record().Trace()
+	want := strings.Join([]string{
+		"job 1 start target=#5 count",
+		"job 1 stage 1 label=count parts=4 dt=1.50s busy=4.00s shuffle=2.0KB memo-hits=3 retries=1 maxtask=0.50s maxmem=1.0KB chain=count<-map",
+		"job 1 broadcast label=map bytes=4.0KB dt=0.25s",
+		`job 1 end dt=1.75s err=""`,
+		"job 2 start target=#7 reduce",
+		"job 2 stage 1 label=reduce parts=2 dt=0.90s busy=1.00s shuffle=0B memo-hits=0 retries=0 maxtask=0.45s maxmem=0B chain=reduce",
+		`job 2 end dt=1.00s err=""`,
+		"job 3 start target=#7 reduce",
+		"job 3 stage 1 label=reduce parts=2 dt=0.90s busy=1.00s shuffle=0B memo-hits=0 retries=0 maxtask=0.45s maxmem=0B chain=reduce",
+		`job 3 end dt=1.00s err=""`,
+		"decision rule=scalar-join choice=broadcast-left why=\"8 tags < parallelism 16\"",
+		"decision rule=scalar-join choice=broadcast-left why=\"8 tags < parallelism 16\"",
+		"decision rule=half-lifted choice=bypass forced why=\"Options override\"",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("Trace():\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFailedJobsDoNotCollapse(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 2; i++ {
+		r.StartJob("#9 collect", "Stage 1 root=#9 collect parts=1\n")
+		r.EndJob(0.5, errors.New("simulated OOM"))
+	}
+	rep := r.Report()
+	if strings.Contains(rep, "(x2)") {
+		t.Error("failed jobs were collapsed; each failure should stay visible")
+	}
+	if strings.Count(rep, "ERROR: simulated OOM") != 2 {
+		t.Errorf("want 2 ERROR lines, report:\n%s", rep)
+	}
+}
+
+func TestSortedRules(t *testing.T) {
+	r := record()
+	got := r.SortedRules()
+	want := []string{"half-lifted", "scalar-join"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("SortedRules() = %v, want %v", got, want)
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports Enabled")
+	}
+	// None of these may panic.
+	r.StartJob("x", "y")
+	r.StageRan(Stage{})
+	r.BroadcastPinned(Broadcast{})
+	r.Decide(Decision{})
+	r.EndJob(0, nil)
+	if r.Report() != "" || r.Trace() != "" || r.Jobs() != nil || r.Decisions() != nil {
+		t.Error("nil recorder produced output")
+	}
+	if rules := r.SortedRules(); len(rules) != 0 {
+		t.Errorf("nil recorder rules = %v", rules)
+	}
+}
+
+func TestEventsOutsideJobAreDropped(t *testing.T) {
+	r := NewRecorder()
+	r.StageRan(Stage{Label: "orphan"}) // no open job
+	r.EndJob(1, nil)                   // no open job
+	r.StartJob("#1 count", "plan\n")
+	r.EndJob(0.5, nil)
+	jobs := r.Jobs()
+	if len(jobs) != 1 || len(jobs[0].Stages) != 0 {
+		t.Errorf("jobs = %+v", jobs)
+	}
+}

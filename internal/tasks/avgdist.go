@@ -111,7 +111,10 @@ func engineConnectedComponents(sess *engine.Session, edges engine.Dataset[datage
 // per Sec. 7), and the lifted BFS loop expanding frontiers as parallel bag
 // operations (level 3).
 func (sp AvgDistSpec) runMatryoshka(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(avgDistName, Matryoshka, err)
+	}
 	edges := engine.Parallelize(sess, sp.data(), 0).Cache()
 	labels, err := engineConnectedComponents(sess, edges)
 	if err != nil {
@@ -155,7 +158,7 @@ func (sp AvgDistSpec) runMatryoshka(cc cluster.Config) Outcome {
 			A: core.State2[core.InnerBag[int64], core.InnerBag[engine.Pair[int64, int64]]]{A: frontier0, B: dists0},
 			B: core.Pure(ctx2, int64(0)),
 		}
-		out, err := core.While(ctx2, init, ops, func(c *core.Ctx, st bfsState) (bfsState, core.InnerScalar[bool]) {
+		out, err := core.While(ctx2, init, ops, func(c *core.Ctx, st bfsState) (bfsState, core.InnerScalar[bool], error) {
 			frontier, dists := st.A.A, st.A.B
 			// Level 3: expand the frontier via a join with the
 			// enclosing component's edges (composite-tag join).
@@ -184,7 +187,7 @@ func (sp AvgDistSpec) runMatryoshka(cc cluster.Config) Outcome {
 			return bfsState{
 				A: core.State2[core.InnerBag[int64], core.InnerBag[engine.Pair[int64, int64]]]{A: newFrontier, B: newDists},
 				B: depth,
-			}, cond
+			}, cond, nil
 		})
 		if err != nil {
 			return core.InnerScalar[distSum]{}, err
@@ -226,7 +229,10 @@ func (sp AvgDistSpec) runMatryoshka(cc cluster.Config) Outcome {
 // components and over BFS sources, each BFS level running as a flat job —
 // the job explosion the paper reports for this task.
 func (sp AvgDistSpec) runInner(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(avgDistName, InnerParallel, err)
+	}
 	edges := engine.Parallelize(sess, sp.data(), 0).Cache()
 	labels, err := engineConnectedComponents(sess, edges)
 	if err != nil {
@@ -280,7 +286,10 @@ func (sp AvgDistSpec) runInner(cc cluster.Config) Outcome {
 // runOuter parallelizes only the outermost level: one task per component
 // running the whole all-pairs BFS sequentially.
 func (sp AvgDistSpec) runOuter(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(avgDistName, OuterParallel, err)
+	}
 	edges := engine.Parallelize(sess, sp.data(), 0).Cache()
 	labels, err := engineConnectedComponents(sess, edges)
 	if err != nil {

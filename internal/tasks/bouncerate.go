@@ -87,7 +87,10 @@ func (e *unknownStrategyError) Error() string { return "tasks: unknown strategy 
 // expressed with the nesting primitives (Listing 2), lowered to the flat
 // plan (Listing 3) at run time.
 func (sp BounceRateSpec) runMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(bounceRateName, Matryoshka, err)
+	}
 	visits := engine.Parallelize(sess, sp.data(), 0)
 	nb, err := core.GroupByKeyIntoNestedBag(visits, opt)
 	if err != nil {
@@ -124,7 +127,10 @@ func (sp BounceRateSpec) runMatryoshka(cc cluster.Config, opt core.Options) Outc
 // each day's bounce rate computed by flat dataflow jobs over the filtered
 // input.
 func (sp BounceRateSpec) runInner(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(bounceRateName, InnerParallel, err)
+	}
 	visits := engine.Parallelize(sess, sp.data(), 0).Cache()
 	days, err := engine.Collect(engine.Distinct(engine.Keys(visits)))
 	if err != nil {
@@ -153,7 +159,10 @@ func (sp BounceRateSpec) runInner(cc cluster.Config) Outcome {
 // to): groupByKey materializes each day's visits in one task, and the UDF
 // computes the bounce rate sequentially over the in-memory array.
 func (sp BounceRateSpec) runOuter(cc cluster.Config, label Strategy) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(bounceRateName, label, err)
+	}
 	w := recordWeight(sess)
 	visits := engine.Parallelize(sess, sp.data(), 0)
 	grouped := engine.GroupByKey(visits)

@@ -80,7 +80,10 @@ func (sp KMeansSpec) Run(strat Strategy, cc cluster.Config) Outcome {
 // (the exact shape Sec. 2.3 motivates). opt is exposed for the Fig. 8
 // half-lifted ablation.
 func (sp KMeansSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(kMeansName, Matryoshka, err)
+	}
 	points := engine.Parallelize(sess, sp.points(), 0).Cache()
 	// Materialize the shared points bag once (also gives the optimizer a
 	// SizeEstimator reading for the half-lifted choice, Sec. 8.3).
@@ -95,7 +98,7 @@ func (sp KMeansSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome 
 		ops := core.State2Ops(core.ScalarState[[]ml.Point](), core.ScalarState[int64]())
 		init := loopState{A: means, B: core.Pure(ctx, int64(0))}
 
-		out, err := core.While(ctx, init, ops, func(c *core.Ctx, st loopState) (loopState, core.InnerScalar[bool]) {
+		out, err := core.While(ctx, init, ops, func(c *core.Ctx, st loopState) (loopState, core.InnerScalar[bool], error) {
 			// Assignment step: every run's current means meet every
 			// shared point — the half-lifted mapWithClosure of
 			// Sec. 8.3.
@@ -132,7 +135,7 @@ func (sp KMeansSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome 
 			cond := core.BinaryScalarOp(shift, iters, func(sh float64, it int64) bool {
 				return sh >= sp.Eps && it < int64(sp.MaxIters)
 			})
-			return loopState{A: newMeans, B: iters}, cond
+			return loopState{A: newMeans, B: iters}, cond, nil
 		})
 		if err != nil {
 			return nil, err
@@ -158,7 +161,10 @@ func (sp KMeansSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome 
 // jobs (one job per Lloyd's iteration — the job-launch overhead the paper
 // measures).
 func (sp KMeansSpec) runInner(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(kMeansName, InnerParallel, err)
+	}
 	points := engine.Parallelize(sess, sp.points(), 0).Cache()
 	value := make(KMeansValue, sp.Configs)
 	for _, cfg := range sp.configs() {
@@ -196,7 +202,10 @@ func (sp KMeansSpec) runInner(cc cluster.Config) Outcome {
 // training sequentially inside the UDF. Parallelism is capped by Configs
 // and each task holds (and pays for) the whole point sample.
 func (sp KMeansSpec) runOuter(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(kMeansName, OuterParallel, err)
+	}
 	w := recordWeight(sess)
 	pts := sp.points()
 	ptsBytes := int64(float64(sizeest.Of(pts)) * w)

@@ -90,7 +90,10 @@ type prDN struct {
 // iteration lifted per Sec. 6 (groups converge at different iterations).
 // opt is exposed for the Fig. 8 join-strategy ablation.
 func (sp PageRankSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(pageRankName, Matryoshka, err)
+	}
 	pairs := make([]engine.Pair[int64, datagen.Edge], 0)
 	for _, ge := range sp.data() {
 		pairs = append(pairs, engine.KV(ge.Group, ge.Edge))
@@ -156,7 +159,7 @@ func (sp PageRankSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcom
 	ops := core.State2Ops(core.BagState[engine.Pair[int64, float64]](), core.ScalarState[int64]())
 	init := loopState{A: ranks0, B: core.Pure(ctx, int64(0))}
 
-	out, err := core.While(ctx, init, ops, func(c *core.Ctx, st loopState) (loopState, core.InnerScalar[bool]) {
+	out, err := core.While(ctx, init, ops, func(c *core.Ctx, st loopState) (loopState, core.InnerScalar[bool], error) {
 		ranks := st.A
 		// rank/degree per vertex, contributions along edges.
 		rankDeg := joinRanksWithDegrees(ranks)
@@ -195,7 +198,7 @@ func (sp PageRankSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcom
 		cond := core.BinaryScalarOp(delta, iters, func(d float64, it int64) bool {
 			return d >= sp.Eps && it < int64(sp.MaxIters)
 		})
-		return loopState{A: newRanks, B: iters}, cond
+		return loopState{A: newRanks, B: iters}, cond, nil
 	})
 	if err != nil {
 		return finish(pageRankName, Matryoshka, sess, nil, err)
@@ -228,7 +231,10 @@ func collectGroupedRanks(nb core.NestedBag[int64, datagen.Edge], ranks core.Inne
 // runInner loops over groups in the driver, running each group's PageRank
 // as flat jobs (one collect per iteration).
 func (sp PageRankSpec) runInner(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(pageRankName, InnerParallel, err)
+	}
 	pairs := make([]engine.Pair[int64, datagen.Edge], 0)
 	groupIDs := map[int64]bool{}
 	for _, ge := range sp.data() {
@@ -317,7 +323,10 @@ func enginePageRank(sess *engine.Session, edges engine.Dataset[datagen.Edge], ep
 // runOuter groups the edges and runs the whole sequential PageRank inside
 // the group UDF (parallelism capped by Groups; skewed groups OOM).
 func (sp PageRankSpec) runOuter(cc cluster.Config) Outcome {
-	sess := newSession(cc)
+	sess, err := newSession(cc)
+	if err != nil {
+		return failed(pageRankName, OuterParallel, err)
+	}
 	pairs := make([]engine.Pair[int64, datagen.Edge], 0)
 	for _, ge := range sp.data() {
 		pairs = append(pairs, engine.KV(ge.Group, ge.Edge))

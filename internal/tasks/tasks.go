@@ -24,6 +24,7 @@ import (
 
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
 )
 
 // Strategy names an execution strategy.
@@ -65,9 +66,11 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("%s/%s: %.1fs (%d jobs, %d stages, %d tasks)", o.Task, o.Strategy, o.Seconds, o.Jobs, o.Stages, o.Tasks)
 }
 
-// newSession builds an engine session on a fresh simulated cluster.
-func newSession(cc cluster.Config) *engine.Session {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec})
+// newSession builds an engine session on a fresh simulated cluster. An
+// invalid cluster configuration is reported as an error, which runs turn
+// into a failed Outcome via finish.
+func newSession(cc cluster.Config) (*engine.Session, error) {
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, Obs: Obs})
 }
 
 // recordWeight is the session's simulation scale (real records per
@@ -79,6 +82,11 @@ func recordWeight(sess *engine.Session) float64 {
 		w = 1
 	}
 	return w
+}
+
+// failed is the Outcome of a run that could not start (no session).
+func failed(task string, strat Strategy, err error) Outcome {
+	return Outcome{Task: task, Strategy: strat, Err: err}
 }
 
 // finish assembles an Outcome from a finished (or failed) run.
@@ -106,3 +114,8 @@ var DebugStages bool
 // flips it to assert that every simulated number is bit-identical across
 // the two execution paths.
 var LegacyExec bool
+
+// Obs, when non-nil, receives the job/stage/broadcast events and optimizer
+// decisions of every session created by tasks — the hook matbench's
+// --explain/--trace flags use to render EXPLAIN ANALYZE for a run.
+var Obs *obs.Recorder
