@@ -32,6 +32,7 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_engine.json
 
-## figures: regenerate the simulated-cluster paper figures (bench_rows.csv).
+## figures: regenerate the simulated-cluster paper figures
+## (internal/bench/testdata/bench_rows.csv).
 figures:
-	$(GO) run ./cmd/matbench -q -csv bench_rows.csv
+	$(GO) run ./cmd/matbench -q -csv internal/bench/testdata/bench_rows.csv

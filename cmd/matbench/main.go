@@ -10,6 +10,8 @@
 //	matbench -csv rows.csv          # raw rows for external plotting
 //	matbench -explain bounce-rate   # EXPLAIN ANALYZE one task's Matryoshka run
 //	matbench -trace bounce-rate     # raw job/stage/decision event stream
+//	matbench -explain recovery -mem 2147483648   # watch adaptive recovery re-lower OOMs
+//	matbench -explain bounce-rate -faultrate 0.2 # task retries + rerun recoveries
 //
 // Reported times are simulated cluster seconds (see internal/cluster);
 // absolute values depend on the scale, the relative shapes are the result.
@@ -28,13 +30,15 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		perGB   = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		csvPath = flag.String("csv", "", "also write raw rows as CSV to this file")
-		explain = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances)")
-		trace   = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
+		expID     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		perGB     = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+		csvPath   = flag.String("csv", "", "also write raw rows as CSV to this file")
+		explain   = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery)")
+		trace     = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
+		mem       = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
+		faultRate = flag.Float64("faultrate", 0, "inject transient task failures with this probability per task")
 	)
 	flag.Parse()
 
@@ -44,7 +48,7 @@ func main() {
 		}
 		return
 	}
-	sc := bench.Scale{RecordsPerGB: *perGB}
+	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate}
 
 	if *explain != "" || *trace != "" {
 		task, asTrace := *explain, false

@@ -32,6 +32,13 @@ type Scale struct {
 	// gigabyte. The default (10 000) turns the 48 GB Bounce Rate input
 	// into 480 000 records.
 	RecordsPerGB int
+	// MemoryPerMachine, when > 0, overrides the per-machine memory of
+	// every cluster this scale builds (matbench -mem): the CLI's way to
+	// create the memory pressure that exercises adaptive recovery.
+	MemoryPerMachine int64
+	// FaultRate, when > 0, sets TaskFailureRate on every cluster this
+	// scale builds (matbench -faultrate).
+	FaultRate float64
 }
 
 // DefaultScale is used by the CLI and benchmarks.
@@ -55,6 +62,17 @@ func (s Scale) Cluster(machines, cores int, memGB float64) cluster.Config {
 	cc.CoresPerMachine = cores
 	cc.MemoryPerMachine = int64(memGB * float64(1<<30))
 	cc.RecordWeight = float64(1<<30) / realBytesPerRecord / float64(s.RecordsPerGB)
+	return s.override(cc)
+}
+
+// override applies the Scale's CLI knobs to a built cluster config.
+func (s Scale) override(cc cluster.Config) cluster.Config {
+	if s.MemoryPerMachine > 0 {
+		cc.MemoryPerMachine = s.MemoryPerMachine
+	}
+	if s.FaultRate > 0 {
+		cc.TaskFailureRate = s.FaultRate
+	}
 	return cc
 }
 
@@ -67,7 +85,7 @@ func (s Scale) PaperCluster() cluster.Config { return s.Cluster(25, 16, 22) }
 func (s Scale) LargeCluster() cluster.Config {
 	cc := cluster.LargeConfig()
 	cc.RecordWeight = float64(1<<30) / realBytesPerRecord / float64(s.RecordsPerGB)
-	return cc
+	return s.override(cc)
 }
 
 // Row is one measured point of an experiment.
@@ -106,6 +124,7 @@ func Registry() []Experiment {
 		{ID: "fig8b", Title: "Fig. 8 (right): half-lifted mapWithClosure strategies, K-means", XName: "inner computations", Run: Fig8b},
 		{ID: "fig9-pagerank", Title: "Fig. 9: 8x input, large cluster, PageRank", XName: "inner computations", Run: Fig9PageRank},
 		{ID: "fig9-bounce", Title: "Fig. 9: 8x input, large cluster, Bounce Rate", XName: "inner computations", Run: Fig9Bounce},
+		{ID: "sec9-recovery", Title: "Sec. 9 memory pressure: abort vs adaptive recovery", XName: "GB per machine", Run: Sec9Recovery},
 	}
 }
 

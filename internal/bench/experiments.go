@@ -281,3 +281,45 @@ func Fig9Bounce(sc Scale) []Row {
 		return bounceSpec(sc, x, 384, false).Run(s, cc)
 	})
 }
+
+// memPressureSpec is the distilled Sec. 9 memory-pressure workload behind
+// the sec9-recovery experiment and `matbench -explain recovery`: an
+// oversized broadcast build side (~4 GB resident under this scale) and an
+// under-partitioned group stage, sized so 2 GB machines abort without
+// adaptive recovery and complete with it.
+func memPressureSpec(sc Scale) tasks.MemPressureSpec {
+	return tasks.MemPressureSpec{
+		BuildRecords: sc.Records(0.4),
+		ProbeKeys:    64,
+		GroupRecords: sc.Records(0.6),
+		Groups:       512,
+		IngestParts:  16,
+		GroupParts:   4,
+	}
+}
+
+// Sec9Recovery reruns the Sec. 9 memory-pressure failure modes — the
+// oversized broadcast (Sec. 9.6) and the outer-parallel whole-group task
+// (Sec. 9.4) — with the adaptive recovery loop off (abort, the behaviour
+// the paper reports) vs on, sweeping per-machine memory on a 2-machine
+// demo cluster. The recover series completes at memory levels where the
+// abort series dies, by demoting the broadcast join to a repartition join
+// and re-lowering the group stage to more, smaller partitions; below the
+// window both series die in ingest, which no re-lowering can split.
+func Sec9Recovery(sc Scale) []Row {
+	var rows []Row
+	for _, memGB := range []float64{0.5, 1, 2, 4, 8} {
+		cc := sc.Cluster(2, 2, memGB)
+		for _, mode := range []struct {
+			name string
+			rec  bool
+		}{{"abort", false}, {"recover", true}} {
+			prev := tasks.Recovery
+			tasks.Recovery = mode.rec
+			out := memPressureSpec(sc).Run(cc)
+			tasks.Recovery = prev
+			rows = append(rows, row("sec9-recovery", mode.name, memGB, out))
+		}
+	}
+	return rows
+}

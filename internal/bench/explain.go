@@ -9,7 +9,7 @@ import (
 
 // ExplainTasks lists the task names ExplainRun accepts.
 func ExplainTasks() []string {
-	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances"}
+	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances", "recovery"}
 }
 
 // ExplainRun runs one task's Matryoshka strategy at this scale with the
@@ -37,6 +37,12 @@ func ExplainRun(task string, sc Scale, trace bool) (string, error) {
 		out = kmeansSpec(sc, 8).Run(tasks.Matryoshka, cc)
 	case "avg-distances":
 		out = avgDistSpec(8).Run(tasks.Matryoshka, cc)
+	case "recovery":
+		// The Sec. 9 memory-pressure scenario on deliberately tight
+		// machines: the report shows the adaptive recovery loop demoting
+		// the oversized broadcast join and re-raising the group stage's
+		// partition count (stage N: OOM → re-lowered(...) → ok).
+		out = memPressureSpec(sc).Run(sc.Cluster(2, 2, 2))
 	default:
 		return "", fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
 	}

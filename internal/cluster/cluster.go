@@ -29,18 +29,51 @@ import (
 // memory budget. It is the simulator analogue of a Spark executor OOM.
 var ErrOutOfMemory = errors.New("cluster: out of memory")
 
-// OOMError wraps ErrOutOfMemory with the sizes involved.
+// OOMError wraps ErrOutOfMemory with enough detail to say *why* the wave
+// did not fit — which wave, which machine, and how much of the budget was
+// already pinned by broadcasts. The engine's recovery loop reads these
+// fields to pick a re-lowering (raise partitions vs demote a broadcast).
 type OOMError struct {
-	What  string // "task" or "broadcast"
-	Bytes int64  // requested
-	Limit int64  // per-machine budget available
+	What     string // "task" or "broadcast"
+	Bytes    int64  // requested
+	Limit    int64  // per-machine budget available (after pinned broadcasts)
+	Wave     int    // 1-based scheduling wave that overflowed (task OOMs)
+	Machine  int    // machine index holding the excess pressure (task OOMs)
+	Resident int64  // broadcast bytes pinned on every machine at failure time
 }
 
 func (e *OOMError) Error() string {
-	return fmt.Sprintf("cluster: out of memory: %s needs %d bytes, machine budget %d", e.What, e.Bytes, e.Limit)
+	msg := fmt.Sprintf("cluster: out of memory: %s needs %d bytes, machine budget %d", e.What, e.Bytes, e.Limit)
+	if e.What == "task" && e.Wave > 0 {
+		msg += fmt.Sprintf(" (wave %d, machine %d)", e.Wave, e.Machine)
+	}
+	if e.Resident > 0 {
+		msg += fmt.Sprintf(" (%d bytes broadcast-resident)", e.Resident)
+	}
+	return msg
 }
 
 func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
+
+// ErrTaskRetriesExhausted reports that an injected transient task failure
+// repeated beyond Config.MaxTaskRetries, failing the whole stage — the
+// Spark `spark.task.maxFailures` abort. It is distinct from ErrOutOfMemory:
+// rerunning the same stage may succeed, so the engine's recovery loop
+// retries the stage as-is instead of re-lowering it.
+var ErrTaskRetriesExhausted = errors.New("cluster: task failed after exhausting retries")
+
+// TaskFailureError wraps ErrTaskRetriesExhausted with the failing wave and
+// attempt count.
+type TaskFailureError struct {
+	Wave     int // 1-based scheduling wave of the failing task
+	Attempts int // failed attempts (first run + retries)
+}
+
+func (e *TaskFailureError) Error() string {
+	return fmt.Sprintf("cluster: task failed %d times (wave %d), retries exhausted", e.Attempts, e.Wave)
+}
+
+func (e *TaskFailureError) Unwrap() error { return ErrTaskRetriesExhausted }
 
 // Config describes the simulated cluster and its cost model. All durations
 // are virtual seconds.
@@ -69,11 +102,17 @@ type Config struct {
 	// unscaled and keep weight 1.
 	RecordWeight float64
 
-	// TaskFailureRate injects transient task failures: each task fails
-	// with this probability and is retried once, paying its cost again
+	// TaskFailureRate injects transient task failures: each task attempt
+	// fails with this probability and is retried, paying its cost again
 	// (the speculative/retry behaviour of real clusters). Deterministic
 	// per simulator instance. 0 disables injection.
 	TaskFailureRate float64
+
+	// MaxTaskRetries caps how often one task may be retried after an
+	// injected failure before the whole stage fails with an
+	// *TaskFailureError (Spark's spark.task.maxFailures). 0 means the
+	// first failure aborts the stage.
+	MaxTaskRetries int
 
 	// MemoryOverheadFactor inflates the engine's raw data-size
 	// estimates to resident in-memory size (deserialized object
@@ -104,6 +143,7 @@ func DefaultConfig() Config {
 		PerByteShuffle:       1.28e-7,
 		PerByteBroadcast:     8e-9, // one pass out of a 1 Gb source
 		RecordWeight:         1,
+		MaxTaskRetries:       1,
 		MemoryOverheadFactor: 14,
 	}
 }
@@ -248,6 +288,12 @@ func (s *Simulator) RunStage(tasks []Task) error {
 // the Spark behaviours the paper reports: a few huge groups OOM even on
 // an otherwise idle cluster, while the same total data in many small
 // partitions runs fine.
+//
+// A failing stage is not free: the clock is charged the partial makespan
+// of the waves that ran before the failure (plus the failing wave's work
+// so far), matching a real cluster where an abort after N waves has
+// already burned N waves of time. The report returned alongside the error
+// carries that partial charge so callers can attribute it.
 func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -264,39 +310,75 @@ func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 	if len(order) > 0 {
 		rep.Waves = (len(order) + slots - 1) / slots
 	}
+
+	// partial accumulates the gang makespan of completed waves; on
+	// failure the stage charges it (plus the failing wave's longest task
+	// so far) instead of completing.
+	var partial float64
+	fail := func(err error) (StageReport, error) {
+		rep.Makespan = partial
+		rep.Seconds = s.cfg.StageOverhead + partial
+		s.clock += rep.Seconds
+		return rep, err
+	}
+
 	durations := make([]float64, 0, len(order))
 	perMachine := make([]int64, s.cfg.Machines)
 	for w := 0; w < len(order); w += slots {
 		wave := order[w:min(w+slots, len(order))]
+		waveIdx := w/slots + 1
 		for i := range perMachine {
 			perMachine[i] = 0
 		}
 		for i, t := range wave {
 			perMachine[i%s.cfg.Machines] += t.Memory
 		}
-		for _, m := range perMachine {
+		for i, m := range perMachine {
 			if m > budget {
-				return rep, &OOMError{What: "task", Bytes: m, Limit: budget}
+				return fail(&OOMError{What: "task", Bytes: m, Limit: budget,
+					Wave: waveIdx, Machine: i, Resident: s.resident})
 			}
 		}
-	}
-	for _, t := range order {
-		d := t.Compute + s.cfg.TaskOverhead
-		if s.cfg.TaskFailureRate > 0 && s.rng.Float64() < s.cfg.TaskFailureRate {
-			// Transient failure: the task reruns from scratch.
-			s.stats.TaskRetries++
-			rep.Retries++
-			d *= 2
+		var waveMax float64
+		for _, t := range wave {
+			d := t.Compute + s.cfg.TaskOverhead
+			total := d
+			if s.cfg.TaskFailureRate > 0 {
+				failures := 0
+				for s.rng.Float64() < s.cfg.TaskFailureRate {
+					// Transient failure: the failed attempt's cost is
+					// already in total. Retry from scratch — unless the
+					// retry cap is hit, which fails the whole stage
+					// (spark.task.maxFailures).
+					failures++
+					if failures > s.cfg.MaxTaskRetries {
+						s.stats.BusySeconds += total
+						rep.BusySeconds += total
+						if total > waveMax {
+							waveMax = total
+						}
+						partial += waveMax
+						return fail(&TaskFailureError{Wave: waveIdx, Attempts: failures})
+					}
+					s.stats.TaskRetries++
+					rep.Retries++
+					total += d
+				}
+			}
+			durations = append(durations, total)
+			s.stats.BusySeconds += total
+			rep.BusySeconds += total
+			if total > waveMax {
+				waveMax = total
+			}
+			if total > rep.MaxTaskSec {
+				rep.MaxTaskSec = total
+			}
+			if t.Memory > rep.MaxTaskMem {
+				rep.MaxTaskMem = t.Memory
+			}
 		}
-		durations = append(durations, d)
-		s.stats.BusySeconds += d
-		rep.BusySeconds += d
-		if d > rep.MaxTaskSec {
-			rep.MaxTaskSec = d
-		}
-		if t.Memory > rep.MaxTaskMem {
-			rep.MaxTaskMem = t.Memory
-		}
+		partial += waveMax
 	}
 	rep.Makespan = makespan(durations, slots)
 	rep.Seconds = s.cfg.StageOverhead + rep.Makespan
@@ -312,11 +394,24 @@ func (s *Simulator) Broadcast(bytes int64) error {
 	defer s.mu.Unlock()
 	s.stats.Broadcasts++
 	if s.resident+bytes > s.cfg.MemoryPerMachine {
-		return &OOMError{What: "broadcast", Bytes: bytes, Limit: s.cfg.MemoryPerMachine - s.resident}
+		return &OOMError{What: "broadcast", Bytes: bytes,
+			Limit: s.cfg.MemoryPerMachine - s.resident, Resident: s.resident}
 	}
 	s.resident += bytes
 	s.clock += float64(bytes) * s.cfg.PerByteBroadcast
 	return nil
+}
+
+// Unpin releases bytes of pinned broadcast data before the job ends. The
+// engine calls it when adaptive recovery re-lowers a broadcast consumer
+// away, so the dropped broadcast stops pressuring later waves.
+func (s *Simulator) Unpin(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resident -= bytes
+	if s.resident < 0 {
+		s.resident = 0
+	}
 }
 
 // ReleaseBroadcasts unpins all broadcast data (end of job).

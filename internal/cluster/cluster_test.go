@@ -214,31 +214,47 @@ func TestDefaultConfigsSane(t *testing.T) {
 }
 
 func TestFailureInjectionRetriesAndDeterminism(t *testing.T) {
-	run := func() (Stats, float64) {
+	// A stage whose task exhausts its retries fails with a typed error;
+	// callers (the engine's recovery loop) rerun it. Either way the rng
+	// stream — and hence the clock — is deterministic across simulator
+	// instances.
+	run := func() (Stats, float64, int) {
 		cfg := testConfig()
 		cfg.TaskFailureRate = 0.3
 		s := mustNew(cfg)
+		stageFailures := 0
 		for i := 0; i < 20; i++ {
 			tasks := make([]Task, 10)
 			for j := range tasks {
 				tasks[j] = Task{Compute: 1}
 			}
-			if err := s.RunStage(tasks); err != nil {
-				t.Fatal(err)
+			for {
+				err := s.RunStage(tasks)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrTaskRetriesExhausted) {
+					t.Fatal(err)
+				}
+				stageFailures++
+				if stageFailures > 1000 {
+					t.Fatal("stage never completes")
+				}
 			}
 		}
-		return s.Stats(), s.Clock()
+		return s.Stats(), s.Clock(), stageFailures
 	}
-	st1, c1 := run()
-	st2, c2 := run()
+	st1, c1, f1 := run()
+	st2, c2, f2 := run()
 	if st1.TaskRetries == 0 {
 		t.Fatal("expected injected retries")
 	}
-	if st1.TaskRetries != st2.TaskRetries || c1 != c2 {
-		t.Fatalf("failure injection must be deterministic: %v/%v vs %v/%v",
-			st1.TaskRetries, c1, st2.TaskRetries, c2)
+	if st1.TaskRetries != st2.TaskRetries || c1 != c2 || f1 != f2 {
+		t.Fatalf("failure injection must be deterministic: %v/%v/%v vs %v/%v/%v",
+			st1.TaskRetries, c1, f1, st2.TaskRetries, c2, f2)
 	}
-	// Retries make the run slower than a failure-free one.
+	// Retries (and failed stage attempts) make the run slower than a
+	// failure-free one.
 	cfg := testConfig()
 	s := mustNew(cfg)
 	for i := 0; i < 20; i++ {
@@ -252,5 +268,101 @@ func TestFailureInjectionRetriesAndDeterminism(t *testing.T) {
 	}
 	if c1 <= s.Clock() {
 		t.Errorf("with failures %.2fs should exceed clean %.2fs", c1, s.Clock())
+	}
+}
+
+func TestTaskOOMCarriesWaveMachineResident(t *testing.T) {
+	s := mustNew(testConfig()) // 2x2, 1000 bytes per machine
+	if err := s.Broadcast(200); err != nil {
+		t.Fatal(err)
+	}
+	// Wave 1 (4 long, light tasks) fits; wave 2 has two 900-byte tasks
+	// landing on machine 0 and 1 — each over the 800-byte reduced budget.
+	tasks := []Task{
+		{Compute: 2, Memory: 10}, {Compute: 2, Memory: 10},
+		{Compute: 2, Memory: 10}, {Compute: 2, Memory: 10},
+		{Compute: 1, Memory: 900}, {Compute: 1, Memory: 10},
+	}
+	err := s.RunStage(tasks)
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want *OOMError", err)
+	}
+	if oom.Wave != 2 || oom.Machine != 0 || oom.Resident != 200 || oom.Limit != 800 {
+		t.Errorf("OOM detail = %+v, want wave 2, machine 0, resident 200, limit 800", oom)
+	}
+	if oom.Bytes != 900 {
+		t.Errorf("oom.Bytes = %d, want 900", oom.Bytes)
+	}
+}
+
+func TestFailedStageChargesPartialMakespan(t *testing.T) {
+	s := mustNew(testConfig()) // 4 slots
+	// Wave 1: four 1s tasks, fits. Wave 2: a 2000-byte task OOMs.
+	tasks := []Task{
+		{Compute: 1}, {Compute: 1}, {Compute: 1}, {Compute: 1},
+		{Compute: 0.5, Memory: 2000},
+	}
+	before := s.Clock()
+	err := s.RunStage(tasks)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+	// The failed attempt still burned stage overhead + wave 1's makespan.
+	want := 0.1 + (1 + 0.01)
+	if got := s.Clock() - before; math.Abs(got-want) > 1e-9 {
+		t.Errorf("failed-stage charge = %v, want %v", got, want)
+	}
+}
+
+func TestRetriesExhaustedFailsStageWithCharge(t *testing.T) {
+	cfg := testConfig()
+	cfg.TaskFailureRate = 1 // every attempt fails
+	s := mustNew(cfg)
+	before := s.Clock()
+	err := s.RunStage([]Task{{Compute: 1}})
+	if !errors.Is(err, ErrTaskRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrTaskRetriesExhausted", err)
+	}
+	if errors.Is(err, ErrOutOfMemory) {
+		t.Error("a transient task failure must not look like an OOM")
+	}
+	var tf *TaskFailureError
+	if !errors.As(err, &tf) || tf.Wave != 1 || tf.Attempts != 2 {
+		t.Errorf("TaskFailureError = %+v, want wave 1, 2 attempts (default MaxTaskRetries 1)", tf)
+	}
+	// Two failed attempts of a 1.01s task, plus stage overhead.
+	want := 0.1 + 2*(1+0.01)
+	if got := s.Clock() - before; math.Abs(got-want) > 1e-9 {
+		t.Errorf("exhausted-retry charge = %v, want %v", got, want)
+	}
+	if st := s.Stats(); st.TaskRetries != 1 {
+		t.Errorf("TaskRetries = %d, want 1 (one retry launched before the cap)", st.TaskRetries)
+	}
+}
+
+func TestMaxTaskRetriesZeroFailsOnFirstFailure(t *testing.T) {
+	cfg := testConfig()
+	cfg.TaskFailureRate = 1
+	cfg.MaxTaskRetries = 0
+	s := mustNew(cfg)
+	err := s.RunStage([]Task{{Compute: 1}})
+	var tf *TaskFailureError
+	if !errors.As(err, &tf) || tf.Attempts != 1 {
+		t.Fatalf("err = %v, want TaskFailureError after 1 attempt", err)
+	}
+}
+
+func TestUnpinRestoresTaskBudget(t *testing.T) {
+	s := mustNew(testConfig())
+	if err := s.Broadcast(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunStage([]Task{{Memory: 500}}); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("task over reduced budget: err = %v, want OOM", err)
+	}
+	s.Unpin(600)
+	if err := s.RunStage([]Task{{Memory: 500}}); err != nil {
+		t.Errorf("after Unpin: err = %v, want nil", err)
 	}
 }

@@ -396,6 +396,39 @@ func TestScalarJoinStrategyThreshold(t *testing.T) {
 	}
 }
 
+// TestOptimizerHonorsRecoveryFeedback: once adaptive recovery denylists a
+// physical choice or raises partition counts, the optimizer never re-picks
+// the denylisted choice and starts at the raised parallelism.
+func TestOptimizerHonorsRecoveryFeedback(t *testing.T) {
+	s := testSession()
+	s.Feedback().Deny("join", "broadcast", "broadcast OOMed in an earlier job")
+	small := &Ctx{Sess: s, Size: 3} // small enough to normally broadcast
+	if got := small.ScalarJoinStrategy(); got != engine.JoinRepartition {
+		t.Errorf("ScalarJoinStrategy after denylist = %v, want repartition", got)
+	}
+	if got := small.BagScalarJoinStrategy(); got != engine.JoinRepartition {
+		t.Errorf("BagScalarJoinStrategy after denylist = %v, want repartition", got)
+	}
+
+	s2 := testSession()
+	s2.Feedback().Deny("half-lifted", "broadcast-scalar", "scalar side OOMed")
+	one := &Ctx{Sess: s2, Size: 10, Parts: 1} // normally broadcasts the scalar
+	if got := one.HalfLiftedStrategy(-1, -1); got != BroadcastPrimary {
+		t.Errorf("HalfLiftedStrategy after scalar denylist = %v, want primary", got)
+	}
+	s2.Feedback().Deny("half-lifted", "broadcast-primary", "primary side OOMed too")
+	if got := one.HalfLiftedStrategy(-1, -1); got != BroadcastScalar {
+		t.Errorf("HalfLiftedStrategy with both denied = %v, want Sec. 8.3 default", got)
+	}
+
+	s3 := testSession()
+	s3.Feedback().BoostParts(4)
+	c := &Ctx{Sess: s3}
+	if p := c.partsFor(10); p != 4 {
+		t.Errorf("partsFor(10) with 4x boost = %d, want 4", p)
+	}
+}
+
 func TestPartsForScalesAndClamps(t *testing.T) {
 	s := testSession()
 	c := &Ctx{Sess: s}

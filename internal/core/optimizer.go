@@ -45,6 +45,15 @@ func (c *Ctx) partsFor(size int64) int {
 	if max := c.Sess.DefaultParallelism(); p > max {
 		p = max
 	}
+	// Run-time feedback: if adaptive recovery had to raise partition counts
+	// to survive a task OOM in this session, start later lowerings at the
+	// raised factor instead of rediscovering the OOM.
+	if boost := c.Sess.Feedback().PartsBoost(); boost > 1 {
+		p *= boost
+		c.decide("partitions", fmt.Sprintf("%d", p), true,
+			"retried-after-OOM: session feedback raised partition counts %dx after a task OOM", boost)
+		return p
+	}
 	c.decide("partitions", fmt.Sprintf("%d", p), false,
 		"Sec. 8.1: %d inner scalars / target %d per partition, capped at parallelism %d", size, target, c.Sess.DefaultParallelism())
 	return p
@@ -62,6 +71,10 @@ func (c *Ctx) ScalarJoinStrategy() engine.JoinStrategy {
 	if f := c.Opt.ForceScalarJoin; f != nil {
 		c.decide("scalar-join", f.String(), true, "Options.ForceScalarJoin override")
 		return *f
+	}
+	if why, denied := c.Sess.Feedback().Denied("join", "broadcast"); denied {
+		c.decide("scalar-join", engine.JoinRepartition.String(), true, "retried-after-OOM: %s", why)
+		return engine.JoinRepartition
 	}
 	if c.Size >= int64(c.Sess.DefaultParallelism()) {
 		c.decide("scalar-join", engine.JoinRepartition.String(), false,
@@ -82,6 +95,10 @@ func (c *Ctx) BagScalarJoinStrategy() engine.JoinStrategy {
 	if f := c.Opt.ForceScalarJoin; f != nil {
 		c.decide("bag-scalar-join", f.String(), true, "Options.ForceScalarJoin override")
 		return *f
+	}
+	if why, denied := c.Sess.Feedback().Denied("join", "broadcast"); denied {
+		c.decide("bag-scalar-join", engine.JoinRepartition.String(), true, "retried-after-OOM: %s", why)
+		return engine.JoinRepartition
 	}
 	if c.Size >= int64(c.Sess.DefaultParallelism()) {
 		c.decide("bag-scalar-join", engine.JoinRepartition.String(), false,
@@ -125,6 +142,19 @@ func (c *Ctx) HalfLiftedStrategy(scalarBytes, primaryBytes int64) HalfLiftedChoi
 	if f := c.Opt.ForceHalfLifted; f != nil {
 		c.decide("half-lifted", f.String(), true, "Options.ForceHalfLifted override")
 		return *f
+	}
+	// Run-time feedback: never re-pick a side that adaptive recovery
+	// demoted after an OOM in this session.
+	fb := c.Sess.Feedback()
+	if why, denied := fb.Denied("half-lifted", BroadcastScalar.String()); denied {
+		if _, both := fb.Denied("half-lifted", BroadcastPrimary.String()); !both {
+			c.decide("half-lifted", BroadcastPrimary.String(), true, "retried-after-OOM: %s", why)
+			return BroadcastPrimary
+		}
+	}
+	if why, denied := fb.Denied("half-lifted", BroadcastPrimary.String()); denied {
+		c.decide("half-lifted", BroadcastScalar.String(), true, "retried-after-OOM: %s", why)
+		return BroadcastScalar
 	}
 	if c.Parts == 1 {
 		c.decide("half-lifted", BroadcastScalar.String(), false, "Sec. 8.3: InnerScalar has 1 partition")

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,14 +18,36 @@ import (
 // consuming stage. The executor makes no planning decision of its own —
 // stage boundaries, operator chains and memo sites all come from the plan,
 // in both the parallel and the retained serial (LegacyExec) paths.
+//
+// Execution is resumable: completed stage roots live on the job's frontier
+// (see runner.go), and when a stage fails and Config.Recover is on, the
+// recovery loop (recover.go) re-lowers the offending subplan, rebuilds the
+// plan for the unfinished suffix, and re-enters the runner — the frontier,
+// pinned caches, shuffle blocks and the virtual clock already charged are
+// all preserved.
 type job struct {
-	s   *Session
-	ep  *execPlan         // the bound physical plan
-	mat map[*node][][]any // materialized partitions of stage roots
+	s  *Session
+	ep *execPlan // the bound physical plan (rebuilt on recovery replans)
+	// front is the job's stage frontier: the checkpoint of every stage
+	// root materialized so far, with the cost provenance of the attempt
+	// that produced it.
+	front map[*node]*checkpoint
 	// blocks memoizes shuffle routing per dep: blocks[d][childPart].
 	blocks map[*dep][][]any
 	// bcast memoizes flattened broadcast inputs per dep.
 	bcast map[*dep][]any
+	// bcastBytes records the residency charged per pinned broadcast dep,
+	// so recovery can unpin a broadcast it re-lowers away.
+	bcastBytes map[*dep]int64
+
+	// attempts counts launches per stage root (recovery bounds reruns);
+	// raised tracks the cumulative partition-raise factor per stage root;
+	// recoveries counts all applied recoveries (replan provenance) while
+	// relowered counts only plan changes, which maxJobRecoveries caps.
+	attempts   map[*node]int
+	raised     map[*node]int
+	recoveries int
+	relowered  int
 
 	// memo caches computed partitions of the plan's fan-in>1 narrow
 	// nodes (diamond DAGs, overlapping narrowMaps, nodes read from
@@ -68,70 +91,38 @@ type onceEntry struct {
 
 // runJob plans and launches a job whose result is the materialized target
 // node: a planning step builds the physical plan, the event spine records
-// it, and the executor consumes it.
+// it, and the stage-graph runner (runner.go) consumes it — recovering and
+// replanning on failure when the session allows it.
 func (s *Session) runJob(target *node) ([][]any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := &job{
-		s:      s,
-		ep:     s.buildExecPlan(target),
-		mat:    map[*node][][]any{},
-		blocks: map[*dep][][]any{},
-		bcast:  map[*dep][]any{},
+		s:          s,
+		front:      map[*node]*checkpoint{},
+		blocks:     map[*dep][][]any{},
+		bcast:      map[*dep][]any{},
+		bcastBytes: map[*dep]int64{},
+		attempts:   map[*node]int{},
+		raised:     map[*node]int{},
 	}
 	clockBefore := s.sim.Clock()
 	s.sim.StartJob()
-	if s.obs.Enabled() {
-		s.obs.StartJob(fmt.Sprintf("#%d %s", target.id, target.label), j.ep.plan.String())
-	}
-	out, err := j.materialize(target)
+	out, err := j.run(target)
 	s.sim.ReleaseBroadcasts()
 	s.obs.EndJob(s.sim.Clock()-clockBefore, err)
 	return out, err
 }
 
-// materialize computes all partitions of stage root n (memoized).
-func (j *job) materialize(n *node) ([][]any, error) {
-	if data, ok := j.mat[n]; ok {
-		return data, nil
-	}
-	if n.cached {
-		n.cacheMu.Lock()
-		data := n.cacheData
-		n.cacheMu.Unlock()
-		if data != nil {
-			j.mat[n] = data
-			return data, nil
-		}
-	}
-
-	// The plan lists this stage's boundary deps; materialize their
-	// parents first.
-	st := j.ep.stageOf(n)
-	for _, pd := range st.Boundary {
-		if _, err := j.materialize(j.ep.enode(pd.Parent)); err != nil {
-			return nil, err
-		}
-	}
-	// Route shuffle blocks and pin broadcasts for the boundary deps.
-	for _, pd := range st.Boundary {
-		d := j.ep.edep(pd)
-		switch d.kind {
-		case depShuffle:
-			if err := j.buildBlocks(d); err != nil {
-				return nil, err
-			}
-		case depBroadcast:
-			if err := j.pinBroadcast(d); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Run the stage's tasks for real, in parallel on the session's
-	// persistent worker pool, measuring costs. results cannot be pooled
-	// (it outlives the stage in j.mat and possibly the node cache) but the
-	// cost buffer is per-stage scratch reused across the session.
+// launchStage runs the tasks of stage st (rooted at n) for real on the
+// host, submits their measured costs to the simulated cluster, and returns
+// the structured outcome: the simulator's StageReport on success, a typed
+// stageFailure otherwise. On success the result is checkpointed on the
+// job's frontier (and in the node cache for cached roots).
+func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
+	j.attempts[n]++
+	// results cannot be pooled (it outlives the stage on the frontier and
+	// possibly in the node cache) but the cost buffer is per-stage scratch
+	// reused across the session.
 	results := make([][]any, n.parts)
 	costs := j.s.stageCosts(n.parts)
 	observing := j.s.obs.Enabled()
@@ -188,7 +179,16 @@ func (j *job) materialize(n *node) ([][]any, error) {
 
 	rep, err := j.s.sim.RunStageReport(costs)
 	if err != nil {
-		return nil, fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(st), err)
+		var oom *cluster.OOMError
+		errors.As(err, &oom)
+		return stageResult{rep: rep, fail: &stageFailure{
+			root:      n,
+			st:        st,
+			oom:       oom,
+			transient: errors.Is(err, cluster.ErrTaskRetriesExhausted),
+			seconds:   rep.Seconds,
+			err:       fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(st), err),
+		}}
 	}
 	if observing {
 		var shuffleBytes float64
@@ -219,13 +219,13 @@ func (j *job) materialize(n *node) ([][]any, error) {
 		fmt.Printf("DBGSTAGE %-16s parts=%-5d dt=%.1f maxtask=%.1f w=%.0f chain=%s\n",
 			n.label, len(costs), rep.Seconds, mxC, n.weight, st.ChainString())
 	}
-	j.mat[n] = results
+	j.front[n] = &checkpoint{data: results, rep: rep}
 	if n.cached {
 		n.cacheMu.Lock()
 		n.cacheData = results
 		n.cacheMu.Unlock()
 	}
-	return results, nil
+	return stageResult{rep: rep}
 }
 
 // chainOf renders the stage's pipelined operator chain with record
@@ -246,26 +246,27 @@ func (j *job) chainOf(st *plan.Stage) string {
 
 // buildBlocks routes the materialized parent of shuffle dep d into the
 // child's partitions (see route.go for the parallel router).
-func (j *job) buildBlocks(d *dep) error {
+func (j *job) buildBlocks(d *dep) {
 	if _, ok := j.blocks[d]; ok {
-		return nil
+		return
 	}
-	parent := j.mat[d.parent]
+	parent := j.front[d.parent].data
 	if j.s.legacyExec {
 		j.blocks[d] = routeSerial(d, parent)
 	} else {
 		j.blocks[d] = j.s.routeParallel(d, parent)
 	}
-	return nil
 }
 
 // pinBroadcast flattens the parent of broadcast dep d and charges the
-// simulated cluster for holding it on every machine.
-func (j *job) pinBroadcast(d *dep) error {
+// simulated cluster for holding it on every machine. A failure is
+// reported as a structured stage outcome carrying the consuming operator
+// (owner), which is where recovery's broadcast demotion applies.
+func (j *job) pinBroadcast(d *dep, root *node, st *plan.Stage, owner *node) *stageFailure {
 	if _, ok := j.bcast[d]; ok {
 		return nil
 	}
-	parent := j.mat[d.parent]
+	parent := j.front[d.parent].data
 	var flat []any
 	if j.s.legacyExec {
 		flat = flattenSerial(parent)
@@ -275,7 +276,15 @@ func (j *job) pinBroadcast(d *dep) error {
 	bytes := j.s.estResidentBytes(flat, d.parent.weight)
 	clockBefore := j.s.sim.Clock()
 	if err := j.s.sim.Broadcast(bytes); err != nil {
-		return fmt.Errorf("engine: broadcast of %s failed: %w", d.parent.label, err)
+		var oom *cluster.OOMError
+		errors.As(err, &oom)
+		return &stageFailure{
+			root:  root,
+			st:    st,
+			owner: owner,
+			oom:   oom,
+			err:   fmt.Errorf("engine: broadcast of %s failed: %w", d.parent.label, err),
+		}
 	}
 	if j.s.obs.Enabled() {
 		j.s.obs.BroadcastPinned(obs.Broadcast{
@@ -285,6 +294,7 @@ func (j *job) pinBroadcast(d *dep) error {
 		})
 	}
 	j.bcast[d] = flat
+	j.bcastBytes[d] = bytes
 	return nil
 }
 
@@ -293,8 +303,8 @@ func (j *job) pinBroadcast(d *dep) error {
 // the plan's fan-in>1 narrow nodes are computed exactly once per job and
 // their task costs replayed to every consumer (see memoEntry).
 func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
-	if data, ok := j.mat[n]; ok {
-		return data[p]
+	if cp, ok := j.front[n]; ok {
+		return cp.data[p]
 	}
 	if j.ep.memo[n] {
 		ei, _ := j.memo.LoadOrStore(memoKey{n, p}, &memoEntry{})

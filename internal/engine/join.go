@@ -124,6 +124,13 @@ func broadcastJoin[K comparable, A, B any](small Dataset[Pair[K, A]], big Datase
 		}
 		return out
 	})
+	// Adaptive recovery's demotion target: the repartition join over the
+	// same inputs, at the same partition count (evaluated at demote time,
+	// after any partition raises).
+	n.fallback = &refallback{
+		rule: "join", choice: "broadcast", alt: "repartition",
+		build: func() *node { return repartitionJoin(small, big, big.n.parts).n },
+	}
 	return fromNode[Pair[K, Tuple2[A, B]]](s, n)
 }
 
@@ -147,6 +154,16 @@ func CrossWithBroadcast[A, B, C any](small Dataset[A], big Dataset[B], f func(A,
 		}
 		return out
 	})
+	// Demotion target: the mirrored half-lifted choice, repartitioned back
+	// to this operator's layout. introRule/introChoice stop recovery from
+	// bouncing between the two mirrors.
+	n.fallback = &refallback{
+		rule: "half-lifted", choice: "broadcast-scalar", alt: "broadcast-primary",
+		introRule: "half-lifted", introChoice: "broadcast-primary",
+		build: func() *node {
+			return Repartition(CrossBroadcastBig(small, big, f), big.n.parts).n
+		},
+	}
 	return fromNode[C](s, n)
 }
 
@@ -169,6 +186,13 @@ func CrossBroadcastBig[A, B, C any](small Dataset[A], big Dataset[B], f func(A, 
 		}
 		return out
 	})
+	n.fallback = &refallback{
+		rule: "half-lifted", choice: "broadcast-primary", alt: "broadcast-scalar",
+		introRule: "half-lifted", introChoice: "broadcast-scalar",
+		build: func() *node {
+			return Repartition(CrossWithBroadcast(small, big, f), small.n.parts).n
+		},
+	}
 	return fromNode[C](s, n)
 }
 

@@ -60,6 +60,20 @@ type node struct {
 	// that lets iterative programs keep static data in place.
 	pkey *partInfo
 
+	// children indexes the consumers of this node (every node holding a
+	// dep on it), maintained by newNode. Adaptive recovery uses it to
+	// splice a re-lowered replacement into the DAG and to bound which
+	// nodes a partition-count change may touch.
+	children []*node
+	// fixedParts marks nodes whose compute is partition-count-sensitive
+	// (MapPartitions UDFs, ZipWithUniqueID's captured stride): recovery
+	// must not change their partitioning.
+	fixedParts bool
+	// fallback, when set, describes the optimizer's alternative physical
+	// lowering for this operator (e.g. broadcast join -> repartition
+	// join). Recovery builds it when the chosen lowering OOMs at run time.
+	fallback *refallback
+
 	cached    bool
 	cacheMu   sync.Mutex
 	cacheData [][]any
@@ -166,7 +180,14 @@ func (s *Session) newNode(label string, parts int, deps []dep, compute func(tc *
 			}
 		}
 	}
-	return &node{id: s.newID(), label: label, parts: parts, deps: deps, compute: compute, weight: weight}
+	n := &node{id: s.newID(), label: label, parts: parts, deps: deps, compute: compute, weight: weight}
+	for i := range deps {
+		p := deps[i].parent
+		p.cacheMu.Lock()
+		p.children = append(p.children, n)
+		p.cacheMu.Unlock()
+	}
+	return n
 }
 
 func narrowDep(parent *node) dep { return dep{parent: parent, kind: depNarrow} }

@@ -70,6 +70,9 @@ func MapPartitions[A, B any](d Dataset[A], f func([]A) []B) Dataset[B] {
 		}
 		return out
 	})
+	// Partition-level UDFs see whole partitions; recovery must not change
+	// how the data is split under them.
+	n.fixedParts = true
 	return fromNode[B](d.s, n)
 }
 
@@ -114,6 +117,8 @@ func ZipWithUniqueID[A any](d Dataset[A]) Dataset[Pair[uint64, A]] {
 		}
 		return out
 	})
+	// The ID stride captures the partition count at construction time.
+	n.fixedParts = true
 	return fromNode[Pair[uint64, A]](d.s, n)
 }
 

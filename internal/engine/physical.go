@@ -31,6 +31,15 @@ func kindOf(k depKind) plan.DepKind {
 // distinct planning step of every job: the executor below only consumes
 // its output.
 func (s *Session) buildExecPlan(target *node) *execPlan {
+	return s.buildExecPlanFrom(target, nil, 0)
+}
+
+// buildExecPlanFrom is buildExecPlan for a recovery replan: nodes for
+// which done reports true are already materialized on the job's stage
+// frontier, so the planner treats them as leaves and plans only the
+// unfinished suffix of the DAG. replan is the job's recovery generation
+// (0 for the first plan).
+func (s *Session) buildExecPlanFrom(target *node, done func(*node) bool, replan int) *execPlan {
 	ep := &execPlan{
 		pnodes: map[*node]*plan.Node{},
 		enodes: map[*plan.Node]*node{},
@@ -43,6 +52,10 @@ func (s *Session) buildExecPlan(target *node) *execPlan {
 		pn := &plan.Node{ID: n.id, Label: n.label, Parts: n.parts, Weight: n.weight, Cached: n.cached}
 		ep.pnodes[n] = pn
 		ep.enodes[pn] = n
+		if done != nil && done(n) {
+			pn.Done = true
+			return pn // frontier leaf: the planner never looks below it
+		}
 		for i := range n.deps {
 			d := &n.deps[i]
 			pn.Deps = append(pn.Deps, &plan.Dep{
@@ -56,7 +69,7 @@ func (s *Session) buildExecPlan(target *node) *execPlan {
 		return pn
 	}
 	root := conv(target)
-	ep.plan = plan.Build(root, plan.Options{Memo: !s.legacyExec})
+	ep.plan = plan.Build(root, plan.Options{Memo: !s.legacyExec, Replan: replan})
 	ep.memo = make(map[*node]bool, len(ep.plan.Memo))
 	for pn := range ep.plan.Memo {
 		ep.memo[ep.enodes[pn]] = true

@@ -68,7 +68,12 @@ type Node struct {
 	Parts  int
 	Weight float64 // real records per element (rendering only)
 	Cached bool
-	Deps   []*Dep
+	// Done marks a node already materialized on the job's stage frontier
+	// when the plan is a recovery replan: it becomes a leaf stage with no
+	// boundary, and the planner never looks below it — the rebuilt plan
+	// covers only the unfinished suffix of the DAG.
+	Done bool
+	Deps []*Dep
 }
 
 // Options configure planning.
@@ -77,6 +82,10 @@ type Options struct {
 	// reference executor disables it and recomputes per consumer, as the
 	// pre-parallelism engine did.
 	Memo bool
+	// Replan, when > 0, records that this plan is the Nth rebuild of the
+	// job after an adaptive recovery. Rendering notes it, and Done marks
+	// become meaningful.
+	Replan int
 }
 
 // Stage is one unit of execution: its root node is materialized in full,
@@ -122,6 +131,9 @@ type Plan struct {
 	// partitions the executor computes once per job, replaying the
 	// recorded task costs to every consumer.
 	Memo map[*Node]bool
+	// Replan is the recovery generation this plan was built for (0 for a
+	// job's first plan); see Options.Replan.
+	Replan int
 
 	roots   map[*Node]bool
 	stageOf map[*Node]*Stage
@@ -149,10 +161,12 @@ func Build(target *Node, opt Options) *Plan {
 	p := &Plan{
 		Target:  target,
 		Memo:    map[*Node]bool{},
+		Replan:  opt.Replan,
 		roots:   map[*Node]bool{target: true},
 		stageOf: map[*Node]*Stage{},
 	}
-	// Pass 1: mark stage roots reachable from target.
+	// Pass 1: mark stage roots reachable from target. Done nodes (the
+	// recovery frontier) are leaves: their parents stay unplanned.
 	seen := map[*Node]bool{}
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -160,8 +174,11 @@ func Build(target *Node, opt Options) *Plan {
 			return
 		}
 		seen[n] = true
+		if n.Done {
+			return
+		}
 		for _, d := range n.Deps {
-			if d.Kind != Narrow || d.Parent.Cached {
+			if d.Kind != Narrow || d.Parent.Cached || d.Parent.Done {
 				p.roots[d.Parent] = true
 			}
 			walk(d.Parent)
@@ -199,6 +216,9 @@ func Build(target *Node, opt Options) *Plan {
 func (p *Plan) planMemo(seen map[*Node]bool) {
 	refs := map[*Node][]int32{}
 	for n := range seen {
+		if n.Done {
+			continue // frontier leaf: nothing below it is demanded
+		}
 		for _, d := range n.Deps {
 			if d.Kind != Narrow || p.roots[d.Parent] {
 				continue // roots are materialized, never recomputed
@@ -236,6 +256,9 @@ func (p *Plan) planMemo(seen map[*Node]bool) {
 // boundary returns the edges at the rim of root's stage, in the
 // executor's traversal order (dependency order, depth first).
 func (p *Plan) boundary(root *Node) []*Dep {
+	if root.Done {
+		return nil // frontier leaf: served from the checkpoint, no inputs
+	}
 	var out []*Dep
 	seen := map[*Node]bool{root: true}
 	var walk func(n *Node)
@@ -259,6 +282,9 @@ func (p *Plan) boundary(root *Node) []*Dep {
 // it stays inside the stage.
 func (p *Plan) chain(root *Node) []*Node {
 	chain := []*Node{root}
+	if root.Done {
+		return chain
+	}
 	cur := root
 	for len(cur.Deps) > 0 && cur.Deps[0].Kind == Narrow && !p.roots[cur.Deps[0].Parent] {
 		cur = cur.Deps[0].Parent
@@ -277,6 +303,9 @@ func (p *Plan) chain(root *Node) []*Node {
 // fixed DAG construction order (node IDs are allocated sequentially).
 func (p *Plan) String() string {
 	var b strings.Builder
+	if p.Replan > 0 {
+		fmt.Fprintf(&b, "Replan %d (resumed from stage frontier)\n", p.Replan)
+	}
 	for _, st := range p.Stages {
 		fmt.Fprintf(&b, "Stage %d root=#%d %s parts=%d", st.ID, st.Root.ID, st.Root.Label, st.Root.Parts)
 		if st.Root.Weight > 1 {
@@ -284,6 +313,9 @@ func (p *Plan) String() string {
 		}
 		if st.Root.Cached {
 			b.WriteString(" cached")
+		}
+		if st.Root.Done {
+			b.WriteString(" done")
 		}
 		if len(st.Chain) > 1 || len(st.Chain[len(st.Chain)-1].Deps) > 0 {
 			fmt.Fprintf(&b, " chain=%s", st.ChainString())

@@ -155,3 +155,68 @@ func TestStringRendersStagesBoundariesAndMemo(t *testing.T) {
 		t.Errorf("String():\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestReplanPrunesBelowDoneFrontier: on a recovery replan, a Done node is
+// a leaf stage served from the checkpoint — no boundary, no planning below
+// it — and the rendering carries the replan provenance.
+func TestReplanPrunesBelowDoneFrontier(t *testing.T) {
+	src := mk(1, "parallelize", 4)
+	m := mk(2, "mapPartitions", 4, &Dep{Parent: src, Kind: Narrow})
+	red := mk(3, "reduceByKey", 8, &Dep{Parent: m, Kind: Shuffle})
+	out := mk(4, "map", 8, &Dep{Parent: red, Kind: Narrow})
+	m.Done = true
+	p := Build(out, Options{Memo: true, Replan: 2})
+
+	if p.Replan != 2 {
+		t.Fatalf("Replan = %d", p.Replan)
+	}
+	if len(p.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2 (frontier leaf + suffix)", len(p.Stages))
+	}
+	leaf := p.StageOf(m)
+	if leaf == nil || len(leaf.Boundary) != 0 || len(leaf.Chain) != 1 {
+		t.Fatalf("frontier leaf stage = %+v", leaf)
+	}
+	if p.IsRoot(src) || p.StageOf(src) != nil {
+		t.Error("planner looked below the Done frontier")
+	}
+	s := p.String()
+	if !strings.HasPrefix(s, "Replan 2 (resumed from stage frontier)\n") {
+		t.Errorf("missing replan header:\n%s", s)
+	}
+	if !strings.Contains(s, "parts=4 done") {
+		t.Errorf("done mark not rendered:\n%s", s)
+	}
+}
+
+// TestDoneNarrowParentBecomesRoot: a Done parent consumed narrowly is a
+// stage boundary (read from the frontier), not pipelined into its child.
+func TestDoneNarrowParentBecomesRoot(t *testing.T) {
+	src := mk(1, "parallelize", 4)
+	m := mk(2, "map", 4, &Dep{Parent: src, Kind: Narrow})
+	f := mk(3, "filter", 4, &Dep{Parent: m, Kind: Narrow})
+	m.Done = true
+	p := Build(f, Options{Memo: true, Replan: 1})
+
+	if !p.IsRoot(m) {
+		t.Fatal("Done narrow parent must be a stage root")
+	}
+	st := p.StageOf(f)
+	if len(st.Boundary) != 1 || st.Boundary[0].Parent != m || st.Boundary[0].Kind != Narrow {
+		t.Fatalf("boundary = %+v", st.Boundary)
+	}
+	if len(st.Chain) != 1 {
+		t.Fatalf("chain = %d nodes, want the root alone", len(st.Chain))
+	}
+}
+
+// TestFirstPlanRendersWithoutReplanArtifacts: plans built before any
+// recovery look exactly as they always did.
+func TestFirstPlanRendersWithoutReplanArtifacts(t *testing.T) {
+	src := mk(1, "parallelize", 4)
+	m := mk(2, "map", 4, &Dep{Parent: src, Kind: Narrow})
+	s := Build(m, Options{Memo: true}).String()
+	if strings.Contains(s, "Replan") || strings.Contains(s, "done") {
+		t.Errorf("first plan carries replan artifacts:\n%s", s)
+	}
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/obs"
+)
+
+// recoverConfig is a small, memory-tight cluster with the adaptive
+// recovery loop enabled and an event recorder attached.
+func recoverConfig(mem int64) (Config, *obs.Recorder) {
+	rec := obs.NewRecorder()
+	cfg := DefaultConfig()
+	cfg.Cluster.Machines = 2
+	cfg.Cluster.CoresPerMachine = 2
+	cfg.Cluster.MemoryPerMachine = mem
+	cfg.DefaultParallelism = 4
+	cfg.Recover = true
+	cfg.Obs = rec
+	return cfg, rec
+}
+
+// recoveries flattens the recovery events of every job in the recorder.
+func recoveries(rec *obs.Recorder) []obs.Recovery {
+	var out []obs.Recovery
+	for _, j := range rec.Jobs() {
+		out = append(out, j.Recoveries...)
+	}
+	return out
+}
+
+// TestRecoverBroadcastOOMDemotesToRepartition: the same workload that
+// TestBroadcastOOM proves aborts now completes when recovery is on — the
+// broadcast join is demoted to its repartition fallback, the failed choice
+// is denylisted, and the virtual clock is deterministic across sessions.
+func TestRecoverBroadcastOOMDemotesToRepartition(t *testing.T) {
+	run := func() (map[int]int64, float64, *Session, *obs.Recorder) {
+		// 1 MB machines: ingesting small fits (~350 KB per task), but
+		// broadcasting all of it (~1.4 MB resident) does not.
+		cfg, rec := recoverConfig(1 << 20)
+		s := mustSession(cfg)
+		small := Parallelize(s, makePairs(2000), 4)
+		big := Parallelize(s, makePairs(10), 2)
+		got, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
+		if err != nil {
+			t.Fatalf("Collect with recovery: %v", err)
+		}
+		vals := make(map[int]int64, len(got))
+		for _, p := range got {
+			vals[p.Key] = p.Val.B
+		}
+		return vals, s.Clock(), s, rec
+	}
+
+	vals, clock1, s, rec := run()
+	if len(vals) != 10 {
+		t.Fatalf("join produced %d keys, want 10", len(vals))
+	}
+	for k := 0; k < 10; k++ {
+		if vals[k] != int64(k) {
+			t.Errorf("key %d joined to %d", k, vals[k])
+		}
+	}
+	if why, denied := s.Feedback().Denied("join", "broadcast"); !denied {
+		t.Error("failed broadcast choice not denylisted")
+	} else if !strings.Contains(why, "OOMed") {
+		t.Errorf("denylist reason = %q", why)
+	}
+	recs := recoveries(rec)
+	if len(recs) != 1 {
+		t.Fatalf("got %d recoveries, want 1: %+v", len(recs), recs)
+	}
+	if !strings.Contains(recs[0].What, "broadcast OOM") {
+		t.Errorf("What = %q", recs[0].What)
+	}
+	if recs[0].Action != "re-lowered(join=repartition)" {
+		t.Errorf("Action = %q", recs[0].Action)
+	}
+	if report := rec.Report(); !strings.Contains(report, "re-lowered(join=repartition)") {
+		t.Errorf("EXPLAIN ANALYZE does not render the recovery:\n%s", report)
+	}
+
+	_, clock2, _, _ := run()
+	if clock1 != clock2 {
+		t.Errorf("recovered clock not deterministic: %.6f vs %.6f", clock1, clock2)
+	}
+}
+
+// TestRecoverTaskOOMRaisesPartitions: a groupByKey whose per-task
+// residency overflows a machine is re-lowered to more, smaller partitions
+// and completes with the right groups.
+func TestRecoverTaskOOMRaisesPartitions(t *testing.T) {
+	// 512 KB machines: ingest at 8 partitions fits (~340 KB per machine
+	// per wave), grouping into 4 partitions does not (~700 KB).
+	cfg, rec := recoverConfig(512 << 10)
+	s := mustSession(cfg)
+	// 2000 single-element groups: splittable pressure, the opposite of the
+	// giant-group case below.
+	grouped, err := Collect(GroupByKey(Parallelize(s, makePairs(2000), 8)))
+	if err != nil {
+		t.Fatalf("Collect with recovery: %v", err)
+	}
+	if len(grouped) != 2000 {
+		t.Fatalf("got %d groups, want 2000", len(grouped))
+	}
+	sort.Slice(grouped, func(i, j int) bool { return grouped[i].Key < grouped[j].Key })
+	for i, g := range grouped {
+		if g.Key != i || len(g.Val) != 1 || g.Val[0] != int64(i) {
+			t.Fatalf("group[%d] = %+v", i, g)
+		}
+	}
+	recs := recoveries(rec)
+	if len(recs) == 0 {
+		t.Fatal("no recovery recorded")
+	}
+	if !strings.Contains(recs[0].What, "task OOM") || !strings.Contains(recs[0].Action, "re-lowered(parts ") {
+		t.Errorf("recovery = %+v", recs[0])
+	}
+	if s.Feedback().PartsBoost() <= 1 {
+		t.Errorf("parts boost = %d, want > 1", s.Feedback().PartsBoost())
+	}
+}
+
+// TestRecoverGiantGroupStillOOMs: a single unsplittable group defeats the
+// partition raise — recovery is bounded and the job still reports OOM,
+// exactly as the paper observes for the outer-parallel workaround.
+func TestRecoverGiantGroupStillOOMs(t *testing.T) {
+	// 1 MB machines: ingest fits, but the single ~3.5 MB group cannot be
+	// split by raising partitions — it always lands in one task.
+	cfg, _ := recoverConfig(1 << 20)
+	s := mustSession(cfg)
+	pairs := make([]Pair[int, int64], 5000)
+	for i := range pairs {
+		pairs[i] = KV(7, int64(i))
+	}
+	_, err := Collect(GroupByKey(Parallelize(s, pairs, 8)))
+	if !errors.Is(err, cluster.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM despite recovery", err)
+	}
+}
+
+// TestRecoverHalfLiftedDemotesBroadcastSide: when the broadcast-scalar
+// side of a half-lifted cross OOMs, recovery flips to the mirrored
+// broadcast-primary lowering and denylists the failed side.
+func TestRecoverHalfLiftedDemotesBroadcastSide(t *testing.T) {
+	// 1 MB machines: ingesting the scalar side fits (~300 KB per task),
+	// broadcasting it (~1.2 MB resident) does not; the mirrored lowering
+	// broadcasts the one-element primary instead.
+	cfg, rec := recoverConfig(1 << 20)
+	s := mustSession(cfg)
+	scalar := Parallelize(s, ints(2000), 4)
+	primary := Parallelize(s, []int{1000}, 2)
+	got, err := Collect(CrossWithBroadcast(scalar, primary, func(a, b int) int { return a + b }))
+	if err != nil {
+		t.Fatalf("Collect with recovery: %v", err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("cross produced %d elements, want 2000", len(got))
+	}
+	sort.Ints(got)
+	if got[0] != 1000 || got[len(got)-1] != 1000+1999 {
+		t.Fatalf("cross range [%d, %d]", got[0], got[len(got)-1])
+	}
+	if _, denied := s.Feedback().Denied("half-lifted", "broadcast-scalar"); !denied {
+		t.Error("failed half-lifted side not denylisted")
+	}
+	// The demote cascades: the mirrored lowering's repartition tail first
+	// holds the whole output in one task, which a parts raise then splits.
+	recs := recoveries(rec)
+	if len(recs) == 0 || recs[0].Action != "re-lowered(half-lifted=broadcast-primary)" {
+		t.Fatalf("recoveries = %+v", recs)
+	}
+}
+
+// TestRecoverTransientExhaustionRerunsDeterministically: exhausted task
+// retries rerun the stage (no plan change) and the virtual clock stays
+// deterministic — and strictly above the failure-free clock.
+func TestRecoverTransientExhaustionRerunsDeterministically(t *testing.T) {
+	run := func(rate float64) (int, float64, *obs.Recorder) {
+		cfg, rec := recoverConfig(1 << 30)
+		cfg.Cluster.TaskFailureRate = rate
+		s := mustSession(cfg)
+		got, err := Collect(Map(Parallelize(s, ints(500), 16), func(x int) int { return x + 1 }))
+		if err != nil {
+			t.Fatalf("Collect at rate %.2f: %v", rate, err)
+		}
+		sum := 0
+		for _, v := range got {
+			sum += v
+		}
+		return sum, s.Clock(), rec
+	}
+	want := 500 * 501 / 2
+	sumClean, clean, _ := run(0)
+	sumFlaky, flaky1, rec := run(0.3)
+	_, flaky2, _ := run(0.3)
+	if sumClean != want || sumFlaky != want {
+		t.Fatalf("sums = %d, %d, want %d", sumClean, sumFlaky, want)
+	}
+	if flaky1 != flaky2 {
+		t.Errorf("flaky clock not deterministic: %.6f vs %.6f", flaky1, flaky2)
+	}
+	if flaky1 <= clean {
+		t.Errorf("failures should cost time: %.3f <= %.3f", flaky1, clean)
+	}
+	for _, r := range recoveries(rec) {
+		if r.Action != "rerun" {
+			t.Errorf("transient recovery action = %q, want rerun", r.Action)
+		}
+	}
+}
+
+// TestRecoveryOffStillAborts: the recovery loop is opt-in; without it the
+// broadcast OOM aborts exactly as before.
+func TestRecoveryOffStillAborts(t *testing.T) {
+	cfg, _ := recoverConfig(4 << 10)
+	cfg.Recover = false
+	s := mustSession(cfg)
+	small := Parallelize(s, makePairs(2000), 4)
+	big := Parallelize(s, makePairs(10), 2)
+	_, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
+	if !errors.Is(err, cluster.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+}

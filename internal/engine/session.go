@@ -49,6 +49,14 @@ type Config struct {
 	// events and optimizer decisions of every job the session runs (the
 	// event spine behind EXPLAIN ANALYZE; see internal/obs).
 	Obs *obs.Recorder
+	// Recover enables the adaptive recovery loop: when a stage or
+	// broadcast fails with cluster.ErrOutOfMemory (or exhausts its
+	// injected-failure retries), the job re-lowers the offending subplan
+	// — raising partition counts, demoting broadcasts — and resumes from
+	// its completed-stage frontier instead of aborting. Off by default:
+	// the paper's workaround baselines must die exactly where the real
+	// systems die.
+	Recover bool
 }
 
 // DefaultConfig returns a Config for the paper's 25-machine cluster.
@@ -85,8 +93,70 @@ type Session struct {
 	// Recorder methods are nil-safe).
 	obs *obs.Recorder
 
+	// feedback carries runtime failures back to the lowering phase:
+	// denylisted physical choices and partition-count boosts. Always
+	// non-nil; it only receives entries when Config.Recover is on.
+	feedback *Feedback
+
 	mu sync.Mutex
 }
+
+// Feedback is the session-level channel from the executor's adaptive
+// recovery loop back to the lowering phase (Sec. 8): physical choices that
+// failed at run time are denylisted by (rule, choice), and partition
+// counts carry a boost factor. The optimizer consults it on every later
+// lowering in the session, so a choice that OOMed once is never re-picked
+// — neither by the resumed job nor by subsequent jobs.
+type Feedback struct {
+	mu         sync.Mutex
+	denied     map[[2]string]string // (rule, choice) -> why
+	partsBoost int
+}
+
+func newFeedback() *Feedback {
+	return &Feedback{denied: map[[2]string]string{}, partsBoost: 1}
+}
+
+// Deny denylists a (rule, choice) pair, keeping the first reason.
+func (f *Feedback) Deny(rule, choice, why string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.denied[[2]string{rule, choice}]; !ok {
+		f.denied[[2]string{rule, choice}] = why
+	}
+}
+
+// Denied reports whether a (rule, choice) pair is denylisted, and why.
+func (f *Feedback) Denied(rule, choice string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	why, ok := f.denied[[2]string{rule, choice}]
+	return why, ok
+}
+
+// BoostParts multiplies the partition-count boost the optimizer applies to
+// future shuffle lowerings (saturating at maxPartsRaise).
+func (f *Feedback) BoostParts(factor int) {
+	if factor < 1 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partsBoost *= factor
+	if f.partsBoost > maxPartsRaise {
+		f.partsBoost = maxPartsRaise
+	}
+}
+
+// PartsBoost returns the accumulated partition-count boost (1 = none).
+func (f *Feedback) PartsBoost() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partsBoost
+}
+
+// Feedback returns the session's optimizer feedback registry.
+func (s *Session) Feedback() *Feedback { return s.feedback }
 
 // processSeed is the hash seed shared by every session in the process.
 // Partitioning hashes are still randomized across processes (as with a
@@ -121,6 +191,7 @@ func NewSession(cfg Config) (*Session, error) {
 		pool:       newWorkerPool(workers),
 		legacyExec: cfg.LegacyExec,
 		obs:        cfg.Obs,
+		feedback:   newFeedback(),
 	}
 	// The pool's workers reference only the pool, so a dropped Session is
 	// still collectable; this cleanup then shuts its workers down. Close

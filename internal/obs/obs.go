@@ -48,6 +48,17 @@ type Broadcast struct {
 	Seconds float64 // simulated-clock delta of the pin
 }
 
+// Recovery is the record of one adaptive-recovery action: a stage (or its
+// broadcast) failed, and the engine re-lowered the offending subplan — or
+// decided to rerun the stage — and resumed the job from its frontier.
+type Recovery struct {
+	Stage   int     // plan stage id of the failed stage
+	Label   string  // stage root operator
+	What    string  // failure flavor, e.g. "broadcast OOM (...)"
+	Action  string  // e.g. "re-lowered(join=repartition)", "re-lowered(parts 200→800)", "rerun"
+	Seconds float64 // virtual time charged to the failed attempt
+}
+
 // Job is the record of one engine job: the plan it ran and what happened.
 type Job struct {
 	ID         int
@@ -56,6 +67,7 @@ type Job struct {
 	Seconds    float64
 	Stages     []Stage
 	Broadcasts []Broadcast
+	Recoveries []Recovery
 	Err        string
 }
 
@@ -125,6 +137,18 @@ func (r *Recorder) BroadcastPinned(b Broadcast) {
 	defer r.mu.Unlock()
 	if r.cur != nil {
 		r.cur.Broadcasts = append(r.cur.Broadcasts, b)
+	}
+}
+
+// StageRecovered appends an adaptive-recovery record to the current job.
+func (r *Recorder) StageRecovered(rec Recovery) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur != nil {
+		r.cur.Recoveries = append(r.cur.Recoveries, rec)
 	}
 }
 
@@ -220,6 +244,14 @@ func (r *Recorder) Report() string {
 		for _, bc := range j.Broadcasts {
 			fmt.Fprintf(&b, "  Broadcast %-14s %s %s pinned cluster-wide\n", bc.Label, secs(bc.Seconds), bytesStr(bc.Bytes))
 		}
+		for _, rc := range j.Recoveries {
+			outcome := "ok"
+			if j.Err != "" {
+				outcome = "failed"
+			}
+			fmt.Fprintf(&b, "  Recovery stage %d %s: %s → %s → %s (failed attempt cost %s)\n",
+				rc.Stage, rc.Label, rc.What, rc.Action, outcome, secs(rc.Seconds))
+		}
 		if j.Err != "" {
 			fmt.Fprintf(&b, "  ERROR: %s\n", j.Err)
 		}
@@ -251,6 +283,10 @@ func (r *Recorder) Trace() string {
 		for _, bc := range j.Broadcasts {
 			fmt.Fprintf(&b, "job %d broadcast label=%s bytes=%s dt=%s\n", j.ID, bc.Label, bytesStr(bc.Bytes), secs(bc.Seconds))
 		}
+		for _, rc := range j.Recoveries {
+			fmt.Fprintf(&b, "job %d recovery stage=%d label=%s what=%q action=%q charged=%s\n",
+				j.ID, rc.Stage, rc.Label, rc.What, rc.Action, secs(rc.Seconds))
+		}
 		fmt.Fprintf(&b, "job %d end dt=%s err=%q\n", j.ID, secs(j.Seconds), j.Err)
 	}
 	for _, d := range r.Decisions() {
@@ -264,9 +300,11 @@ func (r *Recorder) Trace() string {
 }
 
 // sameShape reports whether two jobs ran the same plan against the same
-// target (iterative supersteps repeat these exactly).
+// target (iterative supersteps repeat these exactly). Jobs that recovered
+// are never collapsed — their recovery lines must stay visible.
 func sameShape(a, b Job) bool {
-	return a.Target == b.Target && a.Plan == b.Plan && a.Err == "" && b.Err == ""
+	return a.Target == b.Target && a.Plan == b.Plan && a.Err == "" && b.Err == "" &&
+		len(a.Recoveries) == 0 && len(b.Recoveries) == 0
 }
 
 // dedupDecisions groups identical decisions with a count, preserving

@@ -129,3 +129,49 @@ func TestEventsOutsideJobAreDropped(t *testing.T) {
 		t.Errorf("jobs = %+v", jobs)
 	}
 }
+
+// TestRecoveryRendering: recovery events appear in both Report and Trace,
+// with the outcome taken from how the job ended, and a recovered job is
+// never collapsed into an iterative run.
+func TestRecoveryRendering(t *testing.T) {
+	r := NewRecorder()
+	r.StartJob("#9 collect", "Stage 1 root=#9 collect parts=4\n")
+	r.StageRecovered(Recovery{
+		Stage: 1, Label: "broadcastJoin",
+		What:   "broadcast OOM (9000 bytes over a 4096-byte budget)",
+		Action: "re-lowered(join=repartition)",
+	})
+	r.StageRecovered(Recovery{
+		Stage: 2, Label: "groupByKey",
+		What:   "task OOM (wave 2, machine 1: 9000 bytes over a 4096-byte budget)",
+		Action: "re-lowered(parts 200→800)", Seconds: 1.25,
+	})
+	r.EndJob(3, nil)
+	// An identical-looking job without recoveries: must not collapse.
+	r.StartJob("#9 collect", "Stage 1 root=#9 collect parts=4\n")
+	r.EndJob(3, nil)
+
+	rep := r.Report()
+	okLine := "  Recovery stage 1 broadcastJoin: broadcast OOM (9000 bytes over a 4096-byte budget) → re-lowered(join=repartition) → ok (failed attempt cost 0.00s)\n"
+	if !strings.Contains(rep, okLine) {
+		t.Errorf("report missing recovery line:\n%s", rep)
+	}
+	if !strings.Contains(rep, "re-lowered(parts 200→800) → ok (failed attempt cost 1.25s)") {
+		t.Errorf("report missing parts recovery:\n%s", rep)
+	}
+	if strings.Contains(rep, "(x2)") {
+		t.Errorf("recovered job collapsed with a clean one:\n%s", rep)
+	}
+	if !strings.Contains(r.Trace(), `job 1 recovery stage=2 label=groupByKey what="task OOM (wave 2, machine 1: 9000 bytes over a 4096-byte budget)" action="re-lowered(parts 200→800)" charged=1.25s`) {
+		t.Errorf("trace missing recovery line:\n%s", r.Trace())
+	}
+
+	// A failed job renders the same recovery with outcome "failed".
+	r2 := NewRecorder()
+	r2.StartJob("#9 collect", "plan\n")
+	r2.StageRecovered(Recovery{Stage: 1, Label: "groupByKey", What: "task OOM", Action: "re-lowered(parts 4→32)"})
+	r2.EndJob(1, errors.New("still OOM"))
+	if !strings.Contains(r2.Report(), "task OOM → re-lowered(parts 4→32) → failed") {
+		t.Errorf("failed outcome not rendered:\n%s", r2.Report())
+	}
+}

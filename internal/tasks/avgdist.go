@@ -111,7 +111,7 @@ func engineConnectedComponents(sess *engine.Session, edges engine.Dataset[datage
 // per Sec. 7), and the lifted BFS loop expanding frontiers as parallel bag
 // operations (level 3).
 func (sp AvgDistSpec) runMatryoshka(cc cluster.Config) Outcome {
-	sess, err := newSession(cc)
+	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(avgDistName, Matryoshka, err)
 	}

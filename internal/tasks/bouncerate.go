@@ -87,7 +87,7 @@ func (e *unknownStrategyError) Error() string { return "tasks: unknown strategy 
 // expressed with the nesting primitives (Listing 2), lowered to the flat
 // plan (Listing 3) at run time.
 func (sp BounceRateSpec) runMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess, err := newSession(cc)
+	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(bounceRateName, Matryoshka, err)
 	}

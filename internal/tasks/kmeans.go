@@ -80,7 +80,7 @@ func (sp KMeansSpec) Run(strat Strategy, cc cluster.Config) Outcome {
 // (the exact shape Sec. 2.3 motivates). opt is exposed for the Fig. 8
 // half-lifted ablation.
 func (sp KMeansSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess, err := newSession(cc)
+	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(kMeansName, Matryoshka, err)
 	}

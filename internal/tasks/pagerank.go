@@ -90,7 +90,7 @@ type prDN struct {
 // iteration lifted per Sec. 6 (groups converge at different iterations).
 // opt is exposed for the Fig. 8 join-strategy ablation.
 func (sp PageRankSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome {
-	sess, err := newSession(cc)
+	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(pageRankName, Matryoshka, err)
 	}

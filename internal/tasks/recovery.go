@@ -1,0 +1,109 @@
+package tasks
+
+import (
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/engine"
+)
+
+// MemPressureSpec is the paper's Sec. 9 memory-pressure failure modes
+// distilled into one standalone workload: a broadcast join whose build
+// side is oversized for the machines, followed by an outer-parallel-style
+// grouped aggregation whose tasks buffer whole groups. Without the
+// engine's adaptive recovery both stages abort with
+// cluster.ErrOutOfMemory; with it the join is demoted to a repartition
+// join and the group stage is re-lowered to more, smaller partitions, and
+// the run completes. It backs `matbench -explain recovery` and the
+// sec9-recovery experiment.
+type MemPressureSpec struct {
+	BuildRecords int // pairs on the broadcast join's build (left) side
+	ProbeKeys    int // distinct keys on the probe side; build keys cycle over 2x this
+	GroupRecords int // pairs feeding the grouped aggregation
+	Groups       int // distinct group keys (each group stays small and splittable)
+	IngestParts  int // partition count for ingest and the join
+	GroupParts   int // initial partition count of the group stage (the one recovery raises)
+}
+
+// MemPressureValue is the task's checkable result.
+type MemPressureValue struct {
+	JoinRows   int   // build rows whose key matched the probe side
+	Groups     int   // distinct groups seen
+	GroupTotal int64 // sum over all groups of the group size
+}
+
+const memPressureName = "mem-pressure"
+
+func (sp MemPressureSpec) buildPairs() []engine.Pair[int, int64] {
+	pairs := make([]engine.Pair[int, int64], sp.BuildRecords)
+	for i := range pairs {
+		pairs[i] = engine.KV(i%(2*sp.ProbeKeys), int64(i))
+	}
+	return pairs
+}
+
+func (sp MemPressureSpec) groupPairs() []engine.Pair[int, int64] {
+	pairs := make([]engine.Pair[int, int64], sp.GroupRecords)
+	for i := range pairs {
+		pairs[i] = engine.KV(i%sp.Groups, int64(1))
+	}
+	return pairs
+}
+
+// Reference computes the task sequentially in driver memory.
+func (sp MemPressureSpec) Reference() MemPressureValue {
+	rows := 0
+	for _, p := range sp.buildPairs() {
+		if p.Key < sp.ProbeKeys {
+			rows++
+		}
+	}
+	return MemPressureValue{
+		JoinRows:   rows,
+		Groups:     sp.Groups,
+		GroupTotal: int64(sp.GroupRecords),
+	}
+}
+
+// Run executes the scenario on a fresh simulated cluster under the
+// Matryoshka runtime (the only strategy with adaptive recovery; flip
+// Recovery off to reproduce the abort-before behaviour).
+func (sp MemPressureSpec) Run(cc cluster.Config) Outcome {
+	sess, err := newMatryoshkaSession(cc)
+	if err != nil {
+		return failed(memPressureName, Matryoshka, err)
+	}
+
+	// Job 1: broadcast join with an oversized build side (Sec. 9.6's
+	// failing broadcast, forced the way a size-blind system would).
+	build := engine.Parallelize(sess, sp.buildPairs(), sp.IngestParts)
+	probe := make([]engine.Pair[int, int64], sp.ProbeKeys)
+	for k := range probe {
+		probe[k] = engine.KV(k, int64(k))
+	}
+	probeDS := engine.Parallelize(sess, probe, 1)
+	joined, err := engine.Collect(engine.JoinWith(build, probeDS, engine.JoinBroadcastLeft, sp.IngestParts))
+	if err != nil {
+		return finish(memPressureName, Matryoshka, sess, nil, err)
+	}
+
+	// Job 2: the outer-parallel workaround's group stage — whole groups
+	// buffered per task (Sec. 9.4), under-partitioned the way Sec. 8.1
+	// warns against.
+	grouped := engine.GroupByKeyN(engine.Parallelize(sess, sp.groupPairs(), sp.IngestParts), sp.GroupParts)
+	sizes, err := engine.Collect(engine.Map(grouped, func(g engine.Pair[int, []int64]) engine.Pair[int, int64] {
+		var n int64
+		for _, v := range g.Val {
+			n += v
+		}
+		return engine.KV(g.Key, n)
+	}))
+	if err != nil {
+		return finish(memPressureName, Matryoshka, sess, nil, err)
+	}
+
+	var total int64
+	for _, g := range sizes {
+		total += g.Val
+	}
+	value := MemPressureValue{JoinRows: len(joined), Groups: len(sizes), GroupTotal: total}
+	return finish(memPressureName, Matryoshka, sess, value, nil)
+}

@@ -68,9 +68,17 @@ func (o Outcome) String() string {
 
 // newSession builds an engine session on a fresh simulated cluster. An
 // invalid cluster configuration is reported as an error, which runs turn
-// into a failed Outcome via finish.
+// into a failed Outcome via finish. The workaround baselines use it
+// directly: they must die exactly where the systems they model die.
 func newSession(cc cluster.Config) (*engine.Session, error) {
 	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, Obs: Obs})
+}
+
+// newMatryoshkaSession is newSession with the engine's adaptive recovery
+// loop enabled (unless Recovery is flipped off): the runtime half of the
+// paper's lowering phase, available only to the Matryoshka strategy.
+func newMatryoshkaSession(cc cluster.Config) (*engine.Session, error) {
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, Obs: Obs, Recover: Recovery})
 }
 
 // recordWeight is the session's simulation scale (real records per
@@ -119,3 +127,10 @@ var LegacyExec bool
 // decisions of every session created by tasks — the hook matbench's
 // --explain/--trace flags use to render EXPLAIN ANALYZE for a run.
 var Obs *obs.Recorder
+
+// Recovery enables adaptive OOM/failure recovery on Matryoshka sessions
+// (engine.Config.Recover): failed physical choices are re-lowered and jobs
+// resume from their stage frontier. On by default; the memory-pressure
+// experiments flip it off to show the abort-vs-recover gap. Workaround
+// baselines never recover regardless.
+var Recovery = true
