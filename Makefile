@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench figures fmt-check
+.PHONY: check test race vet build bench figures fmt-check sched-bench
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -36,3 +36,11 @@ bench:
 ## (internal/bench/testdata/bench_rows.csv).
 figures:
 	$(GO) run ./cmd/matbench -q -csv internal/bench/testdata/bench_rows.csv
+
+## sched-bench: smoke the multi-tenant scheduler — both sweep tables
+## plus one speculation run (what EXPERIMENTS.md's sec-sched section
+## reports).
+sched-bench:
+	$(GO) run ./cmd/matbench -q -exp sec-sched
+	$(GO) run ./cmd/matbench -q -exp sec-sched-straggle
+	$(GO) run ./cmd/matbench -tenants 3 -policy fair -speculate -straggle 0.25

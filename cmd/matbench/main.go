@@ -12,6 +12,8 @@
 //	matbench -trace bounce-rate     # raw job/stage/decision event stream
 //	matbench -explain recovery -mem 2147483648   # watch adaptive recovery re-lower OOMs
 //	matbench -explain bounce-rate -faultrate 0.2 # task retries + rerun recoveries
+//	matbench -tenants 3 -policy fair -speculate -straggle 0.25
+//	                                 # one multi-tenant scheduling run (p50/p99/makespan)
 //
 // Reported times are simulated cluster seconds (see internal/cluster);
 // absolute values depend on the scale, the relative shapes are the result.
@@ -26,7 +28,31 @@ import (
 	"time"
 
 	"matryoshka/internal/bench"
+	"matryoshka/internal/sched"
 )
+
+// validateFlags rejects out-of-domain knob values before any experiment
+// runs, so a typo fails with a usage error instead of a misleading
+// sweep (a fault rate of 1.2 would silently clamp deep inside the
+// simulator; negative memory would "fit" nothing and OOM everything).
+func validateFlags(mem int64, faultRate, straggle float64, tenants int, policy string) error {
+	if faultRate < 0 || faultRate > 1 {
+		return fmt.Errorf("-faultrate %v is not a probability (want 0..1)", faultRate)
+	}
+	if mem < 0 {
+		return fmt.Errorf("-mem %d is negative (want bytes per machine, 0 = paper default)", mem)
+	}
+	if straggle < 0 || straggle > 1 {
+		return fmt.Errorf("-straggle %v is not a rate (want 0..1)", straggle)
+	}
+	if tenants < 0 {
+		return fmt.Errorf("-tenants %d is negative", tenants)
+	}
+	if policy != string(sched.PolicyFIFO) && policy != string(sched.PolicyFair) {
+		return fmt.Errorf("-policy %q is unknown (want fifo or fair)", policy)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -39,8 +65,17 @@ func main() {
 		trace     = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
 		mem       = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
 		faultRate = flag.Float64("faultrate", 0, "inject transient task failures with this probability per task")
+		tenants   = flag.Int("tenants", 0, "run one multi-tenant scheduling workload with this many interactive tenants (plus a batch tenant)")
+		policy    = flag.String("policy", "fair", "scheduling policy for -tenants: fifo or fair")
+		speculate = flag.Bool("speculate", false, "enable speculative straggler re-execution for -tenants")
+		straggle  = flag.Float64("straggle", 0.25, "straggler rate for -tenants: fraction of tasks stretched 8x")
 	)
 	flag.Parse()
+	if err := validateFlags(*mem, *faultRate, *straggle, *tenants, *policy); err != nil {
+		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -49,6 +84,16 @@ func main() {
 		return
 	}
 	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate}
+
+	if *tenants > 0 {
+		out, err := bench.SchedSummary(sc, *tenants, *straggle, sched.Policy(*policy), *speculate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	if *explain != "" || *trace != "" {
 		task, asTrace := *explain, false

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		mem       int64
+		faultRate float64
+		straggle  float64
+		tenants   int
+		policy    string
+		wantErr   string // "" = valid
+	}{
+		{name: "defaults", straggle: 0.25, policy: "fair"},
+		{name: "fifo policy", straggle: 0, tenants: 4, policy: "fifo"},
+		{name: "boundary rates", faultRate: 1, straggle: 1, policy: "fair"},
+		{name: "faultrate above 1", faultRate: 1.2, policy: "fair", wantErr: "-faultrate"},
+		{name: "faultrate negative", faultRate: -0.1, policy: "fair", wantErr: "-faultrate"},
+		{name: "mem negative", mem: -1, policy: "fair", wantErr: "-mem"},
+		{name: "straggle above 1", straggle: 1.5, policy: "fair", wantErr: "-straggle"},
+		{name: "tenants negative", tenants: -2, policy: "fair", wantErr: "-tenants"},
+		{name: "unknown policy", policy: "lottery", wantErr: "-policy"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.mem, c.faultRate, c.straggle, c.tenants, c.policy)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

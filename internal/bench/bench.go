@@ -125,6 +125,8 @@ func Registry() []Experiment {
 		{ID: "fig9-pagerank", Title: "Fig. 9: 8x input, large cluster, PageRank", XName: "inner computations", Run: Fig9PageRank},
 		{ID: "fig9-bounce", Title: "Fig. 9: 8x input, large cluster, Bounce Rate", XName: "inner computations", Run: Fig9Bounce},
 		{ID: "sec9-recovery", Title: "Sec. 9 memory pressure: abort vs adaptive recovery", XName: "GB per machine", Run: Sec9Recovery},
+		{ID: "sec-sched", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs tenants (25% stragglers)", XName: "interactive tenants", Run: SecSched},
+		{ID: "sec-sched-straggle", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs straggler rate (3 tenants)", XName: "straggler %", Run: SecSchedStraggle},
 	}
 }
 

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"matryoshka/internal/sched"
+)
+
+// TestSecSchedShape asserts the experiment's headline claim at every
+// swept tenant count: fair share + speculation beats FIFO on
+// interactive p99 by a wide margin at equal-or-better makespan.
+func TestSecSchedShape(t *testing.T) {
+	rows := SecSched(DefaultScale())
+	get := func(series string, x float64) float64 {
+		t.Helper()
+		for _, r := range rows {
+			if r.Series == series && r.X == x {
+				if r.Err != "" {
+					t.Fatalf("%s at x=%v failed: %s", series, x, r.Err)
+				}
+				return r.Seconds
+			}
+		}
+		t.Fatalf("no row for %s at x=%v", series, x)
+		return 0
+	}
+	for _, x := range []float64{1, 3, 6} {
+		fifoP99, specP99 := get("fifo/p99", x), get("fair+spec/p99", x)
+		if specP99 >= fifoP99 {
+			t.Errorf("x=%v: fair+spec p99 %.2f not below fifo p99 %.2f", x, specP99, fifoP99)
+		}
+		if specP99 > fifoP99/2 {
+			t.Errorf("x=%v: fair+spec p99 %.2f is not a decisive improvement over fifo %.2f", x, specP99, fifoP99)
+		}
+		fifoMk, specMk := get("fifo/makespan", x), get("fair+spec/makespan", x)
+		if specMk > fifoMk+1e-9 {
+			t.Errorf("x=%v: fair+spec makespan %.2f worse than fifo %.2f", x, specMk, fifoMk)
+		}
+		// Speculation, not fairness alone, is what wins back the makespan
+		// under 25% stragglers.
+		if fairMk := get("fair/makespan", x); specMk >= fairMk {
+			t.Errorf("x=%v: speculation did not improve fair-share makespan (%.2f vs %.2f)", x, specMk, fairMk)
+		}
+	}
+}
+
+// TestSecSchedDeterministic: the sweep is pure — two runs produce
+// bit-identical rows.
+func TestSecSchedDeterministic(t *testing.T) {
+	a, b := SecSched(DefaultScale()), SecSched(DefaultScale())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sec-sched rows differ between runs")
+	}
+}
+
+// TestSecSchedStraggleSpeculationClipsTail: at a 15% straggler rate the
+// speculative series must beat plain fair share on makespan (backup
+// copies finish the stretched tasks early).
+func TestSecSchedStraggleSpeculationClipsTail(t *testing.T) {
+	rows := SecSchedStraggle(DefaultScale())
+	var fairMk, specMk float64
+	for _, r := range rows {
+		if r.X != 15 {
+			continue
+		}
+		switch r.Series {
+		case "fair/makespan":
+			fairMk = r.Seconds
+		case "fair+spec/makespan":
+			specMk = r.Seconds
+		}
+	}
+	if fairMk == 0 || specMk == 0 {
+		t.Fatal("missing makespan rows at 15% straggle")
+	}
+	if specMk >= fairMk {
+		t.Errorf("speculation makespan %.2f not below fair %.2f at 15%% stragglers", specMk, fairMk)
+	}
+}
+
+// TestSchedSummary exercises the matbench quick path end to end.
+func TestSchedSummary(t *testing.T) {
+	out, err := SchedSummary(DefaultScale(), 3, 0.25, sched.PolicyFair, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"policy=fair +speculation", "p99=", "makespan=", "tenant batch", "tenant int2", "speculation: launched="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventClockOrdersByTimeThenSeq(t *testing.T) {
+	var c EventClock
+	c.Schedule(3.0, 30)
+	c.Schedule(1.0, 10)
+	c.Schedule(2.0, 20)
+	c.Schedule(1.0, 11) // same time as key 10, scheduled later
+	var keys []uint64
+	for {
+		ev, ok := c.Next()
+		if !ok {
+			break
+		}
+		keys = append(keys, ev.Key)
+	}
+	want := []uint64{10, 11, 20, 30}
+	if len(keys) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("pop[%d] = %d, want %d", i, keys[i], want[i])
+		}
+	}
+	if c.Now() != 3.0 {
+		t.Errorf("clock = %f, want 3.0", c.Now())
+	}
+}
+
+func TestEventClockDropDoesNotAdvance(t *testing.T) {
+	var c EventClock
+	c.Schedule(5.0, 1)
+	c.Schedule(9.0, 2)
+	if ev, ok := c.Drop(); !ok || ev.Key != 1 {
+		t.Fatalf("Drop = %+v, %v; want key 1", ev, ok)
+	}
+	if c.Now() != 0 {
+		t.Errorf("Drop advanced the clock to %f", c.Now())
+	}
+	if ev, ok := c.Next(); !ok || ev.Key != 2 || c.Now() != 9.0 {
+		t.Errorf("Next after Drop = %+v, %v, clock %f; want key 2 at 9.0", ev, ok, c.Now())
+	}
+}
+
+func TestEventClockRejectsPastEvents(t *testing.T) {
+	var c EventClock
+	c.Schedule(2.0, 1)
+	c.Next()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling before the clock did not panic")
+		}
+	}()
+	c.Schedule(1.0, 2)
+}
+
+func TestSkewDeterministicAndCalibrated(t *testing.T) {
+	k := Skew{Rate: 0.25, Factor: 8, Seed: 7}
+	stragglers := 0
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		a := k.Stretch(1, 2, i)
+		if a != k.Stretch(1, 2, i) {
+			t.Fatalf("Stretch not deterministic for id %d", i)
+		}
+		switch a {
+		case 8:
+			stragglers++
+		case 1:
+		default:
+			t.Fatalf("Stretch = %f, want 1 or 8", a)
+		}
+	}
+	got := float64(stragglers) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("straggler rate = %.4f, want ~0.25", got)
+	}
+	if (Skew{}).Stretch(1) != 1 {
+		t.Error("zero Skew should be the identity")
+	}
+	if (Skew{Rate: 1, Factor: 8}).Stretch(42) != 8 {
+		t.Error("Rate 1 should always straggle")
+	}
+}
+
+func TestSkewSeedChangesDraws(t *testing.T) {
+	a := Skew{Rate: 0.5, Factor: 4, Seed: 1}
+	b := Skew{Rate: 0.5, Factor: 4, Seed: 2}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.Stretch(i) == b.Stretch(i) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical straggler sets")
+	}
+}
+
+func TestSpecPolicyThreshold(t *testing.T) {
+	p := SpecPolicy{Quantile: 0.75, Multiplier: 1.5, MinCompleted: 2}
+
+	if _, ok := p.Threshold([]float64{1, 1}, 8); ok {
+		t.Error("2 of 8 completed should not trigger speculation at q=0.75")
+	}
+	// 6 of 8 = ceil(0.75*8): eligible; quantile of completed durations
+	// [1..6] at 0.75 → index ceil(0.75*6)-1 = 4 → 5.0; threshold 7.5.
+	thr, ok := p.Threshold([]float64{1, 2, 3, 4, 5, 6}, 8)
+	if !ok {
+		t.Fatal("6 of 8 completed should trigger speculation")
+	}
+	if thr != 7.5 {
+		t.Errorf("threshold = %f, want 7.5", thr)
+	}
+	// MinCompleted floors tiny stages: 1 of 1 completed is below the
+	// 2-task minimum.
+	if _, ok := p.Threshold([]float64{1}, 1); ok {
+		t.Error("a 1-task stage should never speculate with MinCompleted 2")
+	}
+	// Zero value falls back to the Spark-like defaults.
+	if thr, ok := (SpecPolicy{}).Threshold([]float64{2, 2, 2}, 4); !ok || thr != 3 {
+		t.Errorf("zero policy threshold = %f, %v; want 3, true", thr, ok)
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSimulatorConcurrentStageStress backs the package's "safe for
+// concurrent use" claim with a -race witness: many goroutines hammer
+// RunStageReport (plus broadcasts and clock reads) on one simulator, and
+// every observation the mutex is supposed to guarantee is asserted —
+// the clock never goes backwards from any goroutine's point of view, each
+// stage's charge is visible in the clock delta around it, and the final
+// clock equals the sum of all per-stage charges.
+func TestSimulatorConcurrentStageStress(t *testing.T) {
+	const (
+		goroutines = 16
+		stages     = 50
+	)
+	cfg := DefaultConfig()
+	cfg.TaskFailureRate = 0.05 // exercise the rng under contention too
+	cfg.MaxTaskRetries = 1000  // retries, not aborts
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		charged float64
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tasks := make([]Task, 8+g)
+			for i := range tasks {
+				tasks[i] = Task{Compute: 0.01 * float64(i+1), Memory: 1 << 10}
+			}
+			last := sim.Clock()
+			for i := 0; i < stages; i++ {
+				before := sim.Clock()
+				if before < last {
+					t.Errorf("goroutine %d: clock went backwards: %.6f < %.6f", g, before, last)
+					return
+				}
+				rep, err := sim.RunStageReport(tasks)
+				if err != nil {
+					t.Errorf("goroutine %d: stage %d: %v", g, i, err)
+					return
+				}
+				after := sim.Clock()
+				// The stage's own charge is at least visible; other
+				// goroutines may have added more in between.
+				if after < before+rep.Seconds-1e-9 {
+					t.Errorf("goroutine %d: clock advanced %.6f for a %.6f-second stage", g, after-before, rep.Seconds)
+					return
+				}
+				if err := sim.Broadcast(1 << 8); err != nil {
+					t.Errorf("goroutine %d: broadcast: %v", g, err)
+					return
+				}
+				last = after
+				mu.Lock()
+				charged += rep.Seconds
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := sim.Stats()
+	if st.Stages != goroutines*stages {
+		t.Errorf("stats.Stages = %d, want %d", st.Stages, goroutines*stages)
+	}
+	wantBroadcasts := goroutines * stages
+	if st.Broadcasts != wantBroadcasts {
+		t.Errorf("stats.Broadcasts = %d, want %d", st.Broadcasts, wantBroadcasts)
+	}
+	// All stage charges plus the broadcast charges account for the whole
+	// clock (float tolerance: the summation orders differ).
+	bcast := float64(wantBroadcasts) * float64(1<<8) * cfg.PerByteBroadcast
+	if got := sim.Clock(); math.Abs(got-(charged+bcast)) > 1e-6*got {
+		t.Errorf("clock = %.6f, want sum of charges %.6f", got, charged+bcast)
+	}
+}

@@ -105,11 +105,11 @@ func (s *Session) runJob(target *node) ([][]any, error) {
 		attempts:   map[*node]int{},
 		raised:     map[*node]int{},
 	}
-	clockBefore := s.sim.Clock()
-	s.sim.StartJob()
+	clockBefore := s.exec.Clock()
+	s.exec.StartJob()
 	out, err := j.run(target)
-	s.sim.ReleaseBroadcasts()
-	s.obs.EndJob(s.sim.Clock()-clockBefore, err)
+	s.exec.ReleaseBroadcasts()
+	s.obs.EndJob(s.exec.Clock()-clockBefore, err)
 	return out, err
 }
 
@@ -177,7 +177,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 		panic(panicked)
 	}
 
-	rep, err := j.s.sim.RunStageReport(costs)
+	rep, err := j.s.exec.RunStageReport(costs)
 	if err != nil {
 		var oom *cluster.OOMError
 		errors.As(err, &oom)
@@ -196,17 +196,21 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			shuffleBytes += sb
 		}
 		j.s.obs.StageRan(obs.Stage{
-			Stage:        st.ID,
-			Label:        n.label,
-			Chain:        st.ChainString(),
-			Parts:        n.parts,
-			ShuffleBytes: shuffleBytes,
-			MemoHits:     j.memoHits.Load() - memoHitsBefore,
-			Seconds:      rep.Seconds,
-			BusySeconds:  rep.BusySeconds,
-			Retries:      rep.Retries,
-			MaxTaskSec:   rep.MaxTaskSec,
-			MaxTaskMem:   rep.MaxTaskMem,
+			Stage:         st.ID,
+			Label:         n.label,
+			Chain:         st.ChainString(),
+			Parts:         n.parts,
+			ShuffleBytes:  shuffleBytes,
+			MemoHits:      j.memoHits.Load() - memoHitsBefore,
+			Seconds:       rep.Seconds,
+			BusySeconds:   rep.BusySeconds,
+			Retries:       rep.Retries,
+			MaxTaskSec:    rep.MaxTaskSec,
+			MaxTaskMem:    rep.MaxTaskMem,
+			QueueWait:     rep.QueueWait,
+			SpecLaunched:  rep.SpecLaunched,
+			SpecWon:       rep.SpecWon,
+			SpecWastedSec: rep.SpecWastedSec,
 		})
 	}
 	if j.s.cfg.DebugStages && rep.Seconds > 1 {
@@ -274,8 +278,8 @@ func (j *job) pinBroadcast(d *dep, root *node, st *plan.Stage, owner *node) *sta
 		flat = j.s.flattenParallel(parent)
 	}
 	bytes := j.s.estResidentBytes(flat, d.parent.weight)
-	clockBefore := j.s.sim.Clock()
-	if err := j.s.sim.Broadcast(bytes); err != nil {
+	clockBefore := j.s.exec.Clock()
+	if err := j.s.exec.Broadcast(bytes); err != nil {
 		var oom *cluster.OOMError
 		errors.As(err, &oom)
 		return &stageFailure{
@@ -290,7 +294,7 @@ func (j *job) pinBroadcast(d *dep, root *node, st *plan.Stage, owner *node) *sta
 		j.s.obs.BroadcastPinned(obs.Broadcast{
 			Label:   d.parent.label,
 			Bytes:   bytes,
-			Seconds: j.s.sim.Clock() - clockBefore,
+			Seconds: j.s.exec.Clock() - clockBefore,
 		})
 	}
 	j.bcast[d] = flat

@@ -312,7 +312,7 @@ func (j *job) purgeNode(n *node) {
 // unpin releases the broadcast pinned for dep d, if any.
 func (j *job) unpin(d *dep) {
 	if b, ok := j.bcastBytes[d]; ok {
-		j.s.sim.Unpin(b)
+		j.s.exec.Unpin(b)
 		delete(j.bcastBytes, d)
 	}
 	delete(j.bcast, d)

@@ -1,0 +1,235 @@
+package engine
+
+// Integration of sessions with the multi-tenant scheduler
+// (internal/sched): sessions sharing one slot pool via Config.Backend,
+// non-blocking SubmitJob with admission control, and — the tenancy
+// property the recovery loop must preserve — per-session isolation of
+// optimizer feedback: one tenant's adaptive re-lowering must never
+// perturb another tenant's plans.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"matryoshka/internal/obs"
+	"matryoshka/internal/sched"
+)
+
+// sharedPool builds a scheduler over the same tight 2x2 cluster the
+// recovery tests use, plus a session Config template describing it.
+func sharedPool(t *testing.T, mem int64) (*sched.Scheduler, Config) {
+	t.Helper()
+	cfg, _ := recoverConfig(mem)
+	cfg.Obs = nil
+	cfg.Recover = false
+	sc, err := sched.New(sched.Config{Cluster: cfg.Cluster, Policy: sched.PolicyFair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, cfg
+}
+
+// TestSessionsShareSchedulerPool runs two sessions as tenants of one
+// scheduler, each submitting jobs through SubmitJob from its own
+// goroutine, and requires correct results plus bit-identical per-tenant
+// clocks across repeated runs.
+func TestSessionsShareSchedulerPool(t *testing.T) {
+	run := func() [2]float64 {
+		sc, cfg := sharedPool(t, 64<<20)
+		var clocks [2]float64
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			tn, err := sc.Register([]string{"alice", "bob"}[i], 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Backend = tn
+			s := mustSession(c)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer tn.Done()
+				for j := 0; j < 2; j++ {
+					h, err := s.SubmitJob(func() (any, error) {
+						d := Map(Parallelize(s, ints(4000), 8), func(x int) int { return 2 * x })
+						return Count(Filter(d, func(x int) bool { return x%4 == 0 }))
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v, err := h.Wait()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v.(int64) != 2000 {
+						t.Errorf("tenant %d job %d: count = %v, want 2000", i, j, v)
+						return
+					}
+				}
+				clocks[i] = s.Clock()
+			}(i)
+		}
+		wg.Wait()
+		if m := sc.Metrics(); m.Clock <= 0 {
+			t.Fatal("shared pool did no work")
+		}
+		return clocks
+	}
+	base := run()
+	if base[0] <= 0 || base[1] <= 0 {
+		t.Fatalf("clocks not recorded: %v", base)
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != base {
+			t.Fatalf("run %d clocks diverged: %v vs %v", i, got, base)
+		}
+	}
+}
+
+// TestSubmitJobBackpressure: a tenant with a one-job budget rejects a
+// second concurrent submission with ErrBackpressure, and the slot frees
+// when the admitted job finishes.
+func TestSubmitJobBackpressure(t *testing.T) {
+	sc, cfg := sharedPool(t, 64<<20)
+	tn, err := sc.Register("a", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Backend = tn
+	s := mustSession(cfg)
+	defer tn.Done()
+
+	release := make(chan struct{})
+	h, err := s.SubmitJob(func() (any, error) {
+		<-release
+		return Count(Parallelize(s, ints(100), 4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitJob(func() (any, error) { return nil, nil }); !errors.Is(err, sched.ErrBackpressure) {
+		t.Fatalf("second submission: err = %v, want ErrBackpressure", err)
+	}
+	close(release)
+	if v, err := h.Wait(); err != nil || v.(int64) != 100 {
+		t.Fatalf("admitted job: %v, %v", v, err)
+	}
+	// The finished job released its admission slot.
+	h2, err := s.SubmitJob(func() (any, error) {
+		return Count(Parallelize(s, ints(50), 2))
+	})
+	if err != nil {
+		t.Fatalf("post-finish submission rejected: %v", err)
+	}
+	if v, err := h2.Wait(); err != nil || v.(int64) != 50 {
+		t.Fatalf("post-finish job: %v, %v", v, err)
+	}
+}
+
+// TestSubmitJobOnPrivateSimulator: SubmitJob works without a Gate — a
+// plain single-tenant session just gets the future.
+func TestSubmitJobOnPrivateSimulator(t *testing.T) {
+	s := testSession()
+	h, err := s.SubmitJob(func() (any, error) {
+		return Count(Parallelize(s, ints(64), 4))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.Wait(); err != nil || v.(int64) != 64 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+// TestSubmitJobPanicBecomesError: a panicking submission resolves the
+// future with an error instead of crashing the process.
+func TestSubmitJobPanicBecomesError(t *testing.T) {
+	s := testSession()
+	h, err := s.SubmitJob(func() (any, error) { panic("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err == nil {
+		t.Fatal("panicked job reported no error")
+	}
+}
+
+// TestRecoveryFeedbackIsolatedAcrossTenants: tenant A's broadcast join
+// OOMs and is adaptively re-lowered to a repartition join; tenant B runs
+// its own broadcast join on the same pool at the same time. A's failure
+// must denylist the choice in A's session only — B's feedback stays
+// clean, B's plans keep broadcasting, and both get correct results.
+func TestRecoveryFeedbackIsolatedAcrossTenants(t *testing.T) {
+	// 1 MB machines: A broadcasts ~1.4 MB (OOMs, recovers); B broadcasts
+	// ~7 KB (fits).
+	sc, cfg := sharedPool(t, 1<<20)
+	cfg.Recover = true
+	recA, recB := obs.NewRecorder(), obs.NewRecorder()
+	tnA, err := sc.Register("alice", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tnB, err := sc.Register("bob", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := cfg, cfg
+	ca.Backend, ca.Obs = tnA, recA
+	cb.Backend, cb.Obs = tnB, recB
+	sa, sb := mustSession(ca), mustSession(cb)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer tnA.Done()
+		small := Parallelize(sa, makePairs(2000), 4)
+		big := Parallelize(sa, makePairs(10), 2)
+		got, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
+		if err != nil {
+			t.Errorf("tenant A join with recovery: %v", err)
+			return
+		}
+		if len(got) != 10 {
+			t.Errorf("tenant A joined %d keys, want 10", len(got))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer tnB.Done()
+		small := Parallelize(sb, makePairs(10), 2)
+		big := Parallelize(sb, makePairs(2000), 4)
+		got, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
+		if err != nil {
+			t.Errorf("tenant B join: %v", err)
+			return
+		}
+		if len(got) != 10 {
+			t.Errorf("tenant B joined %d keys, want 10", len(got))
+		}
+	}()
+	wg.Wait()
+
+	if _, denied := sa.Feedback().Denied("join", "broadcast"); !denied {
+		t.Error("tenant A's failed broadcast choice not denylisted in A's session")
+	}
+	if why, denied := sb.Feedback().Denied("join", "broadcast"); denied {
+		t.Errorf("tenant A's denylist leaked into tenant B's session: %q", why)
+	}
+	if boost := sb.Feedback().PartsBoost(); boost != 1 {
+		t.Errorf("tenant B's partition boost perturbed: %d, want 1", boost)
+	}
+	if n := len(recoveries(recA)); n != 1 {
+		t.Errorf("tenant A recorded %d recoveries, want 1", n)
+	}
+	if n := len(recoveries(recB)); n != 0 {
+		t.Errorf("tenant B recorded %d recoveries, want 0", n)
+	}
+}

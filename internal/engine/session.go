@@ -49,6 +49,14 @@ type Config struct {
 	// events and optimizer decisions of every job the session runs (the
 	// event spine behind EXPLAIN ANALYZE; see internal/obs).
 	Obs *obs.Recorder
+	// Backend, when non-nil, replaces the session's private simulator as
+	// the target the session charges virtual time and memory to — the
+	// multi-tenant scheduler's Tenant handles (internal/sched) implement
+	// it, so many sessions can share one slot pool. Cluster must describe
+	// the same pool the backend schedules onto (it still sizes
+	// DefaultParallelism and the optimizer's memory estimates). When nil,
+	// NewSession builds a private cluster.Simulator as before.
+	Backend Backend
 	// Recover enables the adaptive recovery loop: when a stage or
 	// broadcast fails with cluster.ErrOutOfMemory (or exhausts its
 	// injected-failure retries), the job re-lowers the offending subplan
@@ -67,8 +75,12 @@ func DefaultConfig() Config {
 // Session is the driver context: it owns the DAG node namespace, the
 // simulated cluster, and the worker pool that executes tasks for real.
 type Session struct {
-	cfg    Config
+	cfg Config
+	// sim is the session-private simulator; nil when the session runs on
+	// a shared Backend. exec is what jobs actually charge: sim, or
+	// Config.Backend. All execution paths go through exec.
 	sim    *cluster.Simulator
+	exec   Backend
 	seed   maphash.Seed
 	nextID atomic.Int64
 
@@ -175,8 +187,16 @@ func NewSession(cfg Config) (*Session, error) {
 	if cfg.DefaultParallelism <= 0 {
 		cfg.DefaultParallelism = 3 * cfg.Cluster.Slots()
 	}
-	sim, err := cluster.New(cfg.Cluster)
-	if err != nil {
+	var sim *cluster.Simulator
+	exec := cfg.Backend
+	if exec == nil {
+		var err error
+		sim, err = cluster.New(cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		exec = sim
+	} else if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
 	}
 	workers := cfg.HostParallelism
@@ -186,6 +206,7 @@ func NewSession(cfg Config) (*Session, error) {
 	s := &Session{
 		cfg:        cfg,
 		sim:        sim,
+		exec:       exec,
 		seed:       processSeed,
 		workers:    workers,
 		pool:       newWorkerPool(workers),
@@ -225,21 +246,28 @@ func (s *Session) Config() Config { return s.cfg }
 func (s *Session) DefaultParallelism() int { return s.cfg.DefaultParallelism }
 
 // Simulator exposes the simulated cluster (for harnesses and tests).
+// It is nil when the session runs on a shared Backend.
 func (s *Session) Simulator() *cluster.Simulator { return s.sim }
 
 // Obs returns the session's event recorder; nil (a valid no-op sink) when
 // observation is off. The lowering phase logs optimizer decisions here.
 func (s *Session) Obs() *obs.Recorder { return s.obs }
 
-// Clock returns the current virtual time in seconds.
-func (s *Session) Clock() float64 { return s.sim.Clock() }
+// Clock returns the current virtual time in seconds. On a shared
+// Backend this is the session's own timeline, not the global clock.
+func (s *Session) Clock() float64 { return s.exec.Clock() }
 
 // Stats returns cluster statistics (jobs, stages, tasks, broadcasts).
-func (s *Session) Stats() cluster.Stats { return s.sim.Stats() }
+func (s *Session) Stats() cluster.Stats { return s.exec.Stats() }
 
 // ResetClock rewinds the virtual clock and stats; the DAG and caches are
-// kept. Useful to time a phase in isolation.
-func (s *Session) ResetClock() { s.sim.Reset() }
+// kept. Useful to time a phase in isolation. No-op on a shared Backend —
+// a tenant cannot rewind the pool's clock.
+func (s *Session) ResetClock() {
+	if s.sim != nil {
+		s.sim.Reset()
+	}
+}
 
 func (s *Session) newID() int64 { return s.nextID.Add(1) }
 

@@ -1,0 +1,106 @@
+package engine
+
+// Non-blocking job submission and the Backend abstraction. A Session
+// normally charges virtual time to its private cluster.Simulator; with
+// Config.Backend it charges a shared multi-tenant pool instead
+// (internal/sched's Tenant implements Backend). SubmitJob layers
+// admission control and futures on top: a submission is admitted (or
+// rejected with the backend's backpressure error) synchronously, then
+// runs on its own goroutine while the caller holds a JobHandle.
+
+import (
+	"fmt"
+
+	"matryoshka/internal/cluster"
+)
+
+// Backend is where a session charges virtual time and memory: either
+// its private *cluster.Simulator or a shared multi-tenant scheduler's
+// tenant handle. The method set is exactly the slice of the Simulator
+// API the executor uses, so the Simulator satisfies it unchanged.
+type Backend interface {
+	// StartJob charges the per-job launch overhead and counts the job.
+	StartJob()
+	// RunStageReport charges one stage of tasks and reports what the
+	// virtual cluster did.
+	RunStageReport(tasks []cluster.Task) (cluster.StageReport, error)
+	// Broadcast pins bytes cluster-wide until the job ends (or they are
+	// unpinned), charging the distribution time.
+	Broadcast(bytes int64) error
+	// Unpin releases part of the pinned broadcast bytes early.
+	Unpin(bytes int64)
+	// ReleaseBroadcasts unpins everything — the end-of-job hook.
+	ReleaseBroadcasts()
+	// Clock returns the session's virtual time.
+	Clock() float64
+	// Stats returns the session's accumulated counters.
+	Stats() cluster.Stats
+}
+
+var _ Backend = (*cluster.Simulator)(nil)
+
+// Gate is the optional admission-control facet of a Backend. A backend
+// that implements it (the scheduler's tenant handle does; the Simulator
+// does not) can reject a submission up front — backpressure — instead
+// of queueing unboundedly. Every admitted submission is paired with a
+// Finish call when its job ends.
+type Gate interface {
+	Admit() error
+	Finish()
+}
+
+// JobHandle is the future returned by SubmitJob.
+type JobHandle struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Done returns a channel closed when the job has finished.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its result.
+func (h *JobHandle) Wait() (any, error) {
+	<-h.done
+	return h.val, h.err
+}
+
+// Err blocks until the job finishes and returns its error, for
+// submissions whose result is delivered out of band.
+func (h *JobHandle) Err() error {
+	<-h.done
+	return h.err
+}
+
+// SubmitJob runs `run` — a closure invoking the session's actions
+// (Collect, Count, ...) — asynchronously and returns a future for its
+// result. If the session's backend applies admission control and the
+// tenant is over budget, SubmitJob rejects synchronously with an error
+// wrapping the backend's backpressure sentinel and the closure never
+// runs.
+//
+// Jobs within one session still execute one at a time (the session
+// serializes them); SubmitJob buys overlap across sessions on a shared
+// backend, plus a non-blocking driver loop.
+func (s *Session) SubmitJob(run func() (any, error)) (*JobHandle, error) {
+	gate, _ := s.exec.(Gate)
+	if gate != nil {
+		if err := gate.Admit(); err != nil {
+			return nil, err
+		}
+	}
+	h := &JobHandle{done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		if gate != nil {
+			defer gate.Finish()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				h.err = fmt.Errorf("engine: submitted job panicked: %v", r)
+			}
+		}()
+		h.val, h.err = run()
+	}()
+	return h, nil
+}

@@ -39,6 +39,15 @@ type Stage struct {
 	Retries      int     // injected transient task failures
 	MaxTaskSec   float64 // slowest simulated task
 	MaxTaskMem   int64   // largest task memory claim
+
+	// Multi-tenant scheduler accounting (zero when the session runs
+	// directly on the single-job simulator). QueueWait is virtual time the
+	// stage spent waiting for slots held by other tenants; the Spec fields
+	// count speculative straggler mitigation on this stage.
+	QueueWait     float64
+	SpecLaunched  int
+	SpecWon       int
+	SpecWastedSec float64
 }
 
 // Broadcast is the record of one pinned broadcast.
@@ -57,6 +66,20 @@ type Recovery struct {
 	What    string  // failure flavor, e.g. "broadcast OOM (...)"
 	Action  string  // e.g. "re-lowered(join=repartition)", "re-lowered(parts 200→800)", "rerun"
 	Seconds float64 // virtual time charged to the failed attempt
+}
+
+// SchedEvent is one multi-tenant scheduler event: a stage queue wait, a
+// speculative backup launched / won / wasted, or an admission rejection.
+// Unlike the per-job records above, scheduler events are recorded on a
+// session-independent stream: they describe the shared pool, not one
+// session's job.
+type SchedEvent struct {
+	Tenant  string
+	Job     int    // tenant-local job sequence
+	Stage   int    // job-local stage sequence
+	Kind    string // "queue-wait", "speculate", "spec-won", "spec-wasted", "admit-reject"
+	Seconds float64
+	Detail  string
 }
 
 // Job is the record of one engine job: the plan it ran and what happened.
@@ -78,6 +101,7 @@ type Recorder struct {
 	jobs      []Job
 	cur       *Job
 	decisions []Decision
+	sched     []SchedEvent
 }
 
 // NewRecorder returns an empty recorder.
@@ -162,6 +186,26 @@ func (r *Recorder) Decide(d Decision) {
 	r.decisions = append(r.decisions, d)
 }
 
+// Sched appends a multi-tenant scheduler event.
+func (r *Recorder) Sched(e SchedEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sched = append(r.sched, e)
+}
+
+// SchedEvents returns the scheduler event stream.
+func (r *Recorder) SchedEvents() []SchedEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SchedEvent(nil), r.sched...)
+}
+
 // Jobs returns the completed job records.
 func (r *Recorder) Jobs() []Job {
 	if r == nil {
@@ -235,6 +279,12 @@ func (r *Recorder) Report() string {
 			if s.Retries > 0 {
 				fmt.Fprintf(&b, " retries=%d", s.Retries)
 			}
+			if s.QueueWait > 0.005 {
+				fmt.Fprintf(&b, " wait=%s", secs(s.QueueWait))
+			}
+			if s.SpecLaunched > 0 {
+				fmt.Fprintf(&b, " spec=%d/%d won, %s wasted", s.SpecWon, s.SpecLaunched, secs(s.SpecWastedSec))
+			}
 			fmt.Fprintf(&b, " maxtask=%s", secs(s.MaxTaskSec))
 			if s.Chain != s.Label {
 				fmt.Fprintf(&b, " chain=%s", s.Chain)
@@ -262,6 +312,31 @@ func (r *Recorder) Report() string {
 		b.WriteString("\nOptimizer decisions (Sec. 8):\n")
 		for _, line := range dedupDecisions(decisions) {
 			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+
+	if sched := r.SchedEvents(); len(sched) > 0 {
+		b.WriteString("\nScheduler events:\n")
+		var wait, wasted float64
+		launched, won, rejected := 0, 0, 0
+		for _, e := range sched {
+			switch e.Kind {
+			case "queue-wait":
+				wait += e.Seconds
+			case "speculate":
+				launched++
+			case "spec-won":
+				won++
+			case "spec-wasted":
+				wasted += e.Seconds
+			case "admit-reject":
+				rejected++
+			}
+		}
+		fmt.Fprintf(&b, "  queue wait %s across stages; %d backups launched, %d won, %s wasted; %d submissions rejected\n",
+			secs(wait), launched, won, secs(wasted), rejected)
+		for _, e := range sched {
+			fmt.Fprintf(&b, "  [%s job %d stage %d] %-11s %s  %s\n", e.Tenant, e.Job, e.Stage, e.Kind, secs(e.Seconds), e.Detail)
 		}
 	}
 	return b.String()
@@ -295,6 +370,10 @@ func (r *Recorder) Trace() string {
 			forced = " forced"
 		}
 		fmt.Fprintf(&b, "decision rule=%s choice=%s%s why=%q\n", d.Rule, d.Choice, forced, d.Why)
+	}
+	for _, e := range r.SchedEvents() {
+		fmt.Fprintf(&b, "sched tenant=%s job=%d stage=%d kind=%s dt=%s detail=%q\n",
+			e.Tenant, e.Job, e.Stage, e.Kind, secs(e.Seconds), e.Detail)
 	}
 	return b.String()
 }

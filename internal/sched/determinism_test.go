@@ -1,0 +1,170 @@
+package sched
+
+// Determinism is the scheduler's hard requirement: for a fixed seed,
+// virtual-clock results are bit-identical across runs — including under
+// -race, including when tenant goroutines interleave differently. These
+// tests shake the wall-clock interleaving on purpose (per-run random
+// sleeps between scheduler calls) and then compare Metrics snapshots
+// with exact float equality: any dependence on goroutine timing shows
+// up as a diff, not a tolerance violation.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"matryoshka/internal/cluster"
+)
+
+// runConcurrentScenario drives four tenants with different job shapes
+// from separate goroutines. jitterSeed only perturbs wall-clock sleeps —
+// it must never reach the virtual results.
+func runConcurrentScenario(t *testing.T, jitterSeed int64) Metrics {
+	t.Helper()
+	s, err := New(Config{
+		Cluster:   testConfig(),
+		Policy:    PolicyFair,
+		Speculate: true,
+		Straggle:  cluster.Skew{Rate: 0.15, Factor: 6, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := make([]*Tenant, 4)
+	for i := range tenants {
+		tn, err := s.Register(fmt.Sprintf("t%d", i), float64(1+i%2), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = tn
+	}
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, tn *Tenant) {
+			defer wg.Done()
+			defer tn.Done()
+			rng := rand.New(rand.NewSource(jitterSeed*31 + int64(i)))
+			for j := 0; j < 3+i; j++ {
+				// Host-side "work" of run-varying wall duration: the virtual
+				// clock must not care.
+				time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				tn.StartJob()
+				if j%2 == 0 {
+					if err := tn.Broadcast(int64(i+1) << 18); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for st := 0; st < 1+j%2; st++ {
+					n := 4 + 3*i + j
+					tasks := make([]cluster.Task, n)
+					for k := range tasks {
+						tasks[k] = cluster.Task{Compute: 0.02 + 0.01*float64((i+j+k)%7), Memory: 1 << 20}
+					}
+					if _, err := tn.RunStageReport(tasks); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				tn.ReleaseBroadcasts()
+			}
+		}(i, tn)
+	}
+	wg.Wait()
+	return s.Metrics()
+}
+
+func TestConcurrentTenantsBitIdentical(t *testing.T) {
+	base := runConcurrentScenario(t, 1)
+	if base.Clock <= 0 {
+		t.Fatal("scenario did no work")
+	}
+	for seed := int64(2); seed <= 6; seed++ {
+		got := runConcurrentScenario(t, seed)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("jitter seed %d diverged from seed 1:\nbase: %+v\ngot:  %+v", seed, base, got)
+		}
+	}
+}
+
+// TestWorkloadBitIdentical repeats an identical declared workload and
+// requires exactly equal latencies, makespan, and metrics.
+func TestWorkloadBitIdentical(t *testing.T) {
+	run := func() WorkloadResult {
+		s, err := New(Config{
+			Cluster:   testConfig(),
+			Policy:    PolicyFair,
+			Speculate: true,
+			Straggle:  cluster.Skew{Rate: 0.2, Factor: 8, Seed: 42},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs []JobSpec
+		for i := 0; i < 20; i++ {
+			tenant := "a"
+			if i%3 == 0 {
+				tenant = "b"
+			}
+			jobs = append(jobs, JobSpec{
+				Tenant:  tenant,
+				Arrival: 0.3 * float64(i%7),
+				Stages: [][]cluster.Task{
+					uniformStage(4+i%9, 0.05+0.01*float64(i%5), 1<<20),
+					uniformStage(2+i%3, 0.1, 1<<20),
+				},
+			})
+		}
+		res, err := s.RunWorkload(
+			[]TenantSpec{{Name: "a", Weight: 1}, {Name: "b", Weight: 2, Budget: 8}},
+			jobs,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); !reflect.DeepEqual(base, got) {
+			t.Fatalf("workload run %d diverged:\nbase: %+v\ngot:  %+v", i, base, got)
+		}
+	}
+}
+
+// TestSpeculationAccountingConsistent cross-checks the speculation
+// counters: every win implies a launch, and wins never exceed launches;
+// wasted time only appears when something won or was cancelled.
+func TestSpeculationAccountingConsistent(t *testing.T) {
+	s, err := New(Config{
+		Cluster:   testConfig(),
+		Speculate: true,
+		Straggle:  cluster.Skew{Rate: 0.25, Factor: 10, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []JobSpec
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, JobSpec{Tenant: "a", Arrival: float64(i),
+			Stages: [][]cluster.Task{uniformStage(32, 0.5, 1<<20)}})
+	}
+	res, err := s.RunWorkload([]TenantSpec{{Name: "a"}}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.SpecWon > m.SpecLaunched {
+		t.Errorf("SpecWon %d > SpecLaunched %d", m.SpecWon, m.SpecLaunched)
+	}
+	if m.SpecLaunched == 0 {
+		t.Error("25% straggler rate at factor 10 should trigger speculation")
+	}
+	if m.SpecWon > 0 && m.SpecWastedSec <= 0 {
+		t.Error("wins without any wasted core·seconds")
+	}
+}

@@ -1,0 +1,934 @@
+// Package sched is a multi-tenant job scheduler for the simulated
+// cluster: it sits between engine sessions and the shared slot pool,
+// accepting concurrent job submissions from multiple tenants and placing
+// their stages' tasks under a pluggable policy (FIFO, weighted fair
+// share), with per-tenant admission control and speculative re-execution
+// of straggling tasks.
+//
+// The paper's inner-parallel programs launch thousands of tiny jobs
+// (Sec. 9 measures exactly that job-launch overhead), but a single
+// cluster.Simulator executes one job at a time: there is no notion of
+// concurrent jobs, tenants, or contention. This package adds that layer.
+// Time is kept on a deterministic event-queue virtual clock
+// (cluster.EventClock): tasks from different jobs interleave at task
+// granularity, not wave granularity, and every decision — placement
+// order, straggler draws, speculation triggers — is a pure function of
+// virtual state and the seed, never of goroutine interleaving. For a
+// fixed seed, makespans and per-job latencies are bit-identical across
+// runs.
+//
+// Two entry points share the same event loop:
+//
+//   - RunWorkload executes a declared batch of jobs (arrival times,
+//     stages, tasks) single-threadedly — the sec-sched experiment's path.
+//   - Register returns a Tenant that implements the engine's Backend
+//     interface, so real engine sessions running on separate goroutines
+//     charge their stages to the shared pool. Determinism under real
+//     concurrency comes from quiescence gating: the event loop only
+//     advances when every live tenant is parked inside a scheduler call,
+//     and pending submissions are admitted in virtual-time order with
+//     total tie-breaking (tenant id, job, stage).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/obs"
+)
+
+// Policy names a task-placement policy.
+type Policy string
+
+const (
+	// PolicyFIFO places tasks in job-arrival order — the head-of-line
+	// blocking baseline.
+	PolicyFIFO Policy = "fifo"
+	// PolicyFair places the next task from the tenant with the smallest
+	// weighted dominant share of core·time and memory·time (weighted DRF).
+	PolicyFair Policy = "fair"
+)
+
+// ErrBackpressure reports a submission rejected by per-tenant admission
+// control: the tenant already has its budget of jobs in flight.
+var ErrBackpressure = errors.New("sched: tenant submission queue over budget")
+
+// Config describes the shared pool and the scheduling policy.
+type Config struct {
+	// Cluster provides the slot pool (Machines × CoresPerMachine), the
+	// per-machine memory budget, and the overhead cost model
+	// (JobLaunchOverhead, StageOverhead, TaskOverhead).
+	Cluster cluster.Config
+	// Policy selects task placement; default PolicyFIFO.
+	Policy Policy
+	// Speculate enables speculative straggler mitigation: a backup copy
+	// of a task whose elapsed time exceeds Spec's quantile threshold is
+	// launched; the first finisher wins, the loser's burned core·seconds
+	// stay charged.
+	Speculate bool
+	// Spec is the speculation trigger; zero fields take Spark-like
+	// defaults (quantile 0.75, multiplier 1.5).
+	Spec cluster.SpecPolicy
+	// Straggle injects deterministic per-task duration skew. Factor
+	// defaults to 8 when Rate > 0.
+	Straggle cluster.Skew
+	// Obs, when non-nil, receives scheduler events (queue waits,
+	// speculation, admission rejections) rendered by EXPLAIN ANALYZE.
+	Obs *obs.Recorder
+}
+
+// Scheduler owns the shared virtual clock, the slot pool and the queues.
+// All mutable state is guarded by mu; the event loop (drive) runs under
+// it at quiescence points.
+type Scheduler struct {
+	mu      sync.Mutex
+	cfg     Config
+	slots   int
+	clock   cluster.EventClock
+	keySeq  uint64
+	payload map[uint64]any
+
+	machines  []machineState
+	freeSlots int
+	ready     []*taskRun
+
+	tenants []*tenantState
+	byName  map[string]*tenantState
+
+	// live/parked implement quiescence gating for concurrent tenants:
+	// the event loop advances only when every live tenant is parked in a
+	// scheduler call. fulfilled counts requests completed by the current
+	// drive, which stops the loop so unparked tenants can resubmit before
+	// the clock moves again. pending holds parked submissions that have
+	// not been admitted yet: they are scheduled in sorted virtual order
+	// at quiescence, so event sequence numbers — the clock's tie-breaker
+	// — never depend on which goroutine reached the lock first.
+	live      int
+	parked    int
+	fulfilled int
+	pending   []*stageRun
+
+	// workload is set while RunWorkload owns the loop (single-threaded
+	// mode: stage completion chains the job's next stage directly).
+	workload bool
+
+	met aggMetrics
+}
+
+type machineState struct {
+	freeCores int
+	freeMem   int64
+}
+
+// New builds a scheduler over the given pool. Invalid configurations are
+// reported as errors.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyFIFO
+	case PolicyFIFO, PolicyFair:
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", cfg.Policy)
+	}
+	if cfg.Straggle.Rate > 0 && cfg.Straggle.Factor <= 1 {
+		cfg.Straggle.Factor = 8
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		slots:   cfg.Cluster.Slots(),
+		payload: map[uint64]any{},
+		byName:  map[string]*tenantState{},
+	}
+	s.freeSlots = s.slots
+	s.machines = make([]machineState, cfg.Cluster.Machines)
+	for i := range s.machines {
+		s.machines[i] = machineState{freeCores: cfg.Cluster.CoresPerMachine, freeMem: cfg.Cluster.MemoryPerMachine}
+	}
+	return s, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// tenantState is the scheduler-side record of one tenant. Tenant ids are
+// registration order, which callers must keep deterministic (register
+// from one goroutine, in a fixed order) — ids break policy ties.
+type tenantState struct {
+	id     int
+	name   string
+	weight float64
+	budget int
+
+	vnow     float64 // the tenant's own virtual time
+	inflight int     // admission-gated submissions in flight (concurrent mode)
+	active   int     // jobs in flight (workload mode)
+	jobSeq   int
+	cur      *jobRun // engine mode: job between StartJob and ReleaseBroadcasts
+
+	coreSec    float64 // fairness usage: core·seconds placed
+	memByteSec float64 // fairness usage: byte·seconds placed
+	done       bool
+
+	stats     cluster.Stats
+	latencies []float64
+	queueWait float64
+}
+
+// jobRun is one job's scheduler state.
+type jobRun struct {
+	t        *tenantState
+	seq      int // tenant-local sequence, 1-based
+	arrival  float64
+	resident int64 // broadcast bytes pinned for the job's remainder
+	stageSeq int
+
+	// workload mode: the declared stages still to run.
+	stages [][]cluster.Task
+	next   int
+	finish float64
+	err    error
+	done   bool
+}
+
+// stageRun is one submitted stage: its tasks, live copies, and the
+// report being accumulated.
+type stageRun struct {
+	job      *jobRun
+	seq      int // job-local, 1-based
+	submitVT float64
+	readyAt  float64
+	total    int
+	specs    []cluster.Task // the submitted tasks, until readiness
+
+	taskDone  []bool
+	live      [][2]*taskRun // per task index: primary, backup
+	backed    []bool
+	completed []float64
+
+	firstStart float64 // -1 until the first placement
+	nDone      int
+	running    int
+	busy       float64
+	maxTaskSec float64
+	maxTaskMem int64
+
+	specLaunched int
+	specWon      int
+	specWasted   float64
+	prefViol     int
+
+	failed error
+	req    *stageReq // concurrent mode; nil under RunWorkload
+}
+
+const (
+	taskQueued = iota
+	taskRunning
+	taskDone
+	taskCancelled
+)
+
+// taskRun is one copy (primary or speculative backup) of one task.
+type taskRun struct {
+	st     *stageRun
+	idx    int
+	backup bool
+	nomDur float64 // compute + task overhead, unskewed
+	dur    float64 // actual duration (primary: nomDur × straggler stretch)
+	need   int64   // memory to reserve: task memory + job-resident broadcasts
+	pref   int     // locality-preferred machine
+
+	state   int
+	machine int
+	start   float64
+}
+
+// stageReq parks a concurrent tenant's stage submission until the event
+// loop completes (or fails) the stage.
+type stageReq struct {
+	done chan struct{}
+	rep  cluster.StageReport
+	err  error
+}
+
+// aggMetrics are the scheduler-wide counters behind Metrics.
+type aggMetrics struct {
+	specLaunched  int
+	specWon       int
+	specWasted    float64
+	prefViol      int
+	admitRejected int
+	queueWait     float64
+}
+
+// TenantMetrics is one tenant's share of a Metrics snapshot.
+type TenantMetrics struct {
+	Name      string
+	Weight    float64
+	Jobs      int
+	Latencies []float64 // per finished job, submission → completion
+	QueueWait float64   // summed stage queue waits
+	CoreSec   float64   // core·seconds placed (fairness usage)
+	BusySec   float64
+}
+
+// Metrics is a snapshot of what the scheduler has done.
+type Metrics struct {
+	Clock          float64 // current virtual time (makespan so far)
+	SpecLaunched   int
+	SpecWon        int
+	SpecWastedSec  float64
+	PrefViolations int
+	AdmitRejected  int
+	QueueWaitSec   float64
+	Tenants        []TenantMetrics
+}
+
+// Metrics returns a deterministic snapshot (tenants in registration
+// order).
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.metricsLocked()
+}
+
+func (s *Scheduler) metricsLocked() Metrics {
+	m := Metrics{
+		Clock:          s.clock.Now(),
+		SpecLaunched:   s.met.specLaunched,
+		SpecWon:        s.met.specWon,
+		SpecWastedSec:  s.met.specWasted,
+		PrefViolations: s.met.prefViol,
+		AdmitRejected:  s.met.admitRejected,
+		QueueWaitSec:   s.met.queueWait,
+	}
+	for _, t := range s.tenants {
+		m.Tenants = append(m.Tenants, TenantMetrics{
+			Name:      t.name,
+			Weight:    t.weight,
+			Jobs:      t.stats.Jobs,
+			Latencies: append([]float64(nil), t.latencies...),
+			QueueWait: t.queueWait,
+			CoreSec:   t.coreSec,
+			BusySec:   t.stats.BusySeconds,
+		})
+	}
+	return m
+}
+
+// register adds a tenant under the lock.
+func (s *Scheduler) register(name string, weight float64, budget int) (*tenantState, error) {
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("sched: tenant %q already registered", name)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	t := &tenantState{id: len(s.tenants), name: name, weight: weight, budget: budget}
+	s.tenants = append(s.tenants, t)
+	s.byName[name] = t
+	return t, nil
+}
+
+// ---- event plumbing -------------------------------------------------
+
+// evStageReady marks a stage's tasks becoming runnable (StageOverhead
+// elapsed after submission); evArrival is a workload job arriving;
+// evSpecCheck re-examines one running task for speculation.
+type evStageReady struct{ st *stageRun }
+type evArrival struct{ j *jobRun }
+type evSpecCheck struct{ tr *taskRun }
+
+func (s *Scheduler) schedule(at float64, p any) {
+	s.keySeq++
+	s.payload[s.keySeq] = p
+	s.clock.Schedule(at, s.keySeq)
+}
+
+// newStage records a submitted stage. The caller schedules (or defers)
+// its readiness: workload mode schedules immediately, the concurrent
+// path queues it on pending for sorted admission at quiescence.
+func (s *Scheduler) newStage(j *jobRun, tasks []cluster.Task, submitVT float64) *stageRun {
+	j.stageSeq++
+	st := &stageRun{
+		job:        j,
+		seq:        j.stageSeq,
+		submitVT:   submitVT,
+		readyAt:    submitVT + s.cfg.Cluster.StageOverhead,
+		total:      len(tasks),
+		taskDone:   make([]bool, len(tasks)),
+		live:       make([][2]*taskRun, len(tasks)),
+		backed:     make([]bool, len(tasks)),
+		firstStart: -1,
+	}
+	j.t.stats.Stages++
+	j.t.stats.Tasks += len(tasks)
+	// Task copies are created at readiness, not here: straggler draws are
+	// hash-derived from ids, so the timing makes no difference, but the
+	// resident-broadcast memory need is sampled as late as possible.
+	st.specs = tasks
+	return st
+}
+
+// admitPending schedules the parked submissions accumulated since the
+// last drive, in virtual order (submission time, then tenant id — a
+// tenant parks at most one request). Wall-clock arrival order at the
+// mutex never reaches the event heap.
+func (s *Scheduler) admitPending() {
+	sort.Slice(s.pending, func(i, j int) bool {
+		a, b := s.pending[i], s.pending[j]
+		if a.submitVT != b.submitVT {
+			return a.submitVT < b.submitVT
+		}
+		return a.job.t.id < b.job.t.id
+	})
+	for _, st := range s.pending {
+		s.schedule(st.readyAt, evStageReady{st})
+	}
+	s.pending = s.pending[:0]
+}
+
+// drive advances the event loop. In workload mode it runs until the
+// system drains; in concurrent mode it returns as soon as at least one
+// parked request has been fulfilled, so the woken tenants can resubmit
+// before the clock moves past them.
+func (s *Scheduler) drive() {
+	for {
+		s.placeReady()
+		if !s.workload && s.fulfilled > 0 {
+			s.fulfilled = 0
+			return
+		}
+		ev, ok := s.clock.Peek()
+		if !ok {
+			if !s.workload && s.parked > 0 {
+				panic(fmt.Sprintf("sched: stuck: %d parked requests, no events, nothing placeable", s.parked))
+			}
+			return
+		}
+		// Lazily-cancelled events (a speculated task's losing copy, a
+		// speculation check for a task that already finished) must not
+		// advance the clock: drop them where Next would jump to them.
+		if s.staleEvent(s.payload[ev.Key]) {
+			s.clock.Drop()
+			delete(s.payload, ev.Key)
+			continue
+		}
+		ev, _ = s.clock.Next()
+		p := s.payload[ev.Key]
+		delete(s.payload, ev.Key)
+		switch e := p.(type) {
+		case evStageReady:
+			s.stageBecameReady(e.st)
+		case evArrival:
+			s.startWorkloadJob(e.j)
+		case evSpecCheck:
+			s.specCheck(e.tr)
+		case *taskRun:
+			s.taskFinished(e)
+		}
+	}
+}
+
+// staleEvent reports whether a scheduled event no longer matters: its
+// task was cancelled or finished, or its stage already failed.
+func (s *Scheduler) staleEvent(p any) bool {
+	switch e := p.(type) {
+	case *taskRun:
+		return e.state != taskRunning
+	case evSpecCheck:
+		return e.tr.state != taskRunning || e.tr.st.taskDone[e.tr.idx] || e.tr.st.failed != nil
+	case evStageReady:
+		return e.st.failed != nil
+	}
+	return false
+}
+
+// stageBecameReady creates the stage's primary task copies and enqueues
+// them.
+func (s *Scheduler) stageBecameReady(st *stageRun) {
+	if st.failed != nil {
+		return
+	}
+	if st.total == 0 {
+		s.completeStage(st)
+		return
+	}
+	t := st.job.t
+	for i, spec := range st.specs {
+		nom := spec.Compute + s.cfg.Cluster.TaskOverhead
+		stretch := s.cfg.Straggle.Stretch(uint64(t.id), uint64(st.job.seq), uint64(st.seq), uint64(i))
+		tr := &taskRun{
+			st:     st,
+			idx:    i,
+			nomDur: nom,
+			dur:    nom * stretch,
+			need:   spec.Memory + st.job.resident,
+			pref:   s.prefMachine(t.id, st.job.seq, st.seq, i),
+			state:  taskQueued,
+		}
+		if spec.Memory > st.maxTaskMem {
+			st.maxTaskMem = spec.Memory
+		}
+		st.live[i][0] = tr
+		s.ready = append(s.ready, tr)
+	}
+}
+
+// prefMachine derives a task's locality-preferred machine from its
+// identity — a stand-in for "where its input block lives". Pure hash:
+// the same task prefers the same machine on every run.
+func (s *Scheduler) prefMachine(ids ...int) int {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	return int(h % uint64(len(s.machines)))
+}
+
+// placeReady places as many queued task copies as slots and memory
+// allow, in policy order. A copy that fits no machine right now is
+// skipped for this round (it stays queued); a copy that could not fit
+// even on an idle machine fails its stage with an OOM.
+func (s *Scheduler) placeReady() {
+	var blocked map[*taskRun]bool
+	for s.freeSlots > 0 {
+		tr := s.pickNext(blocked)
+		if tr == nil {
+			break
+		}
+		if tr.need > s.cfg.Cluster.MemoryPerMachine {
+			s.failStage(tr.st, &cluster.OOMError{
+				What: "task", Bytes: tr.need, Limit: s.cfg.Cluster.MemoryPerMachine,
+				Wave: 1, Machine: tr.pref, Resident: tr.st.job.resident,
+			})
+			continue
+		}
+		m, viol := s.chooseMachine(tr)
+		if m < 0 {
+			if blocked == nil {
+				blocked = map[*taskRun]bool{}
+			}
+			blocked[tr] = true
+			continue
+		}
+		s.place(tr, m, viol)
+	}
+	s.compactReady()
+}
+
+// pickNext returns the queued copy the policy would place next, skipping
+// blocked ones; nil when nothing is placeable.
+func (s *Scheduler) pickNext(blocked map[*taskRun]bool) *taskRun {
+	var best *taskRun
+	switch s.cfg.Policy {
+	case PolicyFair:
+		// Weighted DRF: find the tenant with the smallest weighted
+		// dominant share among tenants with a placeable copy, then FIFO
+		// within that tenant.
+		var bestShare float64
+		var bestTenant *tenantState
+		for _, tr := range s.ready {
+			if !placeable(tr, blocked) {
+				continue
+			}
+			t := tr.st.job.t
+			if bestTenant == nil || t.id != bestTenant.id {
+				sh := s.domShare(t)
+				if bestTenant == nil || sh < bestShare || (sh == bestShare && t.id < bestTenant.id) {
+					bestShare, bestTenant = sh, t
+				}
+			}
+		}
+		if bestTenant == nil {
+			return nil
+		}
+		for _, tr := range s.ready {
+			if !placeable(tr, blocked) || tr.st.job.t != bestTenant {
+				continue
+			}
+			if best == nil || fifoLess(tr, best) {
+				best = tr
+			}
+		}
+	default: // PolicyFIFO
+		for _, tr := range s.ready {
+			if !placeable(tr, blocked) {
+				continue
+			}
+			if best == nil || fifoLess(tr, best) {
+				best = tr
+			}
+		}
+	}
+	return best
+}
+
+func placeable(tr *taskRun, blocked map[*taskRun]bool) bool {
+	return tr.state == taskQueued && tr.st.failed == nil && !blocked[tr]
+}
+
+// fifoLess is the total FIFO order: job arrival, then tenant id, then
+// job, stage, task, copy.
+func fifoLess(a, b *taskRun) bool {
+	aj, bj := a.st.job, b.st.job
+	if aj.arrival != bj.arrival {
+		return aj.arrival < bj.arrival
+	}
+	if aj.t.id != bj.t.id {
+		return aj.t.id < bj.t.id
+	}
+	if aj.seq != bj.seq {
+		return aj.seq < bj.seq
+	}
+	if a.st.seq != b.st.seq {
+		return a.st.seq < b.st.seq
+	}
+	if a.idx != b.idx {
+		return a.idx < b.idx
+	}
+	return !a.backup && b.backup
+}
+
+// domShare is the tenant's weighted dominant share: the larger of its
+// core·time and memory·time usage, each normalized by cluster capacity,
+// divided by its weight.
+func (s *Scheduler) domShare(t *tenantState) float64 {
+	core := t.coreSec / float64(s.slots)
+	mem := t.memByteSec / (float64(s.cfg.Cluster.Machines) * float64(s.cfg.Cluster.MemoryPerMachine))
+	return math.Max(core, mem) / t.weight
+}
+
+// chooseMachine picks where to run tr: its preferred machine when that
+// has a free core and memory, else the feasible machine with the most
+// free memory (lowest index on ties) — counted as a locality preference
+// violation. Returns -1 when nothing currently fits.
+func (s *Scheduler) chooseMachine(tr *taskRun) (int, bool) {
+	p := &s.machines[tr.pref]
+	if p.freeCores > 0 && p.freeMem >= tr.need {
+		return tr.pref, false
+	}
+	best := -1
+	for i := range s.machines {
+		m := &s.machines[i]
+		if m.freeCores <= 0 || m.freeMem < tr.need {
+			continue
+		}
+		if best < 0 || m.freeMem > s.machines[best].freeMem {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+// place starts copy tr on machine m at the current virtual time.
+func (s *Scheduler) place(tr *taskRun, m int, viol bool) {
+	now := s.clock.Now()
+	st := tr.st
+	t := st.job.t
+	tr.state = taskRunning
+	tr.machine = m
+	tr.start = now
+	s.machines[m].freeCores--
+	s.machines[m].freeMem -= tr.need
+	s.freeSlots--
+	st.running++
+	if st.firstStart < 0 {
+		st.firstStart = now
+	}
+	if viol {
+		st.prefViol++
+		s.met.prefViol++
+	}
+	// Fairness usage is charged at placement from the nominal duration:
+	// the policy sees expected cost, as a real scheduler would, not the
+	// straggler-inflated actual.
+	t.coreSec += tr.nomDur
+	t.memByteSec += float64(tr.need) * tr.nomDur
+	s.schedule(now+tr.dur, tr)
+	// A task placed after the stage's speculation threshold is already
+	// known may never see another sibling completion (the tail case that
+	// decides the makespan) — schedule its threshold check now.
+	if s.cfg.Speculate && !tr.backup && !st.backed[tr.idx] {
+		if thr, ok := s.cfg.Spec.Threshold(st.completed, st.total); ok && thr > 0 {
+			st.backed[tr.idx] = true
+			s.schedule(now+thr, evSpecCheck{tr})
+		}
+	}
+}
+
+// taskFinished handles a task-completion event.
+func (s *Scheduler) taskFinished(tr *taskRun) {
+	if tr.state != taskRunning {
+		return // cancelled earlier; its slot is already free
+	}
+	now := s.clock.Now()
+	st := tr.st
+	s.release(tr)
+	tr.state = taskDone
+	if st.failed != nil || st.taskDone[tr.idx] {
+		return
+	}
+	st.taskDone[tr.idx] = true
+	st.nDone++
+	win := now - tr.start
+	st.completed = append(st.completed, win)
+	st.busy += win
+	st.job.t.stats.BusySeconds += win
+	if win > st.maxTaskSec {
+		st.maxTaskSec = win
+	}
+	if tr.backup {
+		st.specWon++
+		s.met.specWon++
+		s.schedEvent("spec-won", st, now-tr.start, fmt.Sprintf("backup of task %d finished first", tr.idx))
+	}
+	// The losing copy is cancelled; its burned core·seconds stay charged,
+	// as on a real cluster.
+	sib := st.live[tr.idx][0]
+	if tr.backup {
+		// tr is the backup; the primary is the sibling.
+	} else {
+		sib = st.live[tr.idx][1]
+	}
+	if sib != nil && sib != tr {
+		switch sib.state {
+		case taskRunning:
+			waste := now - sib.start
+			st.busy += waste
+			st.specWasted += waste
+			st.job.t.stats.BusySeconds += waste
+			s.met.specWasted += waste
+			s.release(sib)
+			sib.state = taskCancelled
+			s.schedEvent("spec-wasted", st, waste, fmt.Sprintf("losing copy of task %d cancelled", sib.idx))
+		case taskQueued:
+			sib.state = taskCancelled
+		}
+	}
+	st.live[tr.idx][0], st.live[tr.idx][1] = nil, nil
+	if st.nDone == st.total {
+		s.completeStage(st)
+		return
+	}
+	s.maybeSpeculate(st)
+}
+
+// release frees tr's slot and memory.
+func (s *Scheduler) release(tr *taskRun) {
+	s.machines[tr.machine].freeCores++
+	s.machines[tr.machine].freeMem += tr.need
+	s.freeSlots++
+	tr.st.running--
+}
+
+// maybeSpeculate launches (or schedules a future check for) backup
+// copies of running tasks that exceed the speculation threshold.
+func (s *Scheduler) maybeSpeculate(st *stageRun) {
+	if !s.cfg.Speculate || st.failed != nil {
+		return
+	}
+	thr, ok := s.cfg.Spec.Threshold(st.completed, st.total)
+	if !ok || thr <= 0 {
+		return
+	}
+	now := s.clock.Now()
+	for i := range st.live {
+		tr := st.live[i][0]
+		if tr == nil || tr.state != taskRunning || st.backed[i] || st.taskDone[i] {
+			continue
+		}
+		// Compare against the same value a future check would be
+		// scheduled at — mixing (now-start >= thr) with (start+thr)
+		// rounds differently and can loop at one virtual instant.
+		if at := tr.start + thr; now >= at {
+			s.launchBackup(tr)
+		} else {
+			// Not over the bar yet: re-check exactly when it would be.
+			st.backed[i] = true // one pending check or backup per task
+			s.schedule(at, evSpecCheck{tr})
+		}
+	}
+}
+
+// specCheck re-examines one task at its scheduled threshold crossing.
+func (s *Scheduler) specCheck(tr *taskRun) {
+	st := tr.st
+	if st.failed != nil || tr.state != taskRunning || st.taskDone[tr.idx] {
+		return
+	}
+	// The threshold may have moved as more tasks completed; recompute.
+	thr, ok := s.cfg.Spec.Threshold(st.completed, st.total)
+	if !ok || thr <= 0 {
+		st.backed[tr.idx] = false
+		return
+	}
+	now := s.clock.Now()
+	if at := tr.start + thr; now >= at {
+		st.backed[tr.idx] = false
+		s.launchBackup(tr)
+	} else {
+		s.schedule(at, evSpecCheck{tr})
+	}
+}
+
+// launchBackup enqueues a speculative copy of running primary tr. The
+// backup runs the nominal duration: stragglers are machine-local, and
+// the copy prefers a different machine.
+func (s *Scheduler) launchBackup(tr *taskRun) {
+	st := tr.st
+	if st.backed[tr.idx] || st.live[tr.idx][1] != nil {
+		return
+	}
+	st.backed[tr.idx] = true
+	bk := &taskRun{
+		st:     st,
+		idx:    tr.idx,
+		backup: true,
+		nomDur: tr.nomDur,
+		dur:    tr.nomDur,
+		need:   tr.need,
+		pref:   (tr.pref + 1) % len(s.machines),
+		state:  taskQueued,
+	}
+	st.live[tr.idx][1] = bk
+	s.ready = append(s.ready, bk)
+	st.specLaunched++
+	s.met.specLaunched++
+	s.schedEvent("speculate", st, s.clock.Now()-tr.start, fmt.Sprintf("task %d running %.2fs past threshold", tr.idx, s.clock.Now()-tr.start))
+}
+
+// completeStage finalizes a stage, reports it, and hands control back:
+// to the parked tenant (concurrent mode) or to the job's next stage
+// (workload mode).
+func (s *Scheduler) completeStage(st *stageRun) {
+	now := s.clock.Now()
+	t := st.job.t
+	qw := 0.0
+	if st.firstStart >= 0 {
+		qw = st.firstStart - st.readyAt
+	}
+	rep := cluster.StageReport{
+		Tasks:          st.total,
+		Makespan:       now - st.readyAt,
+		Seconds:        now - st.submitVT,
+		BusySeconds:    st.busy,
+		MaxTaskSec:     st.maxTaskSec,
+		MaxTaskMem:     st.maxTaskMem,
+		QueueWait:      qw,
+		SpecLaunched:   st.specLaunched,
+		SpecWon:        st.specWon,
+		SpecWastedSec:  st.specWasted,
+		PrefViolations: st.prefViol,
+	}
+	if st.total > 0 {
+		rep.Waves = (st.total + s.slots - 1) / s.slots
+	}
+	t.vnow = now
+	t.queueWait += qw
+	s.met.queueWait += qw
+	if qw > 1e-9 {
+		s.schedEvent("queue-wait", st, qw, fmt.Sprintf("%d tasks waited for slots", st.total))
+	}
+	if st.req != nil {
+		st.req.rep = rep
+		close(st.req.done)
+		s.parked--
+		s.fulfilled++
+		return
+	}
+	s.advanceWorkloadJob(st.job, now)
+}
+
+// failStage aborts a stage: live copies are cancelled (burned time stays
+// charged), and the failure is reported to the waiting side.
+func (s *Scheduler) failStage(st *stageRun, err error) {
+	if st.failed != nil {
+		return
+	}
+	now := s.clock.Now()
+	st.failed = err
+	for i := range st.live {
+		for c := 0; c < 2; c++ {
+			tr := st.live[i][c]
+			if tr == nil {
+				continue
+			}
+			switch tr.state {
+			case taskRunning:
+				elapsed := now - tr.start
+				st.busy += elapsed
+				st.job.t.stats.BusySeconds += elapsed
+				s.release(tr)
+				tr.state = taskCancelled
+			case taskQueued:
+				tr.state = taskCancelled
+			}
+			st.live[i][c] = nil
+		}
+	}
+	t := st.job.t
+	t.vnow = now
+	if st.req != nil {
+		st.req.rep = cluster.StageReport{Tasks: st.total, Seconds: now - st.submitVT, BusySeconds: st.busy}
+		st.req.err = err
+		close(st.req.done)
+		s.parked--
+		s.fulfilled++
+		return
+	}
+	st.job.err = err
+	s.finishWorkloadJob(st.job, now)
+}
+
+// compactReady drops placed and cancelled copies from the ready queue.
+func (s *Scheduler) compactReady() {
+	kept := s.ready[:0]
+	for _, tr := range s.ready {
+		if tr.state == taskQueued && tr.st.failed == nil {
+			kept = append(kept, tr)
+		}
+	}
+	s.ready = kept
+}
+
+// schedEvent forwards a scheduler event to the recorder (nil-safe).
+func (s *Scheduler) schedEvent(kind string, st *stageRun, seconds float64, detail string) {
+	s.schedEventRaw(st.job.t, st.job.seq, st.seq, kind, seconds, detail)
+}
+
+func (s *Scheduler) schedEventRaw(t *tenantState, job, stage int, kind string, seconds float64, detail string) {
+	if !s.cfg.Obs.Enabled() {
+		return
+	}
+	s.cfg.Obs.Sched(obs.SchedEvent{
+		Tenant:  t.name,
+		Job:     job,
+		Stage:   stage,
+		Kind:    kind,
+		Seconds: seconds,
+		Detail:  detail,
+	})
+}
+
+// sortJobSpecs orders workload jobs deterministically.
+func sortJobSpecs(jobs []jobSpecRef) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].spec.Arrival != jobs[j].spec.Arrival {
+			return jobs[i].spec.Arrival < jobs[j].spec.Arrival
+		}
+		if jobs[i].tenant.id != jobs[j].tenant.id {
+			return jobs[i].tenant.id < jobs[j].tenant.id
+		}
+		return jobs[i].pos < jobs[j].pos
+	})
+}

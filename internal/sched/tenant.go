@@ -1,0 +1,236 @@
+package sched
+
+// The concurrent facade: each engine session gets a Tenant, which
+// implements the engine's Backend method set, so sessions on separate
+// goroutines charge their jobs to the shared pool instead of a private
+// Simulator.
+//
+// Determinism under real concurrency is the hard part, and it rests on
+// one invariant: the virtual clock only advances at quiescence. A tenant
+// doing real host-side work (hashing partitions, building broadcast
+// maps) holds the loop frozen; every stage submission therefore arrives
+// at a virtual time ≥ the clock, is parked, and is admitted together
+// with every other live tenant's submission once all of them are parked.
+// At that point placement order is decided by purely virtual keys
+// (submission time, tenant id, tenant-local job/stage sequence), never
+// by which goroutine got to the mutex first. The loop stops the moment
+// any parked request completes, so the woken tenant can submit its next
+// stage before the clock moves past it.
+
+import (
+	"fmt"
+	"math"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/obs"
+)
+
+// Tenant is one registered tenant's handle on the scheduler. It
+// implements the engine Backend method set (StartJob, RunStageReport,
+// Broadcast, Unpin, ReleaseBroadcasts, Clock, Stats) plus the admission
+// gate (Admit, Finish) and the lifecycle marker Done.
+//
+// A Tenant is driven by one session goroutine; distinct Tenants may run
+// fully concurrently. Every live Tenant MUST eventually call Done —
+// the event loop waits for all live tenants to park, so a tenant that
+// silently walks away deadlocks the others.
+type Tenant struct {
+	s *Scheduler
+	t *tenantState
+}
+
+// Register adds a tenant for the concurrent path. Registration order is
+// the tenant id, which breaks scheduling ties: register all tenants
+// from one goroutine, in a fixed order, before any of them runs.
+// Weight scales the tenant's fair share (≤ 0 means 1); budget caps its
+// admission-gated submissions in flight (0 means unlimited).
+func (s *Scheduler) Register(name string, weight float64, budget int) (*Tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workload {
+		return nil, fmt.Errorf("sched: Register after RunWorkload")
+	}
+	t, err := s.register(name, weight, budget)
+	if err != nil {
+		return nil, err
+	}
+	s.live++
+	return &Tenant{s: s, t: t}, nil
+}
+
+// maybeDrive runs the event loop if every live tenant is parked in a
+// scheduler call — the quiescence gate. Pending submissions are
+// admitted first, in virtual order.
+func (s *Scheduler) maybeDrive() {
+	if s.live > 0 && s.parked >= s.live {
+		s.admitPending()
+		s.drive()
+	}
+}
+
+// StartJob opens a job on the tenant's virtual timeline and charges the
+// job-launch overhead.
+func (x *Tenant) StartJob() {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := x.t
+	t.jobSeq++
+	t.vnow = math.Max(t.vnow, s.clock.Now())
+	t.cur = &jobRun{t: t, seq: t.jobSeq, arrival: t.vnow}
+	t.stats.Jobs++
+	t.vnow += s.cfg.Cluster.JobLaunchOverhead
+}
+
+// RunStageReport submits a stage to the shared pool and blocks until
+// the scheduler has run it to completion (or failed it). The virtual
+// time between submission and the stage's first task starting is slot
+// contention from other tenants, reported as QueueWait.
+func (x *Tenant) RunStageReport(tasks []cluster.Task) (cluster.StageReport, error) {
+	s := x.s
+	s.mu.Lock()
+	t := x.t
+	if t.done {
+		s.mu.Unlock()
+		panic("sched: RunStageReport after Done")
+	}
+	j := t.cur
+	if j == nil {
+		// Callers normally bracket stages with StartJob; tolerate a bare
+		// stage as a one-stage job without launch overhead.
+		t.jobSeq++
+		j = &jobRun{t: t, seq: t.jobSeq, arrival: math.Max(t.vnow, s.clock.Now())}
+		t.cur = j
+		t.stats.Jobs++
+	}
+	t.vnow = math.Max(t.vnow, s.clock.Now())
+	st := s.newStage(j, tasks, t.vnow)
+	req := &stageReq{done: make(chan struct{})}
+	st.req = req
+	s.pending = append(s.pending, st)
+	s.parked++
+	s.maybeDrive()
+	s.mu.Unlock()
+
+	<-req.done
+
+	s.mu.Lock()
+	rep, err := req.rep, req.err
+	s.mu.Unlock()
+	return rep, err
+}
+
+// Broadcast pins bytes cluster-wide for the rest of the current job:
+// they are charged against per-machine memory when the job's later
+// tasks are placed. Mirrors Simulator.Broadcast's cost and OOM check.
+func (x *Tenant) Broadcast(bytes int64) error {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := x.t
+	t.stats.Broadcasts++
+	var resident int64
+	if t.cur != nil {
+		resident = t.cur.resident
+	}
+	if resident+bytes > s.cfg.Cluster.MemoryPerMachine {
+		return &cluster.OOMError{What: "broadcast", Bytes: bytes,
+			Limit: s.cfg.Cluster.MemoryPerMachine - resident, Resident: resident}
+	}
+	if t.cur != nil {
+		t.cur.resident = resident + bytes
+	}
+	t.vnow = math.Max(t.vnow, s.clock.Now()) + float64(bytes)*s.cfg.Cluster.PerByteBroadcast
+	return nil
+}
+
+// Unpin releases bytes of the current job's broadcast residency early.
+func (x *Tenant) Unpin(bytes int64) {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := x.t.cur; j != nil {
+		j.resident -= bytes
+		if j.resident < 0 {
+			j.resident = 0
+		}
+	}
+}
+
+// ReleaseBroadcasts ends the current job: residency drops to zero and
+// the job's latency (submission → now, on the tenant's timeline) is
+// recorded. The engine calls this exactly once per job.
+func (x *Tenant) ReleaseBroadcasts() {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := x.t
+	j := t.cur
+	if j == nil {
+		return
+	}
+	j.resident = 0
+	t.cur = nil
+	t.vnow = math.Max(t.vnow, s.clock.Now())
+	t.latencies = append(t.latencies, t.vnow-j.arrival)
+}
+
+// Clock returns the tenant's virtual time: what its own jobs have cost,
+// including queue waits, but not other tenants' idle periods.
+func (x *Tenant) Clock() float64 {
+	x.s.mu.Lock()
+	defer x.s.mu.Unlock()
+	return x.t.vnow
+}
+
+// Stats returns the tenant's own counters.
+func (x *Tenant) Stats() cluster.Stats {
+	x.s.mu.Lock()
+	defer x.s.mu.Unlock()
+	return x.t.stats
+}
+
+// Admit is the admission-control gate: it rejects with ErrBackpressure
+// when the tenant already has its budget of submissions in flight.
+// Pair every successful Admit with a Finish.
+func (x *Tenant) Admit() error {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := x.t
+	if t.budget > 0 && t.inflight >= t.budget {
+		s.met.admitRejected++
+		if s.cfg.Obs.Enabled() {
+			s.cfg.Obs.Sched(obs.SchedEvent{
+				Tenant: t.name, Job: t.jobSeq + 1, Kind: "admit-reject",
+				Detail: fmt.Sprintf("%d submissions in flight, budget %d", t.inflight, t.budget),
+			})
+		}
+		return fmt.Errorf("tenant %s: %d submissions in flight (budget %d): %w", t.name, t.inflight, t.budget, ErrBackpressure)
+	}
+	t.inflight++
+	return nil
+}
+
+// Finish releases one admitted submission.
+func (x *Tenant) Finish() {
+	x.s.mu.Lock()
+	defer x.s.mu.Unlock()
+	if x.t.inflight > 0 {
+		x.t.inflight--
+	}
+}
+
+// Done marks the tenant finished. Its parked peers can then make
+// progress without waiting for it. Idempotent.
+func (x *Tenant) Done() {
+	s := x.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x.t.done {
+		return
+	}
+	x.t.done = true
+	s.live--
+	s.maybeDrive()
+}
