@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench figures fmt-check sched-bench
+.PHONY: check test race vet build bench figures fmt-check sched-bench chaos-bench
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -44,3 +44,10 @@ sched-bench:
 	$(GO) run ./cmd/matbench -q -exp sec-sched
 	$(GO) run ./cmd/matbench -q -exp sec-sched-straggle
 	$(GO) run ./cmd/matbench -tenants 3 -policy fair -speculate -straggle 0.25
+
+## chaos-bench: smoke the fault-tolerance path — the crash-rate sweep
+## (abort vs lineage recovery; what EXPERIMENTS.md's sec9-chaos section
+## reports) plus one chaotic run rendered end to end.
+chaos-bench:
+	$(GO) run ./cmd/matbench -q -exp sec9-chaos
+	$(GO) run ./cmd/matbench -explain chaos

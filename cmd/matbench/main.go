@@ -12,6 +12,9 @@
 //	matbench -trace bounce-rate     # raw job/stage/decision event stream
 //	matbench -explain recovery -mem 2147483648   # watch adaptive recovery re-lower OOMs
 //	matbench -explain bounce-rate -faultrate 0.2 # task retries + rerun recoveries
+//	matbench -explain chaos                      # machine crashes + lineage recomputation
+//	matbench -exp sec9-chaos -seed 7             # crash-rate sweep under a different hazard seed
+//	matbench -exp fig3-kmeans -mtbf 200          # any experiment under a machine-crash hazard
 //	matbench -tenants 3 -policy fair -speculate -straggle 0.25
 //	                                 # one multi-tenant scheduling run (p50/p99/makespan)
 //
@@ -35,7 +38,7 @@ import (
 // runs, so a typo fails with a usage error instead of a misleading
 // sweep (a fault rate of 1.2 would silently clamp deep inside the
 // simulator; negative memory would "fit" nothing and OOM everything).
-func validateFlags(mem int64, faultRate, straggle float64, tenants int, policy string) error {
+func validateFlags(mem int64, faultRate, straggle, chaos, mtbf float64, seed int64, tenants int, policy string) error {
 	if faultRate < 0 || faultRate > 1 {
 		return fmt.Errorf("-faultrate %v is not a probability (want 0..1)", faultRate)
 	}
@@ -44,6 +47,18 @@ func validateFlags(mem int64, faultRate, straggle float64, tenants int, policy s
 	}
 	if straggle < 0 || straggle > 1 {
 		return fmt.Errorf("-straggle %v is not a rate (want 0..1)", straggle)
+	}
+	if chaos < 0 {
+		return fmt.Errorf("-chaos %v is negative (want crashes per machine per 1000 simulated seconds, 0 = off)", chaos)
+	}
+	if mtbf < 0 {
+		return fmt.Errorf("-mtbf %v is negative (want mean seconds between crashes per machine, 0 = off)", mtbf)
+	}
+	if chaos > 0 && mtbf > 0 {
+		return fmt.Errorf("-chaos and -mtbf both set; they are two spellings of the same hazard, pick one")
+	}
+	if seed < 0 {
+		return fmt.Errorf("-seed %d is negative (want a non-negative hazard/skew seed, 0 = default)", seed)
 	}
 	if tenants < 0 {
 		return fmt.Errorf("-tenants %d is negative", tenants)
@@ -69,9 +84,12 @@ func main() {
 		policy    = flag.String("policy", "fair", "scheduling policy for -tenants: fifo or fair")
 		speculate = flag.Bool("speculate", false, "enable speculative straggler re-execution for -tenants")
 		straggle  = flag.Float64("straggle", 0.25, "straggler rate for -tenants: fraction of tasks stretched 8x")
+		chaos     = flag.Float64("chaos", 0, "machine crash rate: crashes per machine per 1000 simulated seconds (0 = off)")
+		mtbf      = flag.Float64("mtbf", 0, "machine crash hazard: mean simulated seconds between crashes per machine (alternative spelling of -chaos)")
+		seed      = flag.Int64("seed", 0, "seed for the crash hazard and straggler skew (0 = default, runs stay bit-reproducible)")
 	)
 	flag.Parse()
-	if err := validateFlags(*mem, *faultRate, *straggle, *tenants, *policy); err != nil {
+	if err := validateFlags(*mem, *faultRate, *straggle, *chaos, *mtbf, *seed, *tenants, *policy); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -83,7 +101,13 @@ func main() {
 		}
 		return
 	}
-	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate}
+	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate, Seed: uint64(*seed)}
+	switch {
+	case *chaos > 0:
+		sc.MTBF = 1000 / *chaos
+	case *mtbf > 0:
+		sc.MTBF = *mtbf
+	}
 
 	if *tenants > 0 {
 		out, err := bench.SchedSummary(sc, *tenants, *straggle, sched.Policy(*policy), *speculate)

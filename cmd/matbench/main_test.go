@@ -11,6 +11,9 @@ func TestValidateFlags(t *testing.T) {
 		mem       int64
 		faultRate float64
 		straggle  float64
+		chaos     float64
+		mtbf      float64
+		seed      int64
 		tenants   int
 		policy    string
 		wantErr   string // "" = valid
@@ -18,16 +21,22 @@ func TestValidateFlags(t *testing.T) {
 		{name: "defaults", straggle: 0.25, policy: "fair"},
 		{name: "fifo policy", straggle: 0, tenants: 4, policy: "fifo"},
 		{name: "boundary rates", faultRate: 1, straggle: 1, policy: "fair"},
+		{name: "chaos rate", chaos: 4, seed: 7, policy: "fair"},
+		{name: "mtbf hazard", mtbf: 250, policy: "fair"},
 		{name: "faultrate above 1", faultRate: 1.2, policy: "fair", wantErr: "-faultrate"},
 		{name: "faultrate negative", faultRate: -0.1, policy: "fair", wantErr: "-faultrate"},
 		{name: "mem negative", mem: -1, policy: "fair", wantErr: "-mem"},
 		{name: "straggle above 1", straggle: 1.5, policy: "fair", wantErr: "-straggle"},
+		{name: "chaos negative", chaos: -2, policy: "fair", wantErr: "-chaos"},
+		{name: "mtbf negative", mtbf: -50, policy: "fair", wantErr: "-mtbf"},
+		{name: "chaos and mtbf both set", chaos: 2, mtbf: 500, policy: "fair", wantErr: "-chaos and -mtbf"},
+		{name: "seed negative", seed: -3, policy: "fair", wantErr: "-seed"},
 		{name: "tenants negative", tenants: -2, policy: "fair", wantErr: "-tenants"},
 		{name: "unknown policy", policy: "lottery", wantErr: "-policy"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.mem, c.faultRate, c.straggle, c.tenants, c.policy)
+			err := validateFlags(c.mem, c.faultRate, c.straggle, c.chaos, c.mtbf, c.seed, c.tenants, c.policy)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

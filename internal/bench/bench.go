@@ -39,6 +39,28 @@ type Scale struct {
 	// FaultRate, when > 0, sets TaskFailureRate on every cluster this
 	// scale builds (matbench -faultrate).
 	FaultRate float64
+	// MTBF, when > 0, attaches a seeded machine-crash hazard to every
+	// cluster this scale builds (matbench -mtbf / -chaos): each machine
+	// crashes on average every MTBF simulated seconds, destroying its
+	// resident shuffle outputs, and rejoins after the plan's default
+	// repair time.
+	MTBF float64
+	// Seed seeds every deterministic random draw the scale's runs make
+	// (straggler skew, the crash hazard). 0 means the default seed, so
+	// unseeded runs stay bit-identical to each other.
+	Seed uint64
+}
+
+// defaultSeed keeps unseeded runs reproducible (and matches the seed the
+// scheduling experiments historically hard-coded).
+const defaultSeed = 17
+
+// seed resolves the Scale's seed knob.
+func (s Scale) seed() uint64 {
+	if s.Seed == 0 {
+		return defaultSeed
+	}
+	return s.Seed
 }
 
 // DefaultScale is used by the CLI and benchmarks.
@@ -72,6 +94,9 @@ func (s Scale) override(cc cluster.Config) cluster.Config {
 	}
 	if s.FaultRate > 0 {
 		cc.TaskFailureRate = s.FaultRate
+	}
+	if s.MTBF > 0 {
+		cc.Faults = cluster.FaultPlan{MTBF: s.MTBF, Seed: s.seed()}
 	}
 	return cc
 }
@@ -125,6 +150,7 @@ func Registry() []Experiment {
 		{ID: "fig9-pagerank", Title: "Fig. 9: 8x input, large cluster, PageRank", XName: "inner computations", Run: Fig9PageRank},
 		{ID: "fig9-bounce", Title: "Fig. 9: 8x input, large cluster, Bounce Rate", XName: "inner computations", Run: Fig9Bounce},
 		{ID: "sec9-recovery", Title: "Sec. 9 memory pressure: abort vs adaptive recovery", XName: "GB per machine", Run: Sec9Recovery},
+		{ID: "sec9-chaos", Title: "Machine crashes: abort vs lineage recovery vs crash rate", XName: "crashes/machine/1000s", Run: Sec9Chaos},
 		{ID: "sec-sched", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs tenants (25% stragglers)", XName: "interactive tenants", Run: SecSched},
 		{ID: "sec-sched-straggle", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs straggler rate (3 tenants)", XName: "straggler %", Run: SecSchedStraggle},
 	}

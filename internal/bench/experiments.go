@@ -323,3 +323,46 @@ func Sec9Recovery(sc Scale) []Row {
 	}
 	return rows
 }
+
+// chaosSpec is the shared machine-failure workload: several diamond jobs
+// (two shuffle parents into a repartition join) whose fault plan crashes
+// each machine `rate` times per 1000 simulated seconds on average
+// (rate 0 = fault-free baseline). The seed comes from the scale, so
+// `matbench -seed` varies which runs get hit and the default is
+// bit-reproducible.
+func chaosSpec(sc Scale, rate float64) tasks.ChaosSpec {
+	sp := tasks.ChaosSpec{
+		Records: sc.Records(1),
+		Keys:    256,
+		Parts:   6,
+		Rounds:  4,
+	}
+	if rate > 0 {
+		sp.Faults = cluster.FaultPlan{MTBF: 1000 / rate, Seed: sc.seed()}
+	}
+	return sp
+}
+
+// Sec9Chaos sweeps the machine crash rate and compares aborting on the
+// first lost shuffle fetch (what a lineage-less runtime does) against
+// the engine's lineage recovery, which rewinds to the lost stages,
+// recomputes only those, and resumes. The recover series completes at
+// every rate, paying for each crash with the recomputation it forces;
+// the abort series survives only runs where no crash lands between a
+// shuffle's materialisation and its consumption.
+func Sec9Chaos(sc Scale) []Row {
+	var rows []Row
+	for _, rate := range []float64{0, 1, 2, 4, 8} {
+		for _, mode := range []struct {
+			name string
+			rec  bool
+		}{{"abort", false}, {"recover", true}} {
+			prev := tasks.Recovery
+			tasks.Recovery = mode.rec
+			out := chaosSpec(sc, rate).Run(sc.Cluster(4, 4, 8))
+			tasks.Recovery = prev
+			rows = append(rows, row("sec9-chaos", mode.name, rate, out))
+		}
+	}
+	return rows
+}

@@ -3,13 +3,14 @@ package bench
 import (
 	"fmt"
 
+	"matryoshka/internal/cluster"
 	"matryoshka/internal/obs"
 	"matryoshka/internal/tasks"
 )
 
 // ExplainTasks lists the task names ExplainRun accepts.
 func ExplainTasks() []string {
-	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances", "recovery"}
+	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances", "recovery", "chaos"}
 }
 
 // ExplainRun runs one task's Matryoshka strategy at this scale with the
@@ -43,6 +44,17 @@ func ExplainRun(task string, sc Scale, trace bool) (string, error) {
 		// the oversized broadcast join and re-raising the group stage's
 		// partition count (stage N: OOM → re-lowered(...) → ok).
 		out = memPressureSpec(sc).Run(sc.Cluster(2, 2, 2))
+	case "chaos":
+		// The fault-tolerance scenario under an aggressive crash hazard:
+		// the report's fault-event stream shows machines crashing and
+		// rejoining, and the recovery lines show lost shuffle fetches
+		// being repaired by lineage recomputation
+		// (fetch-failed(mN) → recomputed parents {...} → ok).
+		sp := chaosSpec(sc, 4)
+		if sc.MTBF > 0 {
+			sp.Faults = cluster.FaultPlan{MTBF: sc.MTBF, Seed: sc.seed()}
+		}
+		out = sp.Run(sc.Cluster(4, 4, 8))
 	default:
 		return "", fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
 	}

@@ -75,7 +75,7 @@ func runSched(sc Scale, interactive int, straggle float64, policy sched.Policy, 
 		Cluster:   schedCluster(sc),
 		Policy:    policy,
 		Speculate: speculate,
-		Straggle:  cluster.Skew{Rate: straggle, Factor: 8, Seed: 17},
+		Straggle:  cluster.Skew{Rate: straggle, Factor: 8, Seed: sc.seed()},
 	})
 	if err != nil {
 		return schedOutcome{}, err

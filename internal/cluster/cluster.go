@@ -122,6 +122,10 @@ type Config struct {
 	// memory; explicit working-set claims (compact arrays held by
 	// sequential UDFs) are not inflated.
 	MemoryOverheadFactor float64
+
+	// Faults injects machine crashes and rejoins (chaos.go). The zero
+	// value injects nothing, leaving every machine immortal.
+	Faults FaultPlan
 }
 
 // DefaultConfig mirrors the paper's small cluster (Sec. 9.1): 25 machines,
@@ -172,6 +176,9 @@ func (c Config) validate() error {
 	if c.MemoryPerMachine <= 0 {
 		return fmt.Errorf("cluster: need positive memory, got %d", c.MemoryPerMachine)
 	}
+	if err := c.Faults.Validate(c.Machines); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -194,6 +201,11 @@ type Stats struct {
 	TaskRetries int
 	// BusySeconds is the summed task time; Clock is the virtual makespan.
 	BusySeconds float64
+	// Fault-injection counters (chaos.go): machine transitions applied
+	// and distinct shuffle outputs whose fetch failed after a crash.
+	MachineCrashes int
+	MachineRejoins int
+	FetchFailures  int
 }
 
 // Simulator owns the virtual clock. It is safe for concurrent use; the
@@ -206,6 +218,12 @@ type Simulator struct {
 	resident int64 // broadcast bytes currently pinned on every machine
 	stats    Stats
 	rng      *rand.Rand // failure injection; fixed seed for determinism
+
+	// Machine-failure state (chaos.go).
+	faults  faultState
+	outputs map[OutputID]*output
+	nextOut OutputID
+	onFault func(at float64, machine int, kind, detail string)
 }
 
 // New creates a simulator, rejecting invalid configurations with an error
@@ -215,7 +233,11 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, rng: rand.New(rand.NewSource(42))}, nil
+	return &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(42)),
+		faults: newFaultState(cfg.Faults, cfg.Machines),
+	}, nil
 }
 
 // Config returns the simulator's configuration.
@@ -243,6 +265,9 @@ func (s *Simulator) Reset() {
 	s.resident = 0
 	s.stats = Stats{}
 	s.rng = rand.New(rand.NewSource(42))
+	s.faults = newFaultState(s.cfg.Faults, s.cfg.Machines)
+	s.outputs = nil
+	s.nextOut = 0
 }
 
 // Advance adds dt virtual seconds of driver-side time.
@@ -320,11 +345,22 @@ func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 	budget := s.cfg.MemoryPerMachine - s.resident
 	rep := StageReport{Tasks: len(tasks)}
 
+	// Faults take effect at stage boundaries: apply everything scheduled
+	// up to now, then run the whole stage on the surviving machines (a
+	// crash *during* the window destroys outputs when the next operation
+	// advances past it — the in-flight stage itself already fetched its
+	// inputs). If nothing is up, stall the clock until a rejoin.
+	s.advanceFaults(s.clock)
+	live, err := s.awaitLiveMachine()
+	if err != nil {
+		return rep, err
+	}
+
 	order := make([]Task, len(tasks))
 	copy(order, tasks)
 	sort.Slice(order, func(i, j int) bool { return order[i].Compute > order[j].Compute })
 
-	slots := s.cfg.Slots()
+	slots := len(live) * s.cfg.CoresPerMachine
 	if len(order) > 0 {
 		rep.Waves = (len(order) + slots - 1) / slots
 	}
@@ -341,7 +377,7 @@ func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 	}
 
 	durations := make([]float64, 0, len(order))
-	perMachine := make([]int64, s.cfg.Machines)
+	perMachine := make([]int64, len(live))
 	for w := 0; w < len(order); w += slots {
 		wave := order[w:min(w+slots, len(order))]
 		waveIdx := w/slots + 1
@@ -349,12 +385,12 @@ func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 			perMachine[i] = 0
 		}
 		for i, t := range wave {
-			perMachine[i%s.cfg.Machines] += t.Memory
+			perMachine[i%len(live)] += t.Memory
 		}
 		for i, m := range perMachine {
 			if m > budget {
 				return fail(&OOMError{What: "task", Bytes: m, Limit: budget,
-					Wave: waveIdx, Machine: i, Resident: s.resident})
+					Wave: waveIdx, Machine: live[i], Resident: s.resident})
 			}
 		}
 		var waveMax float64
@@ -410,6 +446,7 @@ func (s *Simulator) RunStageReport(tasks []Task) (StageReport, error) {
 func (s *Simulator) Broadcast(bytes int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.advanceFaults(s.clock)
 	s.stats.Broadcasts++
 	if s.resident+bytes > s.cfg.MemoryPerMachine {
 		return &OOMError{What: "broadcast", Bytes: bytes,

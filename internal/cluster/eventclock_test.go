@@ -128,3 +128,66 @@ func TestSpecPolicyThreshold(t *testing.T) {
 		t.Errorf("zero policy threshold = %f, %v; want 3, true", thr, ok)
 	}
 }
+
+// TestEventClockDropEdgeCases covers the lazy-cancellation corners the
+// scheduler leans on: dropping when everything already fired, draining
+// the heap by Drop alone, and interleaving Drop with Schedule mid-
+// dispatch without disturbing clock monotonicity.
+func TestEventClockDropEdgeCases(t *testing.T) {
+	var c EventClock
+
+	// Drop on an empty clock reports absence, twice in a row.
+	if _, ok := c.Drop(); ok {
+		t.Error("Drop on an empty clock reported an event")
+	}
+	if _, ok := c.Drop(); ok {
+		t.Error("second empty Drop reported an event")
+	}
+
+	// Drop after the last event fired: the heap is empty again.
+	c.Schedule(1.0, 1)
+	if ev, ok := c.Next(); !ok || ev.Key != 1 {
+		t.Fatalf("Next = %+v, %v", ev, ok)
+	}
+	if _, ok := c.Drop(); ok {
+		t.Error("Drop found an event after all fired")
+	}
+	if c.Now() != 1.0 {
+		t.Errorf("clock = %f, want 1.0", c.Now())
+	}
+
+	// Double-drop drains a two-event heap without moving the clock.
+	c.Schedule(2.0, 2)
+	c.Schedule(3.0, 3)
+	if ev, _ := c.Drop(); ev.Key != 2 {
+		t.Errorf("first drop popped key %d, want 2", ev.Key)
+	}
+	if ev, _ := c.Drop(); ev.Key != 3 {
+		t.Errorf("second drop popped key %d, want 3", ev.Key)
+	}
+	if c.Len() != 0 || c.Now() != 1.0 {
+		t.Errorf("after double-drop: len=%d clock=%f, want 0 and 1.0", c.Len(), c.Now())
+	}
+
+	// Drop during dispatch: scheduling between Peek and Drop may change
+	// the head, and Drop must remove the *current* head, not the peeked
+	// one. The clock may then legally schedule at the dropped horizon.
+	c.Schedule(5.0, 5)
+	if ev, _ := c.Peek(); ev.Key != 5 {
+		t.Fatalf("peek = key %d, want 5", ev.Key)
+	}
+	c.Schedule(4.0, 4) // new earlier head after the peek
+	if ev, _ := c.Drop(); ev.Key != 4 {
+		t.Errorf("Drop removed key %d, want the new head 4", ev.Key)
+	}
+	if ev, ok := c.Next(); !ok || ev.Key != 5 || c.Now() != 5.0 {
+		t.Errorf("Next = %+v, %v, clock %f; want key 5 at 5.0", ev, ok, c.Now())
+	}
+
+	// Monotonicity survived every mixture above: time never went back,
+	// and re-scheduling at exactly Now is allowed.
+	c.Schedule(5.0, 6)
+	if ev, _ := c.Next(); ev.Key != 6 || c.Now() != 5.0 {
+		t.Errorf("same-time reschedule misfired: key %d at %f", ev.Key, c.Now())
+	}
+}

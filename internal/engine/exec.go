@@ -49,6 +49,14 @@ type job struct {
 	recoveries int
 	relowered  int
 
+	// Machine-failure state (chaos.go): the residency handle of each
+	// launched stage root's shuffle output, how often each root was
+	// recomputed after a fetch failure, and the from-scratch job retries
+	// spent escalating past the per-stage recompute cap.
+	outputs    map[*node]cluster.OutputID
+	recomputed map[*node]int
+	jobRetries int
+
 	// memo caches computed partitions of the plan's fan-in>1 narrow
 	// nodes (diamond DAGs, overlapping narrowMaps, nodes read from
 	// several stages): evalPart computes each exactly once instead of
@@ -104,6 +112,8 @@ func (s *Session) runJob(target *node) ([][]any, error) {
 		bcastBytes: map[*dep]int64{},
 		attempts:   map[*node]int{},
 		raised:     map[*node]int{},
+		outputs:    map[*node]cluster.OutputID{},
+		recomputed: map[*node]int{},
 	}
 	clockBefore := s.exec.Clock()
 	s.exec.StartJob()
@@ -224,6 +234,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			n.label, len(costs), rep.Seconds, mxC, n.weight, st.ChainString())
 	}
 	j.front[n] = &checkpoint{data: results, rep: rep}
+	j.registerOutput(n)
 	if n.cached {
 		n.cacheMu.Lock()
 		n.cacheData = results

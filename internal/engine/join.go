@@ -258,6 +258,9 @@ func CoGroup[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]
 			kv := e.(Pair[K, B])
 			rb[kv.Key] = append(rb[kv.Key], kv.Val)
 		}
+		// Emit in first-seen input order, not map iteration order, so
+		// partition contents (and the size estimator's positional samples)
+		// are deterministic across processes.
 		seen := map[K]bool{}
 		var out []any
 		emit := func(k K) {
@@ -266,11 +269,11 @@ func CoGroup[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]
 				out = append(out, Pair[K, Tuple2[[]A, []B]]{k, Tuple2[[]A, []B]{A: la[k], B: rb[k]}})
 			}
 		}
-		for k := range la {
-			emit(k)
+		for _, e := range in[0] {
+			emit(e.(Pair[K, A]).Key)
 		}
-		for k := range rb {
-			emit(k)
+		for _, e := range in[1] {
+			emit(e.(Pair[K, B]).Key)
 		}
 		return out
 	})

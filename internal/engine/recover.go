@@ -67,6 +67,14 @@ func (j *job) recover(f *stageFailure, target *node) (*node, bool) {
 			rec.Action = "rerun"
 			ok = true
 		}
+	case f.fetch != nil:
+		// A machine crash destroyed a completed parent's shuffle outputs:
+		// rewind the frontier along lineage and recompute the lost stages
+		// (chaos.go). Not a plan change, so it does not spend the
+		// re-lowering budget; it is bounded by its own recompute caps.
+		rec.What = fmt.Sprintf("fetch-failed(m%d): lost %d/%d partitions of %q",
+			f.fetch.Machine, len(f.fetch.Parts), f.fetch.Total, f.lost.label)
+		rec.Action, ok = j.rewindLost(f)
 	case f.oom == nil || j.relowered >= maxJobRecoveries:
 		// Not a memory failure, or the job already spent its re-lowering
 		// budget: abort.

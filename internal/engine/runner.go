@@ -47,6 +47,11 @@ type stageFailure struct {
 	// oom is the cluster's memory failure detail, nil for transient
 	// failures.
 	oom *cluster.OOMError
+	// fetch is the machine-crash fetch failure detail, with lost the
+	// boundary parent whose outputs were destroyed (chaos.go); recovery
+	// rewinds the frontier along lineage instead of re-lowering.
+	fetch *cluster.FetchFailedError
+	lost  *node
 	// transient marks injected-failure retry exhaustion: rerunning the
 	// same stage may succeed, no re-lowering needed.
 	transient bool
@@ -114,8 +119,14 @@ func (j *job) runStages(target *node) *stageFailure {
 			}
 		}
 		// Route shuffle blocks and pin broadcasts for the boundary deps.
+		// Each is a cluster-side fetch of the parent's outputs first: if a
+		// machine crash destroyed them, the stage fails with a fetch
+		// failure and recovery rewinds the lost parents along lineage.
 		for _, pd := range st.Boundary {
 			d := j.ep.edep(pd)
+			if f := j.checkFetch(d, n, st); f != nil {
+				return f
+			}
 			switch d.kind {
 			case depShuffle:
 				j.buildBlocks(d)

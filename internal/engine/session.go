@@ -18,9 +18,11 @@ package engine
 
 import (
 	"hash/maphash"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/obs"
@@ -83,6 +85,10 @@ type Session struct {
 	exec   Backend
 	seed   maphash.Seed
 	nextID atomic.Int64
+
+	// resid is exec's machine-failure facet (chaos.go), nil when the
+	// backend does not track per-machine output residency.
+	resid Residency
 
 	// workers bounds real (host) parallelism for task execution; pool is
 	// the persistent worker pool they run on, created once per session and
@@ -170,11 +176,12 @@ func (f *Feedback) PartsBoost() int {
 // Feedback returns the session's optimizer feedback registry.
 func (s *Session) Feedback() *Feedback { return s.feedback }
 
-// processSeed is the hash seed shared by every session in the process.
-// Partitioning hashes are still randomized across processes (as with a
-// per-session seed), but two sessions in one process now place elements
-// identically — which is what lets A/B tests compare a legacy-executor run
-// against a parallel-executor run of the same workload bit-for-bit.
+// processSeed backs the maphash fallback for key types the stable hasher
+// cannot walk (see stablehash.go). For every key type this repository
+// actually shuffles on, partitioning hashes are fully deterministic —
+// across sessions AND across processes — so experiment tables regenerate
+// bit-identically and A/B tests (legacy vs parallel executor, abort vs
+// recover) compare runs of the same workload exactly.
 var processSeed = maphash.MakeSeed()
 
 // NewSession creates a session with its own simulated cluster. An invalid
@@ -213,6 +220,13 @@ func NewSession(cfg Config) (*Session, error) {
 		legacyExec: cfg.LegacyExec,
 		obs:        cfg.Obs,
 		feedback:   newFeedback(),
+	}
+	s.resid, _ = exec.(Residency)
+	if sim != nil && cfg.Cluster.Faults.Active() && cfg.Obs.Enabled() {
+		rec := cfg.Obs
+		sim.SetFaultObserver(func(at float64, machine int, kind, detail string) {
+			rec.Fault(obs.FaultEvent{At: at, Machine: machine, Kind: kind, Detail: detail})
+		})
 	}
 	// The pool's workers reference only the pool, so a dropped Session is
 	// still collectable; this cleanup then shuts its workers down. Close
@@ -271,8 +285,14 @@ func (s *Session) ResetClock() {
 
 func (s *Session) newID() int64 { return s.nextID.Add(1) }
 
-// hashOf hashes a comparable key for partitioning.
+// hashOf hashes a comparable key for partitioning: deterministic (fixed
+// seed, representation-walking) for every supported key type, with a
+// process-seeded maphash fallback for identity-based keys (pointers,
+// interfaces) that cannot be hashed reproducibly anyway.
 func hashOf[K comparable](s *Session, k K) uint64 {
+	if fn := stableHasherFor(reflect.TypeFor[K]()); fn != nil {
+		return fn(unsafe.Pointer(&k), stableSeed)
+	}
 	return maphash.Comparable(s.seed, k)
 }
 

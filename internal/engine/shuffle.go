@@ -34,18 +34,24 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 	if parts <= 0 {
 		parts = d.s.cfg.DefaultParallelism
 	}
+	// Outputs are emitted in first-seen key order, not map iteration
+	// order: partition contents must be deterministic because the size
+	// estimator samples by position, and a per-process sample would leak
+	// wall randomness into simulated durations.
 	combined := MapPartitions(d, func(in []Pair[K, V]) []Pair[K, V] {
 		m := make(map[K]V, len(in))
+		order := make([]K, 0, len(in))
 		for _, kv := range in {
 			if old, ok := m[kv.Key]; ok {
 				m[kv.Key] = f(old, kv.Val)
 			} else {
 				m[kv.Key] = kv.Val
+				order = append(order, kv.Key)
 			}
 		}
-		out := make([]Pair[K, V], 0, len(m))
-		for k, v := range m {
-			out = append(out, Pair[K, V]{k, v})
+		out := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[K, V]{k, m[k]})
 		}
 		return out
 	})
@@ -56,17 +62,19 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 	sd := dep{parent: combined.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
 	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
 		m := make(map[K]V, len(in[0]))
+		order := make([]K, 0, len(in[0]))
 		for _, e := range in[0] {
 			kv := e.(Pair[K, V])
 			if old, ok := m[kv.Key]; ok {
 				m[kv.Key] = f(old, kv.Val)
 			} else {
 				m[kv.Key] = kv.Val
+				order = append(order, kv.Key)
 			}
 		}
-		out := make([]any, 0, len(m))
-		for k, v := range m {
-			out = append(out, Pair[K, V]{k, v})
+		out := make([]any, 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[K, V]{k, m[k]})
 		}
 		tc.UseMemory(d.s.estResidentBytes(out, outWeight)) // resident build map ~ distinct keys
 		return out
@@ -95,13 +103,17 @@ func GroupByKeyN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[
 		// on large or skewed groups (Sec. 9.4, 9.5).
 		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
 		m := make(map[K][]V)
+		order := make([]K, 0, len(in[0]))
 		for _, e := range in[0] {
 			kv := e.(Pair[K, V])
+			if _, ok := m[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
 			m[kv.Key] = append(m[kv.Key], kv.Val)
 		}
-		out := make([]any, 0, len(m))
-		for k, vs := range m {
-			out = append(out, Pair[K, []V]{k, vs})
+		out := make([]any, 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[K, []V]{k, m[k]})
 		}
 		return out
 	})

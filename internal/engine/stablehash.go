@@ -1,0 +1,173 @@
+package engine
+
+// Deterministic key hashing for shuffle partitioning. Go's runtime hash
+// (hash/maphash, map internals) is randomized per process on purpose; if
+// partitioners used it, the records each partition receives — and with
+// them task durations, shuffle volumes, and OOM boundaries — would
+// change from one invocation of the same program to the next. The
+// simulation's contract is stronger: identical inputs produce
+// bit-identical virtual results across processes, so experiment tables
+// are exactly regenerable and a fixed-seed chaos run fails in exactly
+// the same place every time.
+//
+// stableHasher compiles, once per key type, a hash function that walks
+// the value's concrete representation (integers, floats, strings,
+// arrays, struct fields at their offsets — skipping padding) and mixes
+// it with splitmix64. Types it cannot walk deterministically (pointers,
+// interfaces) fall back to the process-seeded maphash; such keys are
+// not used by anything in this repository.
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// hashFn folds the value at p into h.
+type hashFn func(p unsafe.Pointer, h uint64) uint64
+
+// stableSeed is the fixed initial state. One constant for every session
+// keeps the A/B property of the old process-wide seed (two sessions in
+// one process — or now in any process — place elements identically).
+const stableSeed uint64 = 0x9e3779b97f4a7c15
+
+var stableHashers sync.Map // reflect.Type -> hashFn (nil when unsupported)
+
+// stableHasherFor returns the compiled hasher for t, or nil if t (or a
+// nested field) cannot be hashed deterministically.
+func stableHasherFor(t reflect.Type) hashFn {
+	if fn, ok := stableHashers.Load(t); ok {
+		if fn == nil {
+			return nil
+		}
+		return fn.(hashFn)
+	}
+	fn := compileStableHasher(t)
+	if fn == nil {
+		stableHashers.Store(t, nil)
+		return nil
+	}
+	stableHashers.Store(t, fn)
+	return fn
+}
+
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func compileStableHasher(t reflect.Type) hashFn {
+	switch t.Kind() {
+	case reflect.Bool:
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			var v uint64
+			if *(*bool)(p) {
+				v = 1
+			}
+			return mix64(h, v)
+		}
+	case reflect.Int8:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*int8)(p))) }
+	case reflect.Int16:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*int16)(p))) }
+	case reflect.Int32:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*int32)(p))) }
+	case reflect.Int64:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*int64)(p))) }
+	case reflect.Int:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*int)(p))) }
+	case reflect.Uint8:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*uint8)(p))) }
+	case reflect.Uint16:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*uint16)(p))) }
+	case reflect.Uint32:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*uint32)(p))) }
+	case reflect.Uint64:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, *(*uint64)(p)) }
+	case reflect.Uint:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*uint)(p))) }
+	case reflect.Uintptr:
+		return func(p unsafe.Pointer, h uint64) uint64 { return mix64(h, uint64(*(*uintptr)(p))) }
+	case reflect.Float32:
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			return mix64(h, uint64(math.Float32bits(*(*float32)(p))))
+		}
+	case reflect.Float64:
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			return mix64(h, math.Float64bits(*(*float64)(p)))
+		}
+	case reflect.Complex64:
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			c := *(*complex64)(p)
+			return mix64(mix64(h, uint64(math.Float32bits(real(c)))), uint64(math.Float32bits(imag(c))))
+		}
+	case reflect.Complex128:
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			c := *(*complex128)(p)
+			return mix64(mix64(h, math.Float64bits(real(c))), math.Float64bits(imag(c)))
+		}
+	case reflect.String:
+		return func(p unsafe.Pointer, h uint64) uint64 { return hashString(*(*string)(p), h) }
+	case reflect.Array:
+		elem := compileStableHasher(t.Elem())
+		if elem == nil {
+			return nil
+		}
+		n, sz := t.Len(), t.Elem().Size()
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			for i := 0; i < n; i++ {
+				h = elem(unsafe.Add(p, uintptr(i)*sz), h)
+			}
+			return h
+		}
+	case reflect.Struct:
+		type field struct {
+			off uintptr
+			fn  hashFn
+		}
+		fields := make([]field, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			fn := compileStableHasher(f.Type)
+			if fn == nil {
+				return nil
+			}
+			fields = append(fields, field{off: f.Offset, fn: fn})
+		}
+		return func(p unsafe.Pointer, h uint64) uint64 {
+			for _, f := range fields {
+				h = f.fn(unsafe.Add(p, f.off), h)
+			}
+			return h
+		}
+	default:
+		// Pointers, interfaces, channels: identity-based, cannot be
+		// walked deterministically.
+		return nil
+	}
+}
+
+// hashString folds a string 8 bytes at a time (length first, so "a"+"b"
+// and "ab"+"" in adjacent struct fields do not collide trivially).
+func hashString(s string, h uint64) uint64 {
+	h = mix64(h, uint64(len(s)))
+	for len(s) >= 8 {
+		h = mix64(h, uint64(s[0])|uint64(s[1])<<8|uint64(s[2])<<16|uint64(s[3])<<24|
+			uint64(s[4])<<32|uint64(s[5])<<40|uint64(s[6])<<48|uint64(s[7])<<56)
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var v uint64
+		for i := 0; i < len(s); i++ {
+			v |= uint64(s[i]) << (8 * i)
+		}
+		h = mix64(h, v)
+	}
+	return h
+}

@@ -68,6 +68,18 @@ type Recovery struct {
 	Seconds float64 // virtual time charged to the failed attempt
 }
 
+// FaultEvent is one machine-failure transition applied by the simulated
+// cluster's fault plan (internal/cluster chaos): a crash that destroyed
+// the machine's resident shuffle outputs, or a rejoin that brought it
+// back empty. Like scheduler events, fault events describe the cluster,
+// not one job, so they live on their own stream.
+type FaultEvent struct {
+	At      float64 // virtual time the transition was applied
+	Machine int
+	Kind    string // "crash" or "rejoin"
+	Detail  string // e.g. "lost 3 shuffle partitions"
+}
+
 // SchedEvent is one multi-tenant scheduler event: a stage queue wait, a
 // speculative backup launched / won / wasted, or an admission rejection.
 // Unlike the per-job records above, scheduler events are recorded on a
@@ -102,6 +114,7 @@ type Recorder struct {
 	cur       *Job
 	decisions []Decision
 	sched     []SchedEvent
+	faults    []FaultEvent
 }
 
 // NewRecorder returns an empty recorder.
@@ -194,6 +207,26 @@ func (r *Recorder) Sched(e SchedEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sched = append(r.sched, e)
+}
+
+// Fault appends a machine-failure event.
+func (r *Recorder) Fault(e FaultEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = append(r.faults, e)
+}
+
+// Faults returns the machine-failure event stream.
+func (r *Recorder) Faults() []FaultEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]FaultEvent(nil), r.faults...)
 }
 
 // SchedEvents returns the scheduler event stream.
@@ -315,6 +348,19 @@ func (r *Recorder) Report() string {
 		}
 	}
 
+	if faults := r.Faults(); len(faults) > 0 {
+		crashes := 0
+		for _, e := range faults {
+			if e.Kind == "crash" {
+				crashes++
+			}
+		}
+		fmt.Fprintf(&b, "\nFault events: %d crashes, %d rejoins\n", crashes, len(faults)-crashes)
+		for _, e := range faults {
+			fmt.Fprintf(&b, "  [t=%s] machine %d %-6s %s\n", secs(e.At), e.Machine, e.Kind, e.Detail)
+		}
+	}
+
 	if sched := r.SchedEvents(); len(sched) > 0 {
 		b.WriteString("\nScheduler events:\n")
 		var wait, wasted float64
@@ -370,6 +416,10 @@ func (r *Recorder) Trace() string {
 			forced = " forced"
 		}
 		fmt.Fprintf(&b, "decision rule=%s choice=%s%s why=%q\n", d.Rule, d.Choice, forced, d.Why)
+	}
+	for _, e := range r.Faults() {
+		fmt.Fprintf(&b, "fault t=%s machine=%d kind=%s detail=%q\n",
+			secs(e.At), e.Machine, e.Kind, e.Detail)
 	}
 	for _, e := range r.SchedEvents() {
 		fmt.Fprintf(&b, "sched tenant=%s job=%d stage=%d kind=%s dt=%s detail=%q\n",

@@ -76,6 +76,11 @@ type Config struct {
 	// Straggle injects deterministic per-task duration skew. Factor
 	// defaults to 8 when Rate > 0.
 	Straggle cluster.Skew
+	// Chaos injects machine failures into the pool (chaos.go): crashes
+	// kill and re-queue the machine's running tasks, rejoins restore its
+	// capacity, repeat offenders are blacklisted. The zero plan injects
+	// nothing.
+	Chaos cluster.FaultPlan
 	// Obs, when non-nil, receives scheduler events (queue waits,
 	// speculation, admission rejections) rendered by EXPLAIN ANALYZE.
 	Obs *obs.Recorder
@@ -95,6 +100,13 @@ type Scheduler struct {
 	machines  []machineState
 	freeSlots int
 	ready     []*taskRun
+
+	// liveMachines counts machines not down; workEvents counts scheduled
+	// events that represent work (stage readiness, arrivals, task
+	// completions, spec checks) as opposed to machine weather. Together
+	// they let drive stop when only an endless hazard remains (chaos.go).
+	liveMachines int
+	workEvents   int
 
 	tenants []*tenantState
 	byName  map[string]*tenantState
@@ -122,6 +134,14 @@ type Scheduler struct {
 type machineState struct {
 	freeCores int
 	freeMem   int64
+
+	// Machine-failure state (chaos.go). A down machine holds no capacity;
+	// a rejoined one may still be blacklisted (not placed on) until
+	// blackUntil. hazDraw counts the MTBF hazard's exponential draws.
+	down       bool
+	blackUntil float64
+	crashes    int
+	hazDraw    int
 }
 
 // New builds a scheduler over the given pool. Invalid configurations are
@@ -140,6 +160,12 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Straggle.Rate > 0 && cfg.Straggle.Factor <= 1 {
 		cfg.Straggle.Factor = 8
 	}
+	if err := cfg.Chaos.Validate(cfg.Cluster.Machines); err != nil {
+		return nil, err
+	}
+	if cfg.Chaos.Active() {
+		cfg.Chaos = cfg.Chaos.WithDefaults()
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		slots:   cfg.Cluster.Slots(),
@@ -150,6 +176,10 @@ func New(cfg Config) (*Scheduler, error) {
 	s.machines = make([]machineState, cfg.Cluster.Machines)
 	for i := range s.machines {
 		s.machines[i] = machineState{freeCores: cfg.Cluster.CoresPerMachine, freeMem: cfg.Cluster.MemoryPerMachine}
+	}
+	s.liveMachines = cfg.Cluster.Machines
+	if cfg.Chaos.Active() {
+		s.scheduleFaults()
 	}
 	return s, nil
 }
@@ -266,6 +296,12 @@ type aggMetrics struct {
 	prefViol      int
 	admitRejected int
 	queueWait     float64
+
+	// chaos counters (chaos.go)
+	crashes      int
+	rejoins      int
+	requeues     int
+	requeueWaste float64
 }
 
 // TenantMetrics is one tenant's share of a Metrics snapshot.
@@ -288,7 +324,16 @@ type Metrics struct {
 	PrefViolations int
 	AdmitRejected  int
 	QueueWaitSec   float64
-	Tenants        []TenantMetrics
+
+	// Machine-failure accounting (chaos.go): crashes applied, rejoins
+	// applied, task copies re-queued off crashed machines, and the
+	// core·seconds those killed copies had burned.
+	Crashes          int
+	Rejoins          int
+	Requeues         int
+	RequeueWastedSec float64
+
+	Tenants []TenantMetrics
 }
 
 // Metrics returns a deterministic snapshot (tenants in registration
@@ -308,6 +353,11 @@ func (s *Scheduler) metricsLocked() Metrics {
 		PrefViolations: s.met.prefViol,
 		AdmitRejected:  s.met.admitRejected,
 		QueueWaitSec:   s.met.queueWait,
+
+		Crashes:          s.met.crashes,
+		Rejoins:          s.met.rejoins,
+		Requeues:         s.met.requeues,
+		RequeueWastedSec: s.met.requeueWaste,
 	}
 	for _, t := range s.tenants {
 		m.Tenants = append(m.Tenants, TenantMetrics{
@@ -350,6 +400,9 @@ func (s *Scheduler) schedule(at float64, p any) {
 	s.keySeq++
 	s.payload[s.keySeq] = p
 	s.clock.Schedule(at, s.keySeq)
+	if !machineEvent(p) {
+		s.workEvents++
+	}
 }
 
 // newStage records a submitted stage. The caller schedules (or defers)
@@ -408,6 +461,12 @@ func (s *Scheduler) drive() {
 		}
 		ev, ok := s.clock.Peek()
 		if !ok {
+			// A dead pool with nothing scheduled to revive it: fail the
+			// stranded stages (their completions may wake parked tenants)
+			// instead of hanging or silently returning.
+			if s.failStranded() {
+				continue
+			}
 			if !s.workload && s.parked > 0 {
 				panic(fmt.Sprintf("sched: stuck: %d parked requests, no events, nothing placeable", s.parked))
 			}
@@ -417,13 +476,26 @@ func (s *Scheduler) drive() {
 		// speculation check for a task that already finished) must not
 		// advance the clock: drop them where Next would jump to them.
 		if s.staleEvent(s.payload[ev.Key]) {
+			if !machineEvent(s.payload[ev.Key]) {
+				s.workEvents--
+			}
 			s.clock.Drop()
 			delete(s.payload, ev.Key)
 			continue
 		}
+		// When only cluster weather remains — no work scheduled, nothing
+		// queued, nobody parked — the system is drained: return with the
+		// remaining (possibly endless, under a hazard) machine events
+		// unplayed rather than simulating an empty cluster forever.
+		if machineEvent(s.payload[ev.Key]) && s.workEvents == 0 && len(s.ready) == 0 && s.parked == 0 {
+			return
+		}
 		ev, _ = s.clock.Next()
 		p := s.payload[ev.Key]
 		delete(s.payload, ev.Key)
+		if !machineEvent(p) {
+			s.workEvents--
+		}
 		switch e := p.(type) {
 		case evStageReady:
 			s.stageBecameReady(e.st)
@@ -433,6 +505,23 @@ func (s *Scheduler) drive() {
 			s.specCheck(e.tr)
 		case *taskRun:
 			s.taskFinished(e)
+		case evCrash:
+			if e.hazard {
+				// Hazard transitions chain their successor whether or not
+				// they apply, so the schedule survives explicit overlaps.
+				s.schedule(s.clock.Now()+s.cfg.Chaos.Repair, evRejoin{machine: e.machine, hazard: true})
+			}
+			s.machineCrash(e.machine)
+		case evRejoin:
+			if e.hazard {
+				ms := &s.machines[e.machine]
+				s.schedule(s.clock.Now()+s.cfg.Chaos.CrashGap(e.machine, ms.hazDraw), evCrash{machine: e.machine, hazard: true})
+				ms.hazDraw++
+			}
+			s.machineRejoin(e.machine)
+		case evBlacklistOver:
+			// Nothing to do: placeReady at the top of the loop re-examines
+			// the queue now that the machine is placeable again.
 		}
 	}
 }
@@ -609,18 +698,19 @@ func (s *Scheduler) domShare(t *tenantState) float64 {
 }
 
 // chooseMachine picks where to run tr: its preferred machine when that
-// has a free core and memory, else the feasible machine with the most
-// free memory (lowest index on ties) — counted as a locality preference
-// violation. Returns -1 when nothing currently fits.
+// is available with a free core and memory, else the feasible machine
+// with the most free memory (lowest index on ties) — counted as a
+// locality preference violation. Down and blacklisted machines are never
+// chosen. Returns -1 when nothing currently fits.
 func (s *Scheduler) chooseMachine(tr *taskRun) (int, bool) {
 	p := &s.machines[tr.pref]
-	if p.freeCores > 0 && p.freeMem >= tr.need {
+	if s.available(tr.pref) && p.freeCores > 0 && p.freeMem >= tr.need {
 		return tr.pref, false
 	}
 	best := -1
 	for i := range s.machines {
 		m := &s.machines[i]
-		if m.freeCores <= 0 || m.freeMem < tr.need {
+		if !s.available(i) || m.freeCores <= 0 || m.freeMem < tr.need {
 			continue
 		}
 		if best < 0 || m.freeMem > s.machines[best].freeMem {
