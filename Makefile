@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench figures fmt-check sched-bench chaos-bench
+.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -31,6 +31,14 @@ race:
 ## machine and note GOMAXPROCS when comparing across hosts.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/engine | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_engine.json
+
+## bench-check: hot-path regression gate — rerun the engine benchmarks
+## (few iterations: this is a smoke gate, not a measurement) and fail if
+## any benchmark kept since the committed BENCH_engine.json baseline got
+## more than 2x slower in ns/op. New and removed benchmarks are reported
+## but never fail; regenerate the baseline with `make bench`.
+bench-check:
+	$(GO) test -bench . -benchmem -benchtime 3x -run '^$$' ./internal/engine | $(GO) run ./cmd/benchjson -check BENCH_engine.json -factor 2
 
 ## figures: regenerate the simulated-cluster paper figures
 ## (internal/bench/testdata/bench_rows.csv).

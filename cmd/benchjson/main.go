@@ -1,12 +1,22 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document on stdout, so benchmark results can be committed and
 // diffed across revisions (see BENCH_engine.json and `make bench`).
+//
+// With -check it becomes a regression gate instead: the current run (still
+// text on stdin) is compared against a committed baseline JSON, and any
+// benchmark whose ns/op grew by more than -factor fails the command (see
+// `make bench-check` and the CI bench-smoke job).
+//
+//	go test -bench . ./internal/engine | benchjson > BENCH_engine.json
+//	go test -bench . ./internal/engine | benchjson -check BENCH_engine.json -factor 2
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,8 +43,53 @@ type Report struct {
 }
 
 func main() {
+	var (
+		checkPath = flag.String("check", "", "baseline JSON to compare stdin against; regressions fail the command")
+		factor    = flag.Float64("factor", 2, "with -check: fail when current ns/op exceeds baseline by more than this factor")
+	)
+	flag.Parse()
+	if *factor <= 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -factor must be positive")
+		os.Exit(2)
+	}
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+
+	if *checkPath != "" {
+		raw, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		summary, ok := check(base, rep, *factor)
+		fmt.Print(summary)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output into a Report.
+func parse(r io.Reader) (Report, error) {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -53,16 +108,49 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
-		os.Exit(1)
+	return rep, sc.Err()
+}
+
+// check compares the current run against a baseline by benchmark name.
+// Benchmarks missing from the baseline (newly added) or from the current
+// run (renamed/removed) are reported but never fail the gate: the gate
+// exists to catch regressions on retained benchmarks, and a shared-CI box
+// is noisy, so only a > factor ns/op growth is treated as one.
+func check(base, cur Report, factor float64) (string, bool) {
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
-		os.Exit(1)
+	var b strings.Builder
+	ok := true
+	for _, r := range cur.Results {
+		bl, found := baseline[r.Name]
+		if !found {
+			fmt.Fprintf(&b, "  new      %-56s %12.0f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := 0.0
+		if bl.NsPerOp > 0 {
+			ratio = r.NsPerOp / bl.NsPerOp
+		}
+		verdict := "ok"
+		if ratio > factor {
+			verdict = "REGRESSED"
+			ok = false
+		}
+		fmt.Fprintf(&b, "  %-8s %-56s %12.0f ns/op vs %12.0f baseline (%.2fx)\n",
+			verdict, r.Name, r.NsPerOp, bl.NsPerOp, ratio)
+		delete(baseline, r.Name)
 	}
+	for name := range baseline {
+		fmt.Fprintf(&b, "  gone     %s (in baseline, not in this run)\n", name)
+	}
+	if ok {
+		fmt.Fprintf(&b, "benchjson: %d benchmarks within %.1fx of baseline\n", len(cur.Results), factor)
+	} else {
+		fmt.Fprintf(&b, "benchjson: ns/op regression beyond %.1fx of baseline\n", factor)
+	}
+	return b.String(), ok
 }
 
 func parseBench(line string) (Result, bool) {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchText(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: matryoshka/internal/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShuffleRoute/uniform/serial-4         	     374	   3081601 ns/op	 3840128 B/op	     241 allocs/op
+BenchmarkStageExec/fused                       	      20	   2546158 ns/op	 3564153 B/op	     933 allocs/op
+PASS
+ok  	matryoshka/internal/engine	12.3s
+`
+	rep, err := parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "matryoshka/internal/engine" {
+		t.Errorf("header parsed wrong: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rep.Results))
+	}
+	if r := rep.Results[0]; r.Name != "BenchmarkShuffleRoute/uniform/serial" || r.Procs != 4 ||
+		r.NsPerOp != 3081601 || r.AllocsPerOp != 241 {
+		t.Errorf("first result parsed wrong: %+v", r)
+	}
+	if r := rep.Results[1]; r.Name != "BenchmarkStageExec/fused" || r.Procs != 1 {
+		t.Errorf("procs-less name parsed wrong: %+v", r)
+	}
+}
+
+func res(name string, ns float64) Result { return Result{Name: name, NsPerOp: ns} }
+
+func TestCheckPassesWithinFactor(t *testing.T) {
+	base := Report{Results: []Result{res("A", 1000), res("B", 2000)}}
+	cur := Report{Results: []Result{res("A", 1900), res("B", 2000)}}
+	out, ok := check(base, cur, 2)
+	if !ok {
+		t.Fatalf("within-factor run failed:\n%s", out)
+	}
+	if !strings.Contains(out, "within 2.0x") {
+		t.Errorf("summary missing verdict:\n%s", out)
+	}
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	base := Report{Results: []Result{res("A", 1000)}}
+	cur := Report{Results: []Result{res("A", 2500)}}
+	out, ok := check(base, cur, 2)
+	if ok {
+		t.Fatalf("2.5x regression passed:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "A") {
+		t.Errorf("report does not name the regressed benchmark:\n%s", out)
+	}
+}
+
+func TestCheckIgnoresNewAndGoneBenchmarks(t *testing.T) {
+	base := Report{Results: []Result{res("A", 1000), res("Old", 500)}}
+	cur := Report{Results: []Result{res("A", 1000), res("New", 99999999)}}
+	out, ok := check(base, cur, 2)
+	if !ok {
+		t.Fatalf("new/gone benchmarks must not fail the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "new") || !strings.Contains(out, "gone") {
+		t.Errorf("report does not mention new/gone benchmarks:\n%s", out)
+	}
+}
+
+func TestCheckZeroBaselineNeverDividesByZero(t *testing.T) {
+	base := Report{Results: []Result{res("A", 0)}}
+	cur := Report{Results: []Result{res("A", 12345)}}
+	if _, ok := check(base, cur, 2); !ok {
+		t.Fatal("zero baseline should not count as a regression")
+	}
+}

@@ -17,6 +17,9 @@
 //	matbench -exp fig3-kmeans -mtbf 200          # any experiment under a machine-crash hazard
 //	matbench -tenants 3 -policy fair -speculate -straggle 0.25
 //	                                 # one multi-tenant scheduling run (p50/p99/makespan)
+//	matbench -exp fig1 -cpuprofile cpu.out -memprofile mem.out
+//	                                 # profile the host engine under a real workload
+//	matbench -exp fig1 -nofuse       # wall-clock A/B against the unfused executor
 //
 // Reported times are simulated cluster seconds (see internal/cluster);
 // absolute values depend on the scale, the relative shapes are the result.
@@ -27,79 +30,141 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"matryoshka/internal/bench"
 	"matryoshka/internal/sched"
+	"matryoshka/internal/tasks"
 )
+
+// knobs carries every validated flag value.
+type knobs struct {
+	mem        int64
+	faultRate  float64
+	straggle   float64
+	chaos      float64
+	mtbf       float64
+	seed       int64
+	tenants    int
+	policy     string
+	cpuProfile string
+	memProfile string
+}
 
 // validateFlags rejects out-of-domain knob values before any experiment
 // runs, so a typo fails with a usage error instead of a misleading
 // sweep (a fault rate of 1.2 would silently clamp deep inside the
 // simulator; negative memory would "fit" nothing and OOM everything).
-func validateFlags(mem int64, faultRate, straggle, chaos, mtbf float64, seed int64, tenants int, policy string) error {
-	if faultRate < 0 || faultRate > 1 {
-		return fmt.Errorf("-faultrate %v is not a probability (want 0..1)", faultRate)
+func validateFlags(k knobs) error {
+	if k.faultRate < 0 || k.faultRate > 1 {
+		return fmt.Errorf("-faultrate %v is not a probability (want 0..1)", k.faultRate)
 	}
-	if mem < 0 {
-		return fmt.Errorf("-mem %d is negative (want bytes per machine, 0 = paper default)", mem)
+	if k.mem < 0 {
+		return fmt.Errorf("-mem %d is negative (want bytes per machine, 0 = paper default)", k.mem)
 	}
-	if straggle < 0 || straggle > 1 {
-		return fmt.Errorf("-straggle %v is not a rate (want 0..1)", straggle)
+	if k.straggle < 0 || k.straggle > 1 {
+		return fmt.Errorf("-straggle %v is not a rate (want 0..1)", k.straggle)
 	}
-	if chaos < 0 {
-		return fmt.Errorf("-chaos %v is negative (want crashes per machine per 1000 simulated seconds, 0 = off)", chaos)
+	if k.chaos < 0 {
+		return fmt.Errorf("-chaos %v is negative (want crashes per machine per 1000 simulated seconds, 0 = off)", k.chaos)
 	}
-	if mtbf < 0 {
-		return fmt.Errorf("-mtbf %v is negative (want mean seconds between crashes per machine, 0 = off)", mtbf)
+	if k.mtbf < 0 {
+		return fmt.Errorf("-mtbf %v is negative (want mean seconds between crashes per machine, 0 = off)", k.mtbf)
 	}
-	if chaos > 0 && mtbf > 0 {
+	if k.chaos > 0 && k.mtbf > 0 {
 		return fmt.Errorf("-chaos and -mtbf both set; they are two spellings of the same hazard, pick one")
 	}
-	if seed < 0 {
-		return fmt.Errorf("-seed %d is negative (want a non-negative hazard/skew seed, 0 = default)", seed)
+	if k.seed < 0 {
+		return fmt.Errorf("-seed %d is negative (want a non-negative hazard/skew seed, 0 = default)", k.seed)
 	}
-	if tenants < 0 {
-		return fmt.Errorf("-tenants %d is negative", tenants)
+	if k.tenants < 0 {
+		return fmt.Errorf("-tenants %d is negative", k.tenants)
 	}
-	if policy != string(sched.PolicyFIFO) && policy != string(sched.PolicyFair) {
-		return fmt.Errorf("-policy %q is unknown (want fifo or fair)", policy)
+	if k.policy != string(sched.PolicyFIFO) && k.policy != string(sched.PolicyFair) {
+		return fmt.Errorf("-policy %q is unknown (want fifo or fair)", k.policy)
+	}
+	if k.cpuProfile != "" && k.cpuProfile == k.memProfile {
+		return fmt.Errorf("-cpuprofile and -memprofile both write %q; the second would truncate the first", k.cpuProfile)
 	}
 	return nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with explicit exit codes: every early exit is a return, so
+// the deferred profile writers always flush (an os.Exit inside would
+// silently produce empty or truncated profile files).
+func run() int {
 	var (
-		expID     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		perGB     = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
-		quiet     = flag.Bool("q", false, "suppress progress output")
-		csvPath   = flag.String("csv", "", "also write raw rows as CSV to this file")
-		explain   = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery)")
-		trace     = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
-		mem       = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
-		faultRate = flag.Float64("faultrate", 0, "inject transient task failures with this probability per task")
-		tenants   = flag.Int("tenants", 0, "run one multi-tenant scheduling workload with this many interactive tenants (plus a batch tenant)")
-		policy    = flag.String("policy", "fair", "scheduling policy for -tenants: fifo or fair")
-		speculate = flag.Bool("speculate", false, "enable speculative straggler re-execution for -tenants")
-		straggle  = flag.Float64("straggle", 0.25, "straggler rate for -tenants: fraction of tasks stretched 8x")
-		chaos     = flag.Float64("chaos", 0, "machine crash rate: crashes per machine per 1000 simulated seconds (0 = off)")
-		mtbf      = flag.Float64("mtbf", 0, "machine crash hazard: mean simulated seconds between crashes per machine (alternative spelling of -chaos)")
-		seed      = flag.Int64("seed", 0, "seed for the crash hazard and straggler skew (0 = default, runs stay bit-reproducible)")
+		expID      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		perGB      = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		csvPath    = flag.String("csv", "", "also write raw rows as CSV to this file")
+		explain    = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery)")
+		trace      = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
+		mem        = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
+		faultRate  = flag.Float64("faultrate", 0, "inject transient task failures with this probability per task")
+		tenants    = flag.Int("tenants", 0, "run one multi-tenant scheduling workload with this many interactive tenants (plus a batch tenant)")
+		policy     = flag.String("policy", "fair", "scheduling policy for -tenants: fifo or fair")
+		speculate  = flag.Bool("speculate", false, "enable speculative straggler re-execution for -tenants")
+		straggle   = flag.Float64("straggle", 0.25, "straggler rate for -tenants: fraction of tasks stretched 8x")
+		chaos      = flag.Float64("chaos", 0, "machine crash rate: crashes per machine per 1000 simulated seconds (0 = off)")
+		mtbf       = flag.Float64("mtbf", 0, "machine crash hazard: mean simulated seconds between crashes per machine (alternative spelling of -chaos)")
+		seed       = flag.Int64("seed", 0, "seed for the crash hazard and straggler skew (0 = default, runs stay bit-reproducible)")
+		nofuse     = flag.Bool("nofuse", false, "disable fused narrow-chain execution (A/B wall-clock comparison; simulated numbers are identical either way)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	if err := validateFlags(*mem, *faultRate, *straggle, *chaos, *mtbf, *seed, *tenants, *policy); err != nil {
+	if err := validateFlags(knobs{mem: *mem, faultRate: *faultRate, straggle: *straggle,
+		chaos: *chaos, mtbf: *mtbf, seed: *seed, tenants: *tenants, policy: *policy,
+		cpuProfile: *cpuProfile, memProfile: *memProfile}); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	tasks.NoFuse = *nofuse
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "matbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate, Seed: uint64(*seed)}
 	switch {
@@ -113,10 +178,10 @@ func main() {
 		out, err := bench.SchedSummary(sc, *tenants, *straggle, sched.Policy(*policy), *speculate)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(out)
-		return
+		return 0
 	}
 
 	if *explain != "" || *trace != "" {
@@ -127,10 +192,10 @@ func main() {
 		out, err := bench.ExplainRun(task, sc, asTrace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(out)
-		return
+		return 0
 	}
 
 	var exps []bench.Experiment
@@ -140,7 +205,7 @@ func main() {
 		e, ok := bench.Find(*expID)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "matbench: unknown experiment %q (try -list)\n", *expID)
-			os.Exit(2)
+			return 2
 		}
 		exps = []bench.Experiment{e}
 	}
@@ -150,7 +215,7 @@ func main() {
 		w, err := newCSVWriter(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer w.Close()
 		csvW = w
@@ -162,13 +227,14 @@ func main() {
 		if csvW != nil {
 			if err := csvW.writeRows(rows); err != nil {
 				fmt.Fprintf(os.Stderr, "matbench: csv: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if !*quiet {
 			fmt.Printf("  [%s: %d rows in %.1fs wall]\n\n", e.ID, len(rows), time.Since(start).Seconds())
 		}
 	}
+	return 0
 }
 
 // csvWriter appends experiment rows to a CSV file for external plotting.

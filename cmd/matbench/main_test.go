@@ -7,36 +7,33 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name      string
-		mem       int64
-		faultRate float64
-		straggle  float64
-		chaos     float64
-		mtbf      float64
-		seed      int64
-		tenants   int
-		policy    string
-		wantErr   string // "" = valid
+		name    string
+		k       knobs
+		wantErr string // "" = valid
 	}{
-		{name: "defaults", straggle: 0.25, policy: "fair"},
-		{name: "fifo policy", straggle: 0, tenants: 4, policy: "fifo"},
-		{name: "boundary rates", faultRate: 1, straggle: 1, policy: "fair"},
-		{name: "chaos rate", chaos: 4, seed: 7, policy: "fair"},
-		{name: "mtbf hazard", mtbf: 250, policy: "fair"},
-		{name: "faultrate above 1", faultRate: 1.2, policy: "fair", wantErr: "-faultrate"},
-		{name: "faultrate negative", faultRate: -0.1, policy: "fair", wantErr: "-faultrate"},
-		{name: "mem negative", mem: -1, policy: "fair", wantErr: "-mem"},
-		{name: "straggle above 1", straggle: 1.5, policy: "fair", wantErr: "-straggle"},
-		{name: "chaos negative", chaos: -2, policy: "fair", wantErr: "-chaos"},
-		{name: "mtbf negative", mtbf: -50, policy: "fair", wantErr: "-mtbf"},
-		{name: "chaos and mtbf both set", chaos: 2, mtbf: 500, policy: "fair", wantErr: "-chaos and -mtbf"},
-		{name: "seed negative", seed: -3, policy: "fair", wantErr: "-seed"},
-		{name: "tenants negative", tenants: -2, policy: "fair", wantErr: "-tenants"},
-		{name: "unknown policy", policy: "lottery", wantErr: "-policy"},
+		{name: "defaults", k: knobs{straggle: 0.25, policy: "fair"}},
+		{name: "fifo policy", k: knobs{tenants: 4, policy: "fifo"}},
+		{name: "boundary rates", k: knobs{faultRate: 1, straggle: 1, policy: "fair"}},
+		{name: "chaos rate", k: knobs{chaos: 4, seed: 7, policy: "fair"}},
+		{name: "mtbf hazard", k: knobs{mtbf: 250, policy: "fair"}},
+		{name: "profiles to distinct files", k: knobs{policy: "fair", cpuProfile: "cpu.out", memProfile: "mem.out"}},
+		{name: "cpu profile alone", k: knobs{policy: "fair", cpuProfile: "cpu.out"}},
+		{name: "mem profile alone", k: knobs{policy: "fair", memProfile: "mem.out"}},
+		{name: "faultrate above 1", k: knobs{faultRate: 1.2, policy: "fair"}, wantErr: "-faultrate"},
+		{name: "faultrate negative", k: knobs{faultRate: -0.1, policy: "fair"}, wantErr: "-faultrate"},
+		{name: "mem negative", k: knobs{mem: -1, policy: "fair"}, wantErr: "-mem"},
+		{name: "straggle above 1", k: knobs{straggle: 1.5, policy: "fair"}, wantErr: "-straggle"},
+		{name: "chaos negative", k: knobs{chaos: -2, policy: "fair"}, wantErr: "-chaos"},
+		{name: "mtbf negative", k: knobs{mtbf: -50, policy: "fair"}, wantErr: "-mtbf"},
+		{name: "chaos and mtbf both set", k: knobs{chaos: 2, mtbf: 500, policy: "fair"}, wantErr: "-chaos and -mtbf"},
+		{name: "seed negative", k: knobs{seed: -3, policy: "fair"}, wantErr: "-seed"},
+		{name: "tenants negative", k: knobs{tenants: -2, policy: "fair"}, wantErr: "-tenants"},
+		{name: "unknown policy", k: knobs{policy: "lottery"}, wantErr: "-policy"},
+		{name: "profiles collide", k: knobs{policy: "fair", cpuProfile: "prof.out", memProfile: "prof.out"}, wantErr: "-cpuprofile and -memprofile"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateFlags(c.mem, c.faultRate, c.straggle, c.chaos, c.mtbf, c.seed, c.tenants, c.policy)
+			err := validateFlags(c.k)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -1,11 +1,12 @@
 package bench
 
 // The engine's parallel executor (worker pool, parallel shuffle routing,
-// narrow fan-in memo) must be a pure host-side optimization: every
-// simulated-cluster number the paper figures are built from has to come
-// out bit-identical to the retained serial reference executor. This test
-// runs real experiments from the registry under both executors and
-// compares the raw rows with ==, not a tolerance.
+// narrow fan-in memo) and the fused narrow-chain pipeline must be pure
+// host-side optimizations: every simulated-cluster number the paper
+// figures are built from has to come out bit-identical to the retained
+// serial reference executor. This test runs real experiments from the
+// registry under all three modes and compares the raw rows with ==, not
+// a tolerance.
 
 import (
 	"reflect"
@@ -19,23 +20,38 @@ func TestExecutorModesBitIdentical(t *testing.T) {
 	// exercised are the full ones (shuffles, broadcasts, skewed groups,
 	// control flow), only the record counts shrink.
 	sc := Scale{RecordsPerGB: 300}
+	modes := []struct {
+		name   string
+		legacy bool
+		noFuse bool
+	}{
+		{"legacy", true, true},
+		{"parallel-unfused", false, true},
+		{"parallel-fused", false, false},
+	}
 	for _, id := range []string{"fig1", "fig7-bounce"} {
 		exp, ok := Find(id)
 		if !ok {
 			t.Fatalf("experiment %s not in registry", id)
 		}
 		t.Run(id, func(t *testing.T) {
-			tasks.LegacyExec = true
-			ref := exp.Run(sc)
-			tasks.LegacyExec = false
-			par := exp.Run(sc)
-			if !reflect.DeepEqual(ref, par) {
-				for i := range ref {
-					if i < len(par) && ref[i] != par[i] {
-						t.Errorf("row %d differs:\nlegacy:   %+v\nparallel: %+v", i, ref[i], par[i])
-					}
+			defer func() { tasks.LegacyExec, tasks.NoFuse = false, false }()
+			var ref []Row
+			for _, m := range modes {
+				tasks.LegacyExec, tasks.NoFuse = m.legacy, m.noFuse
+				got := exp.Run(sc)
+				if ref == nil {
+					ref = got
+					continue
 				}
-				t.Fatalf("executors disagree (%d vs %d rows)", len(ref), len(par))
+				if !reflect.DeepEqual(ref, got) {
+					for i := range ref {
+						if i < len(got) && ref[i] != got[i] {
+							t.Errorf("row %d differs:\n%s: %+v\n%s: %+v", i, modes[0].name, ref[i], m.name, got[i])
+						}
+					}
+					t.Fatalf("%s disagrees with %s (%d vs %d rows)", m.name, modes[0].name, len(got), len(ref))
+				}
 			}
 		})
 	}

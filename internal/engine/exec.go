@@ -209,6 +209,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			Stage:         st.ID,
 			Label:         n.label,
 			Chain:         st.ChainString(),
+			Fused:         j.ep.fusedDesc(n),
 			Parts:         n.parts,
 			ShuffleBytes:  shuffleBytes,
 			MemoHits:      j.memoHits.Load() - memoHitsBefore,
@@ -350,6 +351,12 @@ func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
 // row (weight 1) costs exactly one row — regardless of which operator
 // produced it.
 func (j *job) evalPartDirect(tc *Ctx, n *node, p int) []any {
+	if fi := j.ep.fused[n]; fi != nil {
+		// The node tops a fused narrow chain legal under this plan: run
+		// the whole chain as one typed loop (fuse.go). Charges replay the
+		// unfused per-link sequence exactly.
+		return j.evalFused(tc, fi, p)
+	}
 	inputs := make([][]any, len(n.deps))
 	for i := range n.deps {
 		d := &n.deps[i]

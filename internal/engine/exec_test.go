@@ -292,43 +292,52 @@ func randomDAG(s *Session, seed int64) Dataset[int] {
 }
 
 // TestRandomDAGLegacyEquivalence runs identical randomized DAGs on a
-// legacy-mode session (serial routing, per-stage goroutines, no memo) and
-// a parallel session sharing the same hash seed, asserting bit-identical
+// legacy-mode session (serial routing, per-stage goroutines, no memo, no
+// fusion), a parallel session with fusion disabled, and a parallel fused
+// session, all sharing the same hash seed, asserting bit-identical
 // materialized partitions, virtual clocks, and cluster stats. This is the
-// "host-side only" guarantee: the parallel pipeline changes wall-clock,
-// never simulated accounting.
+// "host-side only" guarantee: the parallel pipeline and the fused narrow
+// chain change wall-clock, never simulated accounting.
 func TestRandomDAGLegacyEquivalence(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		ref := poolSession(1)
 		ref.legacyExec = true
-		par := poolSession(8)
-		par.seed = ref.seed // same hash routing on both sessions
+		unf := poolSession(8)
+		unf.noFuse = true
+		unf.seed = ref.seed // same hash routing on all sessions
+		fus := poolSession(8)
+		fus.seed = ref.seed
 
 		refOut := randomDAG(ref, seed)
-		parOut := randomDAG(par, seed)
-
 		refParts := materializedParts(t, refOut)
-		parParts := materializedParts(t, parOut)
-		if !reflect.DeepEqual(refParts, parParts) {
-			t.Fatalf("seed %d: materialized partitions differ", seed)
+		refN, err := Count(refOut) // second action reuses caches, crosses job boundaries
+		if err != nil {
+			t.Fatalf("seed %d: legacy count err %v", seed, err)
 		}
-		// A second action reuses caches and crosses job boundaries.
-		refN, err1 := Count(refOut)
-		parN, err2 := Count(parOut)
-		if err1 != nil || err2 != nil {
-			t.Fatalf("seed %d: count errs %v %v", seed, err1, err2)
-		}
-		if refN != parN {
-			t.Fatalf("seed %d: counts differ: %d vs %d", seed, refN, parN)
-		}
-		if rc, pc := ref.Clock(), par.Clock(); rc != pc {
-			t.Fatalf("seed %d: virtual clocks differ: legacy %v parallel %v", seed, rc, pc)
-		}
-		if rs, ps := ref.Stats(), par.Stats(); rs != ps {
-			t.Fatalf("seed %d: cluster stats differ: legacy %+v parallel %+v", seed, rs, ps)
+		for _, mode := range []struct {
+			name string
+			s    *Session
+		}{{"parallel-unfused", unf}, {"parallel-fused", fus}} {
+			out := randomDAG(mode.s, seed)
+			if parts := materializedParts(t, out); !reflect.DeepEqual(refParts, parts) {
+				t.Fatalf("seed %d: %s materialized partitions differ from legacy", seed, mode.name)
+			}
+			n, err := Count(out)
+			if err != nil {
+				t.Fatalf("seed %d: %s count err %v", seed, mode.name, err)
+			}
+			if n != refN {
+				t.Fatalf("seed %d: %s count %d, legacy %d", seed, mode.name, n, refN)
+			}
+			if rc, mc := ref.Clock(), mode.s.Clock(); rc != mc {
+				t.Fatalf("seed %d: virtual clocks differ: legacy %v %s %v", seed, rc, mode.name, mc)
+			}
+			if rs, ms := ref.Stats(), mode.s.Stats(); rs != ms {
+				t.Fatalf("seed %d: cluster stats differ: legacy %+v %s %+v", seed, rs, mode.name, ms)
+			}
+			mode.s.Close()
 		}
 		ref.Close()
-		par.Close()
 	}
 }
 

@@ -73,6 +73,12 @@ type node struct {
 	// lowering for this operator (e.g. broadcast join -> repartition
 	// join). Recovery builds it when the chosen lowering OOMs at run time.
 	fallback *refallback
+	// fuse is the constructor-built typed push-pipeline for the maximal
+	// fusible narrow chain ending at this node (fuse.go); nil for
+	// non-fusible operators. Whether it runs is decided per plan
+	// (compileFusion): the stored chain is only legal when every
+	// intermediate op is invisible to the plan.
+	fuse *fuseInfo
 
 	cached    bool
 	cacheMu   sync.Mutex

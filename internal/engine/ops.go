@@ -9,6 +9,7 @@ func Map[A, B any](d Dataset[A], f func(A) B) Dataset[B] {
 		}
 		return out
 	})
+	fuseMap(n, d.n, f)
 	return fromNode[B](d.s, n)
 }
 
@@ -24,6 +25,9 @@ func MapCtx[A, B any](d Dataset[A], f func(*Ctx, A) B) Dataset[B] {
 		}
 		return out
 	})
+	// Deliberately not fused: the UDF's Ctx charges interleave with the
+	// loop, and replaying them in the unfused order from inside a fused
+	// chain is impossible (see fuse.go). MapCtx nodes break chains.
 	return fromNode[B](d.s, n)
 }
 
@@ -39,6 +43,7 @@ func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
 		return out
 	})
 	n.pkey = d.n.pkey // filtering preserves the partitioning
+	fuseFilter(n, d.n, pred)
 	return fromNode[A](d.s, n)
 }
 
@@ -53,6 +58,7 @@ func FlatMap[A, B any](d Dataset[A], f func(A) []B) Dataset[B] {
 		}
 		return out
 	})
+	fuseFlatMap(n, d.n, f)
 	return fromNode[B](d.s, n)
 }
 
@@ -73,6 +79,7 @@ func MapPartitions[A, B any](d Dataset[A], f func([]A) []B) Dataset[B] {
 	// Partition-level UDFs see whole partitions; recovery must not change
 	// how the data is split under them.
 	n.fixedParts = true
+	fuseMapPartitions(n, d.n, f)
 	return fromNode[B](d.s, n)
 }
 
@@ -119,6 +126,7 @@ func ZipWithUniqueID[A any](d Dataset[A]) Dataset[Pair[uint64, A]] {
 	})
 	// The ID stride captures the partition count at construction time.
 	n.fixedParts = true
+	fuseZip[A](n, d.n, parts)
 	return fromNode[Pair[uint64, A]](d.s, n)
 }
 
@@ -149,6 +157,9 @@ func MapValues[K comparable, V, W any](d Dataset[Pair[K, V]], f func(V) W) Datas
 		return out
 	})
 	n.pkey = d.n.pkey
+	fuseMap(n, d.n, func(kv Pair[K, V]) Pair[K, W] {
+		return Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
+	})
 	return fromNode[Pair[K, W]](d.s, n)
 }
 

@@ -14,6 +14,12 @@ type execPlan struct {
 	// memo is plan.Memo translated to engine nodes for the evaluator's
 	// hot path.
 	memo map[*node]bool
+	// fused maps each node whose constructor-built chain (node.fuse) is
+	// legal under this plan to that chain: every intermediate op is
+	// invisible to the plan, so the evaluator may collapse the chain into
+	// one typed loop (fuse.go). Nil when fusion is off (legacy executor,
+	// Config.NoFuse).
+	fused map[*node]*fuseInfo
 }
 
 func kindOf(k depKind) plan.DepKind {
@@ -74,7 +80,41 @@ func (s *Session) buildExecPlanFrom(target *node, done func(*node) bool, replan 
 	for pn := range ep.plan.Memo {
 		ep.memo[ep.enodes[pn]] = true
 	}
+	if !s.legacyExec && !s.noFuse {
+		ep.compileFusion()
+	}
 	return ep
+}
+
+// compileFusion decides, per planned node, whether its constructor-built
+// fused chain may run under this plan. The chain collapses its
+// intermediate ops into one loop, so each of them must be invisible to
+// the plan: not a stage root (its partitions would never materialize),
+// not a fan-in memo site (multi-consumer intermediates must still be
+// computed exactly once), and not on the recovery frontier (its
+// checkpointed data would be ignored). Recovery replans rebuild the
+// execPlan, so fusion decisions always reflect the current plan — a node
+// that becomes a memo site or frontier leaf after re-lowering simply
+// stops fusing.
+func (ep *execPlan) compileFusion() {
+	ep.fused = make(map[*node]*fuseInfo)
+	for n, pn := range ep.pnodes {
+		fi := n.fuse
+		if fi == nil || len(fi.via) < 2 || pn.Done {
+			continue
+		}
+		legal := true
+		for _, m := range fi.via[:len(fi.via)-1] {
+			pm := ep.pnodes[m]
+			if pm == nil || pm.Done || ep.plan.IsRoot(pm) || ep.plan.Memo[pm] {
+				legal = false
+				break
+			}
+		}
+		if legal {
+			ep.fused[n] = fi
+		}
+	}
 }
 
 // stageOf returns the planned stage rooted at n.

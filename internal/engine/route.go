@@ -122,14 +122,34 @@ func flattenSerial(parent [][]any) []any {
 	return flat
 }
 
+// flattenCutoff is the total element count below which flattenParallel
+// routes to the serial copy: a broadcast flatten is a pure memcpy sweep,
+// and for small inputs the pool dispatch and per-partition goroutine
+// handoff cost as much as the copy itself (BenchmarkBroadcastFlatten
+// measured ~131k elements finishing in identical time either way). Both
+// paths produce a slice of identical length, capacity, and order, so the
+// routing choice is invisible to simulated accounting.
+const flattenCutoff = 1 << 18
+
 // flattenParallel copies every parent partition into its pre-computed
-// region of one exactly-sized slice, partitions concurrently.
+// region of one exactly-sized slice, partitions concurrently; inputs
+// below flattenCutoff take the serial copy instead.
 func (s *Session) flattenParallel(parent [][]any) []any {
 	offsets := make([]int, len(parent)+1)
 	for i, part := range parent {
 		offsets[i+1] = offsets[i] + len(part)
 	}
-	flat := make([]any, offsets[len(parent)])
+	total := offsets[len(parent)]
+	// A single-worker pool can never win a memcpy sweep: the dispatch is
+	// pure overhead with no one to overlap it with.
+	if total < flattenCutoff || s.workers == 1 {
+		flat := make([]any, 0, total)
+		for _, part := range parent {
+			flat = append(flat, part...)
+		}
+		return flat
+	}
+	flat := make([]any, total)
 	s.pool.parallelForSafe(s.workers, len(parent), func(src int) {
 		copy(flat[offsets[src]:offsets[src+1]], parent[src])
 	})

@@ -67,24 +67,32 @@ func BenchmarkShuffleRoute(b *testing.B) {
 }
 
 // BenchmarkBroadcastFlatten compares the serial and parallel broadcast
-// flatten used by pinBroadcast.
+// flatten used by pinBroadcast. The small shape sits below flattenCutoff
+// — there the pool dispatch used to cost as much as the copy itself, so
+// flattenParallel now routes it to the serial sweep — and the large shape
+// is where the parallel copy actually engages.
 func BenchmarkBroadcastFlatten(b *testing.B) {
-	parent := benchParent(16, 8192, false)
-	b.Run("serial", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			flattenSerial(parent)
-		}
-	})
-	b.Run("parallel", func(b *testing.B) {
-		s := poolSession(runtime.GOMAXPROCS(0))
-		defer s.Close()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			s.flattenParallel(parent)
-		}
-	})
+	for _, size := range []struct {
+		name         string
+		nsrc, perSrc int
+	}{{"small", 16, 8192}, {"large", 16, 65536}} {
+		parent := benchParent(size.nsrc, size.perSrc, false)
+		b.Run(size.name+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				flattenSerial(parent)
+			}
+		})
+		b.Run(size.name+"/parallel", func(b *testing.B) {
+			s := poolSession(runtime.GOMAXPROCS(0))
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.flattenParallel(parent)
+			}
+		})
+	}
 }
 
 // spin burns deterministic CPU so per-element UDF cost dominates stage
@@ -97,34 +105,91 @@ func spin(v, rounds int) int {
 	return int(h)
 }
 
-// BenchmarkStageExec runs a shuffle-heavy map+reduce pipeline end to end,
-// comparing the legacy executor (serial routing, goroutine-per-partition
-// with a fresh semaphore per stage) against the pooled executor. A fresh
-// DAG is built per iteration so nothing is served from the job cache.
+// expandTab backs the stage benchmark's flatMap with preallocated static
+// slices: the UDF itself allocates nothing, so the benchmark measures the
+// engine's per-element machinery (boxing, closure seams, routing) rather
+// than UDF garbage. Values stay below 256 so boxing them is allocation-free
+// (Go interns small-integer boxes) in the unfused path too — the alloc
+// delta between modes is then purely the engine's own boxing of
+// intermediate rows.
+var expandTab = func() [16][]int {
+	var tab [16][]int
+	for i := range tab {
+		tab[i] = []int{i * 3, i*3 + 1}
+	}
+	return tab
+}()
+
+// BenchmarkStageExec runs a five-op narrow chain (flatMap, keying map,
+// filter, mapValues, rekeying map — the shape of a parse→project→filter→
+// normalize→rekey ETL prefix) into a map-side combine and shuffle reduce,
+// end to end, across the three
+// executors: legacy (serial routing, goroutine-per-partition launch),
+// pooled with fusion off, and pooled with the fused narrow chain. A fresh
+// DAG is built per iteration so nothing is served from the job cache; the
+// source is parallelized once outside the loop so its one-time boxing is
+// not measured.
 func BenchmarkStageExec(b *testing.B) {
 	data := make([]int, 1<<14)
 	for i := range data {
 		data[i] = i
 	}
-	run := func(b *testing.B, legacy bool) {
+	run := func(b *testing.B, legacy, fuse bool) {
 		s := poolSession(runtime.GOMAXPROCS(0))
 		defer s.Close()
 		s.legacyExec = legacy
+		s.noFuse = !fuse
+		src := Parallelize(s, data, 8)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			src := Parallelize(s, data, 8)
-			keyed := Map(src, func(v int) Pair[int, int] {
-				return Pair[int, int]{Key: spin(v, 200) % 512, Val: v}
+			expanded := FlatMap(src, func(v int) []int { return expandTab[v&15] })
+			keyed := Map(expanded, func(v int) Pair[int, int] {
+				return Pair[int, int]{Key: spin(v, 16) % 64, Val: v}
 			})
-			red := ReduceByKey(keyed, func(a, c int) int { return a + c })
+			hot := Filter(keyed, func(kv Pair[int, int]) bool { return kv.Val%16 != 0 })
+			scaled := MapValues(hot, func(v int) int { return v + 1 })
+			rekeyed := Map(scaled, func(kv Pair[int, int]) Pair[int, int] {
+				return Pair[int, int]{Key: kv.Key & 63, Val: kv.Val}
+			})
+			red := ReduceByKey(rekeyed, func(a, c int) int { return a + c })
 			if _, err := Count(red); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
-	b.Run("legacy", func(b *testing.B) { run(b, true) })
-	b.Run("pooled", func(b *testing.B) { run(b, false) })
+	b.Run("legacy", func(b *testing.B) { run(b, true, false) })
+	b.Run("pooled", func(b *testing.B) { run(b, false, false) })
+	b.Run("fused", func(b *testing.B) { run(b, false, true) })
+}
+
+// BenchmarkNarrowChain isolates the fused path's target shape: a pure
+// narrow map∘filter∘map pipeline materialized at its root, no shuffle.
+// Unfused, every operator boxes its whole output into a fresh []any seam;
+// fused, rows flow typed through one loop and only the root materializes.
+func BenchmarkNarrowChain(b *testing.B) {
+	data := make([]int, 1<<16)
+	for i := range data {
+		data[i] = i
+	}
+	run := func(b *testing.B, fuse bool) {
+		s := poolSession(runtime.GOMAXPROCS(0))
+		defer s.Close()
+		s.noFuse = !fuse
+		src := Parallelize(s, data, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mapped := Map(src, func(v int) int { return spin(v, 16) })
+			kept := Filter(mapped, func(v int) bool { return v%8 != 0 })
+			small := Map(kept, func(v int) int { return v & 255 })
+			if _, err := Count(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("unfused", func(b *testing.B) { run(b, false) })
+	b.Run("fused", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkFanInMemo runs a fan-in-heavy DAG: one expensive base dataset

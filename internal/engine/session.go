@@ -47,6 +47,12 @@ type Config struct {
 	// identical to the parallel executor — tests assert it — so this
 	// exists only for A/B verification and as a benchmark baseline.
 	LegacyExec bool
+	// NoFuse disables the fused narrow-chain execution path (fuse.go):
+	// every operator then runs its own compute over boxed []any rows, as
+	// the legacy executor always does. Results and simulated accounting
+	// are identical with fusion on — the A/B bit-identity suite asserts
+	// it — so this exists for verification and as a benchmark baseline.
+	NoFuse bool
 	// Obs, when non-nil, receives the structured job/stage/broadcast
 	// events and optimizer decisions of every job the session runs (the
 	// event spine behind EXPLAIN ANALYZE; see internal/obs).
@@ -106,6 +112,10 @@ type Session struct {
 	// stage launch, no fan-in memo. Equivalence tests and A/B benchmarks
 	// flip it; production sessions never do.
 	legacyExec bool
+
+	// noFuse disables fused narrow-chain execution (Config.NoFuse); the
+	// legacy executor never fuses regardless.
+	noFuse bool
 
 	// obs is the session's event sink; nil when observation is off (all
 	// Recorder methods are nil-safe).
@@ -218,6 +228,7 @@ func NewSession(cfg Config) (*Session, error) {
 		workers:    workers,
 		pool:       newWorkerPool(workers),
 		legacyExec: cfg.LegacyExec,
+		noFuse:     cfg.NoFuse,
 		obs:        cfg.Obs,
 		feedback:   newFeedback(),
 	}
@@ -288,10 +299,20 @@ func (s *Session) newID() int64 { return s.nextID.Add(1) }
 // hashOf hashes a comparable key for partitioning: deterministic (fixed
 // seed, representation-walking) for every supported key type, with a
 // process-seeded maphash fallback for identity-based keys (pointers,
-// interfaces) that cannot be hashed reproducibly anyway.
+// interfaces) that cannot be hashed reproducibly anyway. The common key
+// shapes take a monomorphic fast path (stablehash.go) that produces the
+// same bits as the compiled reflection hasher without the per-call type
+// lookup and indirect calls.
 func hashOf[K comparable](s *Session, k K) uint64 {
+	if h, ok := stableHashFast(k); ok {
+		return h
+	}
 	if fn := stableHasherFor(reflect.TypeFor[K]()); fn != nil {
-		return fn(unsafe.Pointer(&k), stableSeed)
+		// The copy keeps k itself off the heap: &kk escapes into the
+		// indirect hasher call, but only on this (slow) path, so the
+		// fast path above stays allocation-free.
+		kk := k
+		return fn(unsafe.Pointer(&kk), stableSeed)
 	}
 	return maphash.Comparable(s.seed, k)
 }

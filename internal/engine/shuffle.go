@@ -30,6 +30,17 @@ func ReduceByKeyBound[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V
 	return reduceByKey(d, f, parts, true)
 }
 
+// combineHint caps the initial size of a combine's key map and key-order
+// slice: growing a map a few times costs far less than holding a bucket
+// per input row when the distinct-key count is small (the common case for
+// a map-side combine).
+func combineHint(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
 func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, parts int, bound bool) Dataset[Pair[K, V]] {
 	if parts <= 0 {
 		parts = d.s.cfg.DefaultParallelism
@@ -39,8 +50,12 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 	// estimator samples by position, and a per-process sample would leak
 	// wall randomness into simulated durations.
 	combined := MapPartitions(d, func(in []Pair[K, V]) []Pair[K, V] {
-		m := make(map[K]V, len(in))
-		order := make([]K, 0, len(in))
+		// Size hints are capped: pre-sizing to len(in) allocates a bucket
+		// per input row, but combines typically see far fewer distinct
+		// keys than rows, and an over-sized map is pure host-side garbage.
+		// Both are scratch — capacity here is invisible to accounting.
+		m := make(map[K]V, combineHint(len(in)))
+		order := make([]K, 0, combineHint(len(in)))
 		for _, kv := range in {
 			if old, ok := m[kv.Key]; ok {
 				m[kv.Key] = f(old, kv.Val)
@@ -61,8 +76,8 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 	outWeight := combined.n.weight
 	sd := dep{parent: combined.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
 	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
-		m := make(map[K]V, len(in[0]))
-		order := make([]K, 0, len(in[0]))
+		m := make(map[K]V, combineHint(len(in[0])))
+		order := make([]K, 0, combineHint(len(in[0])))
 		for _, e := range in[0] {
 			kv := e.(Pair[K, V])
 			if old, ok := m[kv.Key]; ok {

@@ -52,6 +52,76 @@ func stableHasherFor(t reflect.Type) hashFn {
 	return fn
 }
 
+// Monomorphic fast-path hashing: hashOf dispatches on the key type once
+// (a dictionary-resolved reflect.TypeFor compare, no interface boxing —
+// converting the key to any would allocate) and folds the value inline.
+// Each case replays exactly the fold the compiled reflection hasher
+// performs for that type — a struct hasher visits fields in order, so
+// Pair[K, V] hashes as key then value — and a test asserts bit-equality
+// against the compiled hashers. Keys outside the set report !ok and take
+// the compiled path.
+var (
+	typInt            = reflect.TypeFor[int]()
+	typInt64          = reflect.TypeFor[int64]()
+	typInt32          = reflect.TypeFor[int32]()
+	typUint64         = reflect.TypeFor[uint64]()
+	typUint32         = reflect.TypeFor[uint32]()
+	typUint           = reflect.TypeFor[uint]()
+	typString         = reflect.TypeFor[string]()
+	typPairIntInt     = reflect.TypeFor[Pair[int, int]]()
+	typPairIntInt64   = reflect.TypeFor[Pair[int, int64]]()
+	typPairInt64Int   = reflect.TypeFor[Pair[int64, int]]()
+	typPairInt64Int64 = reflect.TypeFor[Pair[int64, int64]]()
+	typPairU64U64     = reflect.TypeFor[Pair[uint64, uint64]]()
+	typPairStrStr     = reflect.TypeFor[Pair[string, string]]()
+	typPairStrInt     = reflect.TypeFor[Pair[string, int]]()
+	typPairIntStr     = reflect.TypeFor[Pair[int, string]]()
+)
+
+func stableHashFast[K comparable](k K) (uint64, bool) {
+	switch reflect.TypeFor[K]() {
+	case typInt:
+		return mix64(stableSeed, uint64(*(*int)(unsafe.Pointer(&k)))), true
+	case typInt64:
+		return mix64(stableSeed, uint64(*(*int64)(unsafe.Pointer(&k)))), true
+	case typInt32:
+		return mix64(stableSeed, uint64(*(*int32)(unsafe.Pointer(&k)))), true
+	case typUint64:
+		return mix64(stableSeed, *(*uint64)(unsafe.Pointer(&k))), true
+	case typUint32:
+		return mix64(stableSeed, uint64(*(*uint32)(unsafe.Pointer(&k)))), true
+	case typUint:
+		return mix64(stableSeed, uint64(*(*uint)(unsafe.Pointer(&k)))), true
+	case typString:
+		return hashString(*(*string)(unsafe.Pointer(&k)), stableSeed), true
+	case typPairIntInt:
+		v := *(*Pair[int, int])(unsafe.Pointer(&k))
+		return mix64(mix64(stableSeed, uint64(v.Key)), uint64(v.Val)), true
+	case typPairIntInt64:
+		v := *(*Pair[int, int64])(unsafe.Pointer(&k))
+		return mix64(mix64(stableSeed, uint64(v.Key)), uint64(v.Val)), true
+	case typPairInt64Int:
+		v := *(*Pair[int64, int])(unsafe.Pointer(&k))
+		return mix64(mix64(stableSeed, uint64(v.Key)), uint64(v.Val)), true
+	case typPairInt64Int64:
+		v := *(*Pair[int64, int64])(unsafe.Pointer(&k))
+		return mix64(mix64(stableSeed, uint64(v.Key)), uint64(v.Val)), true
+	case typPairU64U64:
+		v := *(*Pair[uint64, uint64])(unsafe.Pointer(&k))
+		return mix64(mix64(stableSeed, v.Key), v.Val), true
+	case typPairStrStr:
+		v := *(*Pair[string, string])(unsafe.Pointer(&k))
+		return hashString(v.Val, hashString(v.Key, stableSeed)), true
+	case typPairStrInt:
+		v := *(*Pair[string, int])(unsafe.Pointer(&k))
+		return mix64(hashString(v.Key, stableSeed), uint64(v.Val)), true
+	case typPairIntStr:
+		v := *(*Pair[int, string])(unsafe.Pointer(&k))
+		return hashString(v.Val, mix64(stableSeed, uint64(v.Key))), true
+	}
+	return 0, false
+}
+
 func mix64(h, v uint64) uint64 {
 	h ^= v
 	h ^= h >> 30

@@ -31,6 +31,7 @@ type Stage struct {
 	Stage        int     // plan stage id within its job
 	Label        string  // stage root operator
 	Chain        string  // pipelined operator chain
+	Fused        string  // fused narrow chains run by the stage, e.g. "fused(map∘filter) ×2 ops"
 	Parts        int     // task count
 	ShuffleBytes float64 // real shuffle bytes read by the stage's tasks
 	MemoHits     int64   // fan-in memo partitions served from cache
@@ -322,6 +323,9 @@ func (r *Recorder) Report() string {
 			if s.Chain != s.Label {
 				fmt.Fprintf(&b, " chain=%s", s.Chain)
 			}
+			if s.Fused != "" {
+				fmt.Fprintf(&b, " %s", s.Fused)
+			}
 			b.WriteString("\n")
 		}
 		for _, bc := range j.Broadcasts {
@@ -397,9 +401,13 @@ func (r *Recorder) Trace() string {
 	for _, j := range r.Jobs() {
 		fmt.Fprintf(&b, "job %d start target=%s\n", j.ID, j.Target)
 		for _, s := range j.Stages {
-			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s\n",
+			fused := ""
+			if s.Fused != "" {
+				fused = " " + s.Fused
+			}
+			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s%s\n",
 				j.ID, s.Stage, s.Label, s.Parts, secs(s.Seconds), secs(s.BusySeconds),
-				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain)
+				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain, fused)
 		}
 		for _, bc := range j.Broadcasts {
 			fmt.Fprintf(&b, "job %d broadcast label=%s bytes=%s dt=%s\n", j.ID, bc.Label, bytesStr(bc.Bytes), secs(bc.Seconds))

@@ -36,16 +36,84 @@ func Of(v any) int64 {
 
 // OfSlice estimates the total deep size of a slice of values already boxed
 // as any. It is the common case in the engine, where partitions hold []any.
+//
+// Partitions are almost always type-homogeneous, so the loop works in
+// batch mode: one type inspection per run of same-typed elements. When the
+// run's type has a value-independent deep size (pointer-free scalars and
+// structs/arrays of those — every fixed-size key and pair the engine
+// shuffles), each element adds a precomputed constant; strings add their
+// header plus length monomorphically. Only elements outside those shapes
+// fall back to the per-element reflective walk, and the shared-pointer
+// table is allocated lazily for exactly those — fixed-size and string
+// elements never consult it, so the estimate is bit-identical to the
+// fully reflective loop.
 func OfSlice(vs []any) int64 {
-	seen := map[uintptr]struct{}{}
 	total := sliceHeaderSize + int64(cap(vs))*ifaceSize
+	var (
+		runT  reflect.Type
+		runSz int64 // deep size of every value of runT, or -1 if value-dependent
+		seen  map[uintptr]struct{}
+	)
 	for _, v := range vs {
 		if v == nil {
 			continue
 		}
-		total += of(reflect.ValueOf(v), seen)
+		t := reflect.TypeOf(v)
+		if t != runT {
+			runT = t
+			runSz = fixedDeep(t)
+		}
+		switch {
+		case runSz >= 0:
+			total += runSz
+		case t.Kind() == reflect.String:
+			total += stringHeader + int64(len(v.(string)))
+		default:
+			if seen == nil {
+				seen = map[uintptr]struct{}{}
+			}
+			total += of(reflect.ValueOf(v), seen)
+		}
 	}
 	return total
+}
+
+// fixedDeep returns the deep size shared by all values of type t, or -1
+// when it is value-dependent or the walk could consult the shared-pointer
+// table. It mirrors of() exactly on its domain: scalar kinds use the
+// estimator's kind sizes (not t.Size()), structs sum field deep sizes
+// with no padding, and fixed-element arrays charge len times the element's
+// laid-out size, as of()'s array fast path does.
+func fixedDeep(t reflect.Type) int64 {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		return 1
+	case reflect.Int16, reflect.Uint16:
+		return 2
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		return 4
+	case reflect.Int64, reflect.Uint64, reflect.Float64, reflect.Complex64,
+		reflect.Int, reflect.Uint, reflect.Uintptr:
+		return 8
+	case reflect.Complex128:
+		return 16
+	case reflect.Array:
+		if isFixedSize(t.Elem()) {
+			return int64(t.Len()) * fixedSize(t.Elem())
+		}
+		return -1
+	case reflect.Struct:
+		var total int64
+		for i := 0; i < t.NumField(); i++ {
+			fs := fixedDeep(t.Field(i).Type)
+			if fs < 0 {
+				return -1
+			}
+			total += fs
+		}
+		return total
+	}
+	return -1
 }
 
 func of(v reflect.Value, seen map[uintptr]struct{}) int64 {

@@ -1,6 +1,7 @@
 package sizeest
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -163,5 +164,76 @@ func TestOfSliceEmptyAndNilElems(t *testing.T) {
 	}
 	if OfSlice([]any{nil, nil}) <= 0 {
 		t.Error("nil elements still cost headers")
+	}
+}
+
+// ofSliceReference is the pre-batch-mode OfSlice loop: one reflective walk
+// per element with an eagerly allocated shared-pointer table. The batch
+// fast path must agree with it bit-for-bit — simulated cluster accounting
+// observes these estimates, and A/B suites compare runs exactly.
+func ofSliceReference(vs []any) int64 {
+	seen := map[uintptr]struct{}{}
+	total := sliceHeaderSize + int64(cap(vs))*ifaceSize
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		total += of(reflect.ValueOf(v), seen)
+	}
+	return total
+}
+
+func TestOfSliceBatchMatchesReference(t *testing.T) {
+	type pair struct {
+		K int
+		V int64
+	}
+	type padded struct {
+		A int8
+		B int64
+		C [3]int16
+	}
+	shared := []int{1, 2, 3}
+	cases := [][]any{
+		nil,
+		{nil, nil},
+		{1, 2, 3, 4},
+		{int8(1), uint16(2), 3.5, complex(1, 2)},
+		{"", "a", "hello world, a longer string"},
+		{pair{1, 2}, pair{3, 4}, pair{5, 6}},
+		{padded{}, padded{1, 2, [3]int16{3, 4, 5}}},
+		// Mixed-type runs: switches batch mode between constants,
+		// strings, and the reflective fallback mid-slice.
+		{1, "two", pair{3, 3}, []int{4, 5}, nil, 6, "seven"},
+		// Shared pointers must still dedup across fallback elements.
+		{shared, shared, shared},
+		{map[string][]int{"k": {1}}, map[string][]int{"k": {1}}},
+		{[4]string{"a", "b", "c", "d"}, [2]int{1, 2}},
+	}
+	for i, vs := range cases {
+		if got, want := OfSlice(vs), ofSliceReference(vs); got != want {
+			t.Errorf("case %d: OfSlice = %d, reference = %d", i, got, want)
+		}
+	}
+	// Capacity beyond length is charged identically.
+	withCap := make([]any, 0, 64)
+	withCap = append(withCap, 1, "x", pair{2, 3})
+	if got, want := OfSlice(withCap), ofSliceReference(withCap); got != want {
+		t.Errorf("cap>len: OfSlice = %d, reference = %d", got, want)
+	}
+}
+
+func TestFixedDeepDomains(t *testing.T) {
+	fixed := []any{true, int16(1), uint32(2), 3.0, complex128(4), [8]int{}, struct{ A, B int }{}}
+	for _, v := range fixed {
+		if fixedDeep(reflect.TypeOf(v)) < 0 {
+			t.Errorf("fixedDeep(%T) should be value-independent", v)
+		}
+	}
+	variable := []any{"s", []int{1}, map[int]int{}, new(int), struct{ S string }{}, [2]string{}}
+	for _, v := range variable {
+		if fixedDeep(reflect.TypeOf(v)) >= 0 {
+			t.Errorf("fixedDeep(%T) should report value-dependent", v)
+		}
 	}
 }

@@ -71,14 +71,14 @@ func (o Outcome) String() string {
 // into a failed Outcome via finish. The workaround baselines use it
 // directly: they must die exactly where the systems they model die.
 func newSession(cc cluster.Config) (*engine.Session, error) {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, Obs: Obs})
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs})
 }
 
 // newMatryoshkaSession is newSession with the engine's adaptive recovery
 // loop enabled (unless Recovery is flipped off): the runtime half of the
 // paper's lowering phase, available only to the Matryoshka strategy.
 func newMatryoshkaSession(cc cluster.Config) (*engine.Session, error) {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, Obs: Obs, Recover: Recovery})
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs, Recover: Recovery})
 }
 
 // recordWeight is the session's simulation scale (real records per
@@ -122,6 +122,12 @@ var DebugStages bool
 // flips it to assert that every simulated number is bit-identical across
 // the two execution paths.
 var LegacyExec bool
+
+// NoFuse disables the fused narrow-chain pipeline on sessions created by
+// tasks; operators then materialize one []any seam per node, as before.
+// The executor-equivalence test flips it to assert fusion changes only
+// wall-clock, never simulated numbers.
+var NoFuse bool
 
 // Obs, when non-nil, receives the job/stage/broadcast events and optimizer
 // decisions of every session created by tasks — the hook matbench's
