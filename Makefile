@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench
+.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench fuzz-smoke
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -35,10 +35,24 @@ bench:
 ## bench-check: hot-path regression gate — rerun the engine benchmarks
 ## (few iterations: this is a smoke gate, not a measurement) and fail if
 ## any benchmark kept since the committed BENCH_engine.json baseline got
-## more than 2x slower in ns/op. New and removed benchmarks are reported
-## but never fail; regenerate the baseline with `make bench`.
+## more than 3x slower in ns/op. The wide factor is deliberate: at 10
+## iterations the allocation-dominated benchmarks sit well above their
+## full-benchtime steady state (GC pacing and span reuse never settle),
+## so a tight ns/op bound would flake — order-of-magnitude regressions
+## still trip it. The precise check is allocs/op on the stage-boundary
+## benchmarks, gated exactly (allocation counts are deterministic; any
+## growth is a real change to the typed data path). New and removed
+## benchmarks are reported but never fail; regenerate the baseline with
+## `make bench`.
 bench-check:
-	$(GO) test -bench . -benchmem -benchtime 3x -run '^$$' ./internal/engine | $(GO) run ./cmd/benchjson -check BENCH_engine.json -factor 2
+	$(GO) test -bench . -benchmem -benchtime 10x -run '^$$' ./internal/engine | $(GO) run ./cmd/benchjson -check BENCH_engine.json -factor 3 -gate-allocs ShuffleBoundary
+
+## fuzz-smoke: fuzz the batch wire codec for 30s from the checked-in seed
+## corpus (internal/engine/testdata/fuzz/FuzzBatchCodec). The decoder must
+## never panic on arbitrary bytes, and everything it accepts must
+## round-trip; CI runs this on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBatchCodec -fuzztime 30s ./internal/engine
 
 ## figures: regenerate the simulated-cluster paper figures
 ## (internal/bench/testdata/bench_rows.csv).

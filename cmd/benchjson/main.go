@@ -5,10 +5,13 @@
 // With -check it becomes a regression gate instead: the current run (still
 // text on stdin) is compared against a committed baseline JSON, and any
 // benchmark whose ns/op grew by more than -factor fails the command (see
-// `make bench-check` and the CI bench-smoke job).
+// `make bench-check` and the CI bench-smoke job). Benchmarks matching
+// -gate-allocs additionally gate allocs/op: allocation counts are
+// deterministic (unlike ns/op on a shared CI box), so the stage-boundary
+// benchmarks use this to pin the typed data path's allocation win down.
 //
 //	go test -bench . ./internal/engine | benchjson > BENCH_engine.json
-//	go test -bench . ./internal/engine | benchjson -check BENCH_engine.json -factor 2
+//	go test -bench . ./internal/engine | benchjson -check BENCH_engine.json -factor 2 -gate-allocs ShuffleBoundary
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -44,13 +48,22 @@ type Report struct {
 
 func main() {
 	var (
-		checkPath = flag.String("check", "", "baseline JSON to compare stdin against; regressions fail the command")
-		factor    = flag.Float64("factor", 2, "with -check: fail when current ns/op exceeds baseline by more than this factor")
+		checkPath  = flag.String("check", "", "baseline JSON to compare stdin against; regressions fail the command")
+		factor     = flag.Float64("factor", 2, "with -check: fail when current ns/op exceeds baseline by more than this factor")
+		gateAllocs = flag.String("gate-allocs", "", "with -check: regexp of benchmark names whose allocs/op must not exceed baseline")
 	)
 	flag.Parse()
 	if *factor <= 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -factor must be positive")
 		os.Exit(2)
+	}
+	var allocsRe *regexp.Regexp
+	if *gateAllocs != "" {
+		var err error
+		if allocsRe, err = regexp.Compile(*gateAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate-allocs:", err)
+			os.Exit(2)
+		}
 	}
 
 	rep, err := parse(os.Stdin)
@@ -70,7 +83,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkPath, err)
 			os.Exit(1)
 		}
-		summary, ok := check(base, rep, *factor)
+		summary, ok := check(base, rep, *factor, allocsRe)
 		fmt.Print(summary)
 		if !ok {
 			os.Exit(1)
@@ -115,8 +128,10 @@ func parse(r io.Reader) (Report, error) {
 // Benchmarks missing from the baseline (newly added) or from the current
 // run (renamed/removed) are reported but never fail the gate: the gate
 // exists to catch regressions on retained benchmarks, and a shared-CI box
-// is noisy, so only a > factor ns/op growth is treated as one.
-func check(base, cur Report, factor float64) (string, bool) {
+// is noisy, so only a > factor ns/op growth is treated as one. Benchmarks
+// matching allocsRe also fail when allocs/op grows past the baseline —
+// allocation counts are deterministic, so any growth is a real change.
+func check(base, cur Report, factor float64, allocsRe *regexp.Regexp) (string, bool) {
 	baseline := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
 		baseline[r.Name] = r
@@ -138,8 +153,17 @@ func check(base, cur Report, factor float64) (string, bool) {
 			verdict = "REGRESSED"
 			ok = false
 		}
-		fmt.Fprintf(&b, "  %-8s %-56s %12.0f ns/op vs %12.0f baseline (%.2fx)\n",
-			verdict, r.Name, r.NsPerOp, bl.NsPerOp, ratio)
+		allocs := ""
+		if allocsRe != nil && allocsRe.MatchString(r.Name) && bl.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("  %d vs %d allocs/op", r.AllocsPerOp, bl.AllocsPerOp)
+			if r.AllocsPerOp > bl.AllocsPerOp {
+				verdict = "REGRESSED"
+				ok = false
+				allocs += " (grew)"
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s %-56s %12.0f ns/op vs %12.0f baseline (%.2fx)%s\n",
+			verdict, r.Name, r.NsPerOp, bl.NsPerOp, ratio, allocs)
 		delete(baseline, r.Name)
 	}
 	for name := range baseline {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -39,7 +40,7 @@ func res(name string, ns float64) Result { return Result{Name: name, NsPerOp: ns
 func TestCheckPassesWithinFactor(t *testing.T) {
 	base := Report{Results: []Result{res("A", 1000), res("B", 2000)}}
 	cur := Report{Results: []Result{res("A", 1900), res("B", 2000)}}
-	out, ok := check(base, cur, 2)
+	out, ok := check(base, cur, 2, nil)
 	if !ok {
 		t.Fatalf("within-factor run failed:\n%s", out)
 	}
@@ -51,7 +52,7 @@ func TestCheckPassesWithinFactor(t *testing.T) {
 func TestCheckFailsOnRegression(t *testing.T) {
 	base := Report{Results: []Result{res("A", 1000)}}
 	cur := Report{Results: []Result{res("A", 2500)}}
-	out, ok := check(base, cur, 2)
+	out, ok := check(base, cur, 2, nil)
 	if ok {
 		t.Fatalf("2.5x regression passed:\n%s", out)
 	}
@@ -63,7 +64,7 @@ func TestCheckFailsOnRegression(t *testing.T) {
 func TestCheckIgnoresNewAndGoneBenchmarks(t *testing.T) {
 	base := Report{Results: []Result{res("A", 1000), res("Old", 500)}}
 	cur := Report{Results: []Result{res("A", 1000), res("New", 99999999)}}
-	out, ok := check(base, cur, 2)
+	out, ok := check(base, cur, 2, nil)
 	if !ok {
 		t.Fatalf("new/gone benchmarks must not fail the gate:\n%s", out)
 	}
@@ -75,7 +76,50 @@ func TestCheckIgnoresNewAndGoneBenchmarks(t *testing.T) {
 func TestCheckZeroBaselineNeverDividesByZero(t *testing.T) {
 	base := Report{Results: []Result{res("A", 0)}}
 	cur := Report{Results: []Result{res("A", 12345)}}
-	if _, ok := check(base, cur, 2); !ok {
+	if _, ok := check(base, cur, 2, nil); !ok {
 		t.Fatal("zero baseline should not count as a regression")
+	}
+}
+
+func resAllocs(name string, ns float64, allocs int64) Result {
+	return Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestCheckGatesAllocsOnMatchingBenchmarks(t *testing.T) {
+	re := regexp.MustCompile("ShuffleBoundary")
+	base := Report{Results: []Result{
+		resAllocs("BenchmarkShuffleBoundary/typed", 1000, 48),
+		resAllocs("BenchmarkOther", 1000, 10),
+	}}
+
+	// Same allocs passes; ns/op noise within factor is still tolerated.
+	cur := Report{Results: []Result{
+		resAllocs("BenchmarkShuffleBoundary/typed", 1500, 48),
+		resAllocs("BenchmarkOther", 1000, 500), // unmatched: allocs ignored
+	}}
+	if out, ok := check(base, cur, 2, re); !ok {
+		t.Fatalf("stable allocs failed the gate:\n%s", out)
+	}
+
+	// One extra alloc on a gated benchmark fails, even with ns/op fine.
+	cur = Report{Results: []Result{
+		resAllocs("BenchmarkShuffleBoundary/typed", 1000, 49),
+		resAllocs("BenchmarkOther", 1000, 10),
+	}}
+	out, ok := check(base, cur, 2, re)
+	if ok {
+		t.Fatalf("allocs growth passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "allocs/op (grew)") {
+		t.Errorf("report does not call out the allocs growth:\n%s", out)
+	}
+
+	// Fewer allocs (an improvement) passes.
+	cur = Report{Results: []Result{
+		resAllocs("BenchmarkShuffleBoundary/typed", 1000, 12),
+		resAllocs("BenchmarkOther", 1000, 10),
+	}}
+	if out, ok := check(base, cur, 2, re); !ok {
+		t.Fatalf("allocs improvement failed the gate:\n%s", out)
 	}
 }

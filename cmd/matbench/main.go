@@ -10,6 +10,7 @@
 //	matbench -csv rows.csv          # raw rows for external plotting
 //	matbench -explain bounce-rate   # EXPLAIN ANALYZE one task's Matryoshka run
 //	matbench -trace bounce-rate     # raw job/stage/decision event stream
+//	matbench -batchstats bounce-rate # per-stage batch shape/count/encoded wire bytes
 //	matbench -explain recovery -mem 2147483648   # watch adaptive recovery re-lower OOMs
 //	matbench -explain bounce-rate -faultrate 0.2 # task retries + rerun recoveries
 //	matbench -explain chaos                      # machine crashes + lineage recomputation
@@ -52,6 +53,9 @@ type knobs struct {
 	policy     string
 	cpuProfile string
 	memProfile string
+	explain    string
+	trace      string
+	batchStats string
 }
 
 // validateFlags rejects out-of-domain knob values before any experiment
@@ -89,6 +93,9 @@ func validateFlags(k knobs) error {
 	if k.cpuProfile != "" && k.cpuProfile == k.memProfile {
 		return fmt.Errorf("-cpuprofile and -memprofile both write %q; the second would truncate the first", k.cpuProfile)
 	}
+	if k.batchStats != "" && (k.explain != "" || k.trace != "") {
+		return fmt.Errorf("-batchstats runs its own instrumented pass; drop -explain/-trace or run them separately")
+	}
 	return nil
 }
 
@@ -106,6 +113,7 @@ func run() int {
 		csvPath    = flag.String("csv", "", "also write raw rows as CSV to this file")
 		explain    = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery)")
 		trace      = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
+		batchStats = flag.String("batchstats", "", "print per-stage batch shape, batch count, and encoded boundary bytes of one task's Matryoshka run")
 		mem        = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
 		faultRate  = flag.Float64("faultrate", 0, "inject transient task failures with this probability per task")
 		tenants    = flag.Int("tenants", 0, "run one multi-tenant scheduling workload with this many interactive tenants (plus a batch tenant)")
@@ -122,7 +130,8 @@ func run() int {
 	flag.Parse()
 	if err := validateFlags(knobs{mem: *mem, faultRate: *faultRate, straggle: *straggle,
 		chaos: *chaos, mtbf: *mtbf, seed: *seed, tenants: *tenants, policy: *policy,
-		cpuProfile: *cpuProfile, memProfile: *memProfile}); err != nil {
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+		explain: *explain, trace: *trace, batchStats: *batchStats}); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
 		return 2
@@ -190,6 +199,16 @@ func run() int {
 			task, asTrace = *trace, true
 		}
 		out, err := bench.ExplainRun(task, sc, asTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		return 0
+	}
+
+	if *batchStats != "" {
+		out, err := bench.BatchStatsRun(*batchStats, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 			return 1

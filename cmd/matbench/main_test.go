@@ -30,6 +30,9 @@ func TestValidateFlags(t *testing.T) {
 		{name: "tenants negative", k: knobs{tenants: -2, policy: "fair"}, wantErr: "-tenants"},
 		{name: "unknown policy", k: knobs{policy: "lottery"}, wantErr: "-policy"},
 		{name: "profiles collide", k: knobs{policy: "fair", cpuProfile: "prof.out", memProfile: "prof.out"}, wantErr: "-cpuprofile and -memprofile"},
+		{name: "batchstats alone", k: knobs{policy: "fair", batchStats: "bounce-rate"}},
+		{name: "batchstats with explain", k: knobs{policy: "fair", batchStats: "bounce-rate", explain: "bounce-rate"}, wantErr: "-batchstats"},
+		{name: "batchstats with trace", k: knobs{policy: "fair", batchStats: "bounce-rate", trace: "pagerank"}, wantErr: "-batchstats"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

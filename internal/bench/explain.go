@@ -22,6 +22,31 @@ func ExplainTasks() []string {
 // The run is deliberately small (a few groups at the configured scale):
 // the point is the plan and the decisions, not the figure-scale numbers.
 func ExplainRun(task string, sc Scale, trace bool) (string, error) {
+	rec, err := explainRecorder(task, sc)
+	if err != nil {
+		return "", err
+	}
+	if trace {
+		return rec.Trace(), nil
+	}
+	return rec.Report(), nil
+}
+
+// BatchStatsRun runs one task like ExplainRun and renders the per-stage
+// batch statistics instead: element shape, batch count, and encoded wire
+// bytes of every stage boundary crossed. It is the engine behind
+// matbench's -batchstats flag.
+func BatchStatsRun(task string, sc Scale) (string, error) {
+	rec, err := explainRecorder(task, sc)
+	if err != nil {
+		return "", err
+	}
+	return rec.BatchStats(), nil
+}
+
+// explainRecorder runs one task with the event spine attached and returns
+// the populated recorder.
+func explainRecorder(task string, sc Scale) (*obs.Recorder, error) {
 	rec := obs.NewRecorder()
 	prev := tasks.Obs
 	tasks.Obs = rec
@@ -56,13 +81,10 @@ func ExplainRun(task string, sc Scale, trace bool) (string, error) {
 		}
 		out = sp.Run(sc.Cluster(4, 4, 8))
 	default:
-		return "", fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
+		return nil, fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
 	}
 	if out.Err != nil {
-		return "", out.Err
+		return nil, out.Err
 	}
-	if trace {
-		return rec.Trace(), nil
-	}
-	return rec.Report(), nil
+	return rec, nil
 }

@@ -89,6 +89,37 @@ func TestExplainRunUnknownTask(t *testing.T) {
 	if _, err := ExplainRun("no-such-task", explainScale(), false); err == nil {
 		t.Fatal("want error for unknown task")
 	}
+	if _, err := BatchStatsRun("no-such-task", explainScale()); err == nil {
+		t.Fatal("want error for unknown task")
+	}
+}
+
+// TestBatchStatsRunShape: the -batchstats rendering names every shuffle
+// boundary the bounce-rate plan crosses, with typed element shapes (the
+// distinct count on int64 tags and the per-tag reduce on Pair batches),
+// batch counts, and encoded byte totals.
+func TestBatchStatsRunShape(t *testing.T) {
+	out, err := BatchStatsRun("bounce-rate", explainScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BATCH STATS:",
+		"boundary stages",
+		"encoded",
+		"shape=int64",
+		"shape=Pair[",
+		"stages=",
+		"batches=",
+		"bytes=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch stats missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "shape=any") {
+		t.Errorf("bounce-rate boundaries should all be typed, got a boxed fallback:\n%s", out)
+	}
 }
 
 // TestSec8DecisionCoverage runs every task with the event spine attached

@@ -13,13 +13,11 @@ func Collect[T any](d Dataset[T]) ([]T, error) {
 	}
 	var total int
 	for _, p := range parts {
-		total += len(p)
+		total += batchLen(p)
 	}
 	out := make([]T, 0, total)
 	for _, p := range parts {
-		for _, e := range p {
-			out = append(out, e.(T))
-		}
+		out = append(out, elems[T](p)...)
 	}
 	return out, nil
 }
@@ -32,7 +30,7 @@ func Count[T any](d Dataset[T]) (int64, error) {
 	}
 	var n int64
 	for _, p := range parts {
-		n += int64(len(p))
+		n += int64(batchLen(p))
 	}
 	return n, nil
 }
@@ -54,13 +52,13 @@ func Reduce[T any](d Dataset[T], f func(T, T) T) (T, error) {
 	acc := zero
 	have := false
 	for _, p := range parts {
-		for _, e := range p {
+		for _, e := range elems[T](p) {
 			if !have {
-				acc = e.(T)
+				acc = e
 				have = true
 				continue
 			}
-			acc = f(acc, e.(T))
+			acc = f(acc, e)
 		}
 	}
 	if !have {
@@ -78,8 +76,8 @@ func First[T any](d Dataset[T]) (T, error) {
 		return zero, err
 	}
 	for _, p := range parts {
-		if len(p) > 0 {
-			return p[0].(T), nil
+		if batchLen(p) > 0 {
+			return p.At(0).(T), nil
 		}
 	}
 	return zero, ErrEmpty
@@ -87,12 +85,12 @@ func First[T any](d Dataset[T]) (T, error) {
 
 // CollectMap collects a pair dataset into a map, assuming unique keys.
 func CollectMap[K comparable, V any](d Dataset[Pair[K, V]]) (map[K]V, error) {
-	elems, err := Collect(d)
+	kvs, err := Collect(d)
 	if err != nil {
 		return nil, err
 	}
-	m := make(map[K]V, len(elems))
-	for _, kv := range elems {
+	m := make(map[K]V, len(kvs))
+	for _, kv := range kvs {
 		m[kv.Key] = kv.Val
 	}
 	return m, nil
@@ -106,11 +104,11 @@ func Take[T any](d Dataset[T], n int) ([]T, error) {
 	}
 	out := make([]T, 0, n)
 	for _, p := range parts {
-		for _, e := range p {
+		for _, e := range elems[T](p) {
 			if len(out) == n {
 				return out, nil
 			}
-			out = append(out, e.(T))
+			out = append(out, e)
 		}
 	}
 	return out, nil

@@ -1,0 +1,196 @@
+package engine
+
+// Batch is the partition representation carried across the data path: a
+// typed, monomorphic vector for the hot element shapes (ints, strings,
+// floats, pairs — whatever the operator constructors instantiate) with a
+// boxed *Vec[any] fallback for everything else. Operators build batches
+// with batchOf and read them with elems; between operators the engine
+// moves them opaquely (routing, flattening, caching, memoization,
+// serialization) without re-boxing every element into []any.
+//
+// Simulated-cluster accounting must stay bit-identical to the boxed
+// representation it replaced, so a batch carries BoxedCap — the capacity
+// the equivalent []any partition would have had — and every size estimate
+// charges that instead of the host slice's real capacity. Host-side
+// layout is free to change; the observable numbers are not.
+
+import (
+	"reflect"
+	"regexp"
+	"sync"
+)
+
+// Batch is one partition of elements. Implementations are *Vec[T] for
+// some element type T; *Vec[any] is the boxed fallback and the shape every
+// batch can be converted to.
+type Batch interface {
+	// Len returns the number of elements.
+	Len() int
+	// BoxedCap returns the capacity of the equivalent boxed []any
+	// partition — the number simulated size estimation charges.
+	BoxedCap() int
+	// At returns element i, boxed.
+	At(i int) any
+	// Data returns the underlying typed slice ([]T for *Vec[T]). Callers
+	// must not mutate it.
+	Data() any
+	// Shape names the element type for observability ("int",
+	// "Pair[int,int64]", "any").
+	Shape() string
+
+	// newLike allocates a same-shaped batch of n zero elements with the
+	// given boxed capacity (the shuffle router's pre-sized blocks).
+	newLike(n, bcap int) Batch
+	// setAny stores a boxed element at i; the dynamic type must match.
+	setAny(i int, v any)
+	// copyFrom copies src into this batch starting at off, returning
+	// false if src has a different shape (broadcast flatten).
+	copyFrom(off int, src Batch) bool
+	// scatter distributes this batch's elements into same-shaped blocks:
+	// element i goes to blocks[tg[i]] at off[tg[i]], which is then
+	// incremented. Returns false if any non-empty target block has a
+	// different shape (the router falls back to boxed blocks).
+	scatter(tg, off []int32, blocks []Batch) bool
+	// sampleEvery returns every step-th element as a batch with the given
+	// boxed capacity (size-estimator sampling).
+	sampleEvery(step, bcap int) Batch
+}
+
+// Vec is the monomorphic Batch implementation: a plain typed slice plus
+// the boxed-equivalent capacity the simulator observes.
+type Vec[T any] struct {
+	xs   []T
+	bcap int
+}
+
+func (v *Vec[T]) Len() int      { return len(v.xs) }
+func (v *Vec[T]) BoxedCap() int { return v.bcap }
+func (v *Vec[T]) At(i int) any  { return v.xs[i] }
+func (v *Vec[T]) Data() any     { return v.xs }
+
+func (v *Vec[T]) Shape() string { return shapeName(reflect.TypeFor[T]()) }
+
+func (v *Vec[T]) newLike(n, bcap int) Batch {
+	return &Vec[T]{xs: make([]T, n), bcap: bcap}
+}
+
+func (v *Vec[T]) setAny(i int, e any) { v.xs[i] = e.(T) }
+
+func (v *Vec[T]) copyFrom(off int, src Batch) bool {
+	s, ok := src.(*Vec[T])
+	if !ok {
+		return false
+	}
+	copy(v.xs[off:], s.xs)
+	return true
+}
+
+func (v *Vec[T]) scatter(tg, off []int32, blocks []Batch) bool {
+	// The write loop caches the last target's slice: shuffle targets are
+	// bursty (runs of equal keys), so most iterations skip the type
+	// assertion entirely.
+	last := int32(-1)
+	var dst []T
+	for i, t := range tg {
+		if t != last {
+			b, ok := blocks[t].(*Vec[T])
+			if !ok {
+				return false
+			}
+			dst = b.xs
+			last = t
+		}
+		dst[off[t]] = v.xs[i]
+		off[t]++
+	}
+	return true
+}
+
+func (v *Vec[T]) sampleEvery(step, bcap int) Batch {
+	n := len(v.xs)
+	out := make([]T, 0, (n+step-1)/step)
+	for i := 0; i < n; i += step {
+		out = append(out, v.xs[i])
+	}
+	return &Vec[T]{xs: out, bcap: bcap}
+}
+
+// zeroBatch is the shared empty partition: narrow reads of absent parents
+// and nil shuffle blocks substitute it before compute runs.
+var zeroBatch Batch = &Vec[any]{}
+
+// batchOf wraps a typed slice as a Batch with the given boxed-equivalent
+// capacity, registering the element type with the codec on first use.
+func batchOf[T any](xs []T, bcap int) Batch {
+	registerBatchCodec[T]()
+	return &Vec[T]{xs: xs, bcap: bcap}
+}
+
+// boxedBatch wraps an already-boxed partition; bcap is taken from the
+// slice itself, so appends that grew it through Go's size classes are
+// charged exactly as the boxed representation was.
+func boxedBatch(xs []any) Batch { return &Vec[any]{xs: xs, bcap: cap(xs)} }
+
+// batchLen is Len on a possibly-nil batch (empty shuffle blocks stay nil).
+func batchLen(b Batch) int {
+	if b == nil {
+		return 0
+	}
+	return b.Len()
+}
+
+// elems returns b's elements as []T. For a *Vec[T] it returns the backing
+// slice without copying — callers must not mutate it; any other shape is
+// converted element-wise.
+func elems[T any](b Batch) []T {
+	if v, ok := b.(*Vec[T]); ok {
+		return v.xs
+	}
+	n := b.Len()
+	out := make([]T, n)
+	for i := range out {
+		out[i] = b.At(i).(T)
+	}
+	return out
+}
+
+// toBoxed returns b's elements as []any, aliasing the backing slice when b
+// is already boxed.
+func toBoxed(b Batch) []any {
+	if v, ok := b.(*Vec[any]); ok {
+		return v.xs
+	}
+	n := b.Len()
+	out := make([]any, n)
+	for i := range out {
+		out[i] = b.At(i)
+	}
+	return out
+}
+
+// sameBatchShape reports whether two batches have the same dynamic
+// representation (so typed block routing and flattening apply).
+func sameBatchShape(a, b Batch) bool {
+	return reflect.TypeOf(a) == reflect.TypeOf(b)
+}
+
+var shapeNames sync.Map // reflect.Type -> string
+
+// pkgQualifier matches package qualifiers in reflect type strings
+// ("engine.", "matryoshka/internal/core.") so shape names read as bare
+// type expressions.
+var pkgQualifier = regexp.MustCompile(`[\w./\-]+\.`)
+
+// shapeName renders an element type for EXPLAIN ANALYZE, stripping package
+// qualifiers ("engine.Pair[int,int]" -> "Pair[int,int]").
+func shapeName(t reflect.Type) string {
+	if s, ok := shapeNames.Load(t); ok {
+		return s.(string)
+	}
+	s := pkgQualifier.ReplaceAllString(t.String(), "")
+	if t.Kind() == reflect.Interface && t.NumMethod() == 0 {
+		s = "any"
+	}
+	shapeNames.Store(t, s)
+	return s
+}

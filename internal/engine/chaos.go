@@ -190,7 +190,7 @@ func (j *job) retryJob(f *stageFailure) (string, bool) {
 		j.s.resid.DropOutput(id)
 		delete(j.outputs, n)
 	}
-	j.blocks = map[*dep][][]any{}
+	j.blocks = map[*dep][]Batch{}
 	return fmt.Sprintf("job retry %d/%d (backoff %.0fs)", j.jobRetries, maxFetchJobRetries, backoff), true
 }
 

@@ -77,18 +77,18 @@ func Parallelize[T any](s *Session, data []T, parts int) Dataset[T] {
 	if len(data) == 0 {
 		parts = 1
 	}
-	// Slice the data contiguously; boxing happens once here.
-	boxed := make([][]any, parts)
-	for i := range boxed {
+	// Slice the data contiguously into typed batches; the source copy
+	// happens once here. Each batch's boxed-equivalent capacity is its
+	// exact length, as the boxed slices were.
+	batches := make([]Batch, parts)
+	for i := range batches {
 		lo, hi := i*len(data)/parts, (i+1)*len(data)/parts
-		part := make([]any, hi-lo)
-		for k, v := range data[lo:hi] {
-			part[k] = v
-		}
-		boxed[i] = part
+		part := make([]T, hi-lo)
+		copy(part, data[lo:hi])
+		batches[i] = batchOf(part, hi-lo)
 	}
-	n := s.newNode("parallelize", parts, nil, func(tc *Ctx, p int, _ [][]any) []any {
-		return boxed[p]
+	n := s.newNode("parallelize", parts, nil, func(tc *Ctx, p int, _ []Batch) Batch {
+		return batches[p]
 	})
 	return Dataset[T]{s, n}
 }

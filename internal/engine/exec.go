@@ -33,9 +33,9 @@ type job struct {
 	// that produced it.
 	front map[*node]*checkpoint
 	// blocks memoizes shuffle routing per dep: blocks[d][childPart].
-	blocks map[*dep][][]any
+	blocks map[*dep][]Batch
 	// bcast memoizes flattened broadcast inputs per dep.
-	bcast map[*dep][]any
+	bcast map[*dep]Batch
 	// bcastBytes records the residency charged per pinned broadcast dep,
 	// so recovery can unpin a broadcast it re-lowers away.
 	bcastBytes map[*dep]int64
@@ -86,7 +86,7 @@ type memoKey struct {
 // consumer receives exactly the same sum it would have accumulated inline.
 type memoEntry struct {
 	once         sync.Once
-	data         []any
+	data         Batch
 	work         float64
 	shuffleBytes float64
 	mem          int64
@@ -101,14 +101,14 @@ type onceEntry struct {
 // node: a planning step builds the physical plan, the event spine records
 // it, and the stage-graph runner (runner.go) consumes it — recovering and
 // replanning on failure when the session allows it.
-func (s *Session) runJob(target *node) ([][]any, error) {
+func (s *Session) runJob(target *node) ([]Batch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := &job{
 		s:          s,
 		front:      map[*node]*checkpoint{},
-		blocks:     map[*dep][][]any{},
-		bcast:      map[*dep][]any{},
+		blocks:     map[*dep][]Batch{},
+		bcast:      map[*dep]Batch{},
 		bcastBytes: map[*dep]int64{},
 		attempts:   map[*node]int{},
 		raised:     map[*node]int{},
@@ -133,12 +133,16 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 	// results cannot be pooled (it outlives the stage on the frontier and
 	// possibly in the node cache) but the cost buffer is per-stage scratch
 	// reused across the session.
-	results := make([][]any, n.parts)
+	results := make([]Batch, n.parts)
 	costs := j.s.stageCosts(n.parts)
 	observing := j.s.obs.Enabled()
 	var shufScratch []float64
+	var boundScratch []int64
+	var shapeScratch []string
 	if observing {
 		shufScratch = make([]float64, n.parts)
+		boundScratch = make([]int64, n.parts)
+		shapeScratch = make([]string, n.parts)
 	}
 	memoHitsBefore := j.memoHits.Load()
 	var panicOnce sync.Once
@@ -154,7 +158,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 		results[p] = out
 		// The stage root's output is materialized: charge the rows it
 		// emits and hold it resident alongside operator-claimed memory.
-		tc.work += float64(len(out)) * n.weight
+		tc.work += float64(batchLen(out)) * n.weight
 		tc.UseMemory(j.s.estResidentBytes(out, n.weight))
 		cc := j.s.cfg.Cluster
 		costs[p] = cluster.Task{
@@ -163,6 +167,8 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 		}
 		if observing {
 			shufScratch[p] = tc.shuffleBytes
+			boundScratch[p] = tc.boundaryBytes
+			shapeScratch[p] = tc.batchShape
 		}
 	}
 	if j.s.legacyExec {
@@ -205,6 +211,14 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 		for _, sb := range shufScratch {
 			shuffleBytes += sb
 		}
+		var boundaryBytes int64
+		batchShape := ""
+		for p := range boundScratch {
+			boundaryBytes += boundScratch[p]
+			if batchShape == "" {
+				batchShape = shapeScratch[p]
+			}
+		}
 		j.s.obs.StageRan(obs.Stage{
 			Stage:         st.ID,
 			Label:         n.label,
@@ -222,6 +236,8 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			SpecLaunched:  rep.SpecLaunched,
 			SpecWon:       rep.SpecWon,
 			SpecWastedSec: rep.SpecWastedSec,
+			BoundaryBytes: boundaryBytes,
+			BatchShape:    batchShape,
 		})
 	}
 	if j.s.cfg.DebugStages && rep.Seconds > 1 {
@@ -283,7 +299,7 @@ func (j *job) pinBroadcast(d *dep, root *node, st *plan.Stage, owner *node) *sta
 		return nil
 	}
 	parent := j.front[d.parent].data
-	var flat []any
+	var flat Batch
 	if j.s.legacyExec {
 		flat = flattenSerial(parent)
 	} else {
@@ -318,7 +334,7 @@ func (j *job) pinBroadcast(d *dep, root *node, st *plan.Stage, owner *node) *sta
 // parents and reading materialized data at stage boundaries. Partitions of
 // the plan's fan-in>1 narrow nodes are computed exactly once per job and
 // their task costs replayed to every consumer (see memoEntry).
-func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
+func (j *job) evalPart(tc *Ctx, n *node, p int) Batch {
 	if cp, ok := j.front[n]; ok {
 		return cp.data[p]
 	}
@@ -350,14 +366,14 @@ func (j *job) evalPart(tc *Ctx, n *node, p int) []any {
 // many real records costs proportionally more and a cardinality-bounded
 // row (weight 1) costs exactly one row — regardless of which operator
 // produced it.
-func (j *job) evalPartDirect(tc *Ctx, n *node, p int) []any {
+func (j *job) evalPartDirect(tc *Ctx, n *node, p int) Batch {
 	if fi := j.ep.fused[n]; fi != nil {
 		// The node tops a fused narrow chain legal under this plan: run
 		// the whole chain as one typed loop (fuse.go). Charges replay the
 		// unfused per-link sequence exactly.
 		return j.evalFused(tc, fi, p)
 	}
-	inputs := make([][]any, len(n.deps))
+	inputs := make([]Batch, len(n.deps))
 	for i := range n.deps {
 		d := &n.deps[i]
 		switch d.kind {
@@ -366,14 +382,20 @@ func (j *job) evalPartDirect(tc *Ctx, n *node, p int) []any {
 				inputs[i] = j.evalPart(tc, d.parent, p)
 			} else if pps := d.narrowMap(p); len(pps) == 1 {
 				inputs[i] = j.evalPart(tc, d.parent, pps[0])
+			} else if len(pps) == 0 {
+				inputs[i] = zeroBatch
 			} else {
+				// Fan-in concat. The boxed representation grew this
+				// slice by chunk-wise appends, whose capacity growth is
+				// observable downstream — run the identical appends and
+				// adopt the resulting capacity as the batch's BoxedCap.
 				var in []any
 				for _, pp := range pps {
-					in = append(in, j.evalPart(tc, d.parent, pp)...)
+					in = append(in, toBoxed(j.evalPart(tc, d.parent, pp))...)
 				}
-				inputs[i] = in
+				inputs[i] = boxedBatch(in)
 			}
-			tc.work += float64(len(inputs[i])) * d.parent.weight
+			tc.work += float64(batchLen(inputs[i])) * d.parent.weight
 		case depShuffle:
 			// Shuffle reads are charged as network cost and consume
 			// CPU; residency is claimed by the consuming operator
@@ -381,8 +403,17 @@ func (j *job) evalPartDirect(tc *Ctx, n *node, p int) []any {
 			// build map, a groupBy holds its whole input, a
 			// pipelined map holds neither).
 			b := j.blocks[d][p]
-			tc.work += float64(len(b)) * d.parent.weight
+			tc.work += float64(batchLen(b)) * d.parent.weight
 			tc.shuffleBytes += float64(estPartitionBytes(b)) * d.parent.weight
+			if j.s.obs.Enabled() {
+				tc.boundaryBytes += encodedBatchBytes(&tc.encScratch, b)
+				if tc.batchShape == "" && batchLen(b) > 0 {
+					tc.batchShape = b.Shape()
+				}
+			}
+			if b == nil {
+				b = zeroBatch
+			}
 			inputs[i] = b
 		case depBroadcast:
 			// The broadcast build cost is charged at pin time; probe

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"matryoshka/internal/sizeest"
 )
 
 // poolSession returns a session with an explicit host worker count.
@@ -20,14 +22,25 @@ func poolSession(workers int) *Session {
 }
 
 // randomParent builds a random materialized partition structure of ints.
-func randomParent(rng *rand.Rand, maxSrc, maxLen int) [][]any {
-	parent := make([][]any, rng.Intn(maxSrc+1))
+// Partitions are typed int batches except an occasional boxed fallback, so
+// routing tests cover the homogeneous typed path, the mixed-shape path,
+// and the all-boxed path.
+func randomParent(rng *rand.Rand, maxSrc, maxLen int) []Batch {
+	parent := make([]Batch, rng.Intn(maxSrc+1))
 	for i := range parent {
-		part := make([]any, rng.Intn(maxLen+1))
+		part := make([]int, rng.Intn(maxLen+1))
 		for k := range part {
 			part[k] = rng.Intn(1 << 20)
 		}
-		parent[i] = part
+		if rng.Intn(4) == 0 {
+			boxed := make([]any, len(part))
+			for k, v := range part {
+				boxed[k] = v
+			}
+			parent[i] = boxedBatch(boxed)
+		} else {
+			parent[i] = batchOf(part, len(part))
+		}
 	}
 	return parent
 }
@@ -56,8 +69,8 @@ func TestRouteParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("trial %d: block count %d, want %d", trial, len(got), len(want))
 		}
 		for p := range want {
-			if len(want[p]) == 0 && len(got[p]) == 0 {
-				continue // append-based reference leaves empty blocks nil
+			if batchLen(want[p]) == 0 && batchLen(got[p]) == 0 {
+				continue // the router leaves empty blocks nil
 			}
 			if !reflect.DeepEqual(got[p], want[p]) {
 				t.Fatalf("trial %d: block %d differs: got %v want %v", trial, p, got[p], want[p])
@@ -75,7 +88,7 @@ func TestFlattenParallelMatchesSerial(t *testing.T) {
 		parent := randomParent(rng, 9, 60)
 		want := flattenSerial(parent)
 		got := s.flattenParallel(parent)
-		if len(want) == 0 && len(got) == 0 {
+		if batchLen(want) == 0 && batchLen(got) == 0 {
 			continue
 		}
 		if !reflect.DeepEqual(got, want) {
@@ -84,8 +97,101 @@ func TestFlattenParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSingleWorkerRoutesSerial is the 1-core pessimization audit: on a
+// single-worker session, routeParallel and flattenParallel must take the
+// serial path outright — pool dispatch would be pure overhead with nothing
+// to overlap it with. The session's pool is closed up front, so any
+// dispatch attempt panics instead of silently passing.
+func TestSingleWorkerRoutesSerial(t *testing.T) {
+	s := poolSession(1)
+	s.Close()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		parent := randomParent(rng, 6, 50)
+		d := &dep{kind: depShuffle, childParts: 1 + rng.Intn(9)}
+		d.partitioner = func(e any, n int) int {
+			return int(uint32(e.(int))*2654435761) % n
+		}
+		want := routeSerial(d, parent)
+		got := s.routeParallel(d, parent)
+		for p := range want {
+			if batchLen(want[p]) == 0 && batchLen(got[p]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got[p], want[p]) {
+				t.Fatalf("trial %d: block %d differs on 1-worker session", trial, p)
+			}
+		}
+		if want, got := flattenSerial(parent), s.flattenParallel(parent); batchLen(want) != 0 || batchLen(got) != 0 {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: flatten differs on 1-worker session", trial)
+			}
+		}
+	}
+	// Above flattenCutoff the size heuristic alone no longer routes to the
+	// serial sweep; only the single-worker guard keeps the pool out of it.
+	big := make([]int, flattenCutoff)
+	parent := []Batch{batchOf(big, len(big)), batchOf([]int{1, 2, 3}, 3)}
+	if got := s.flattenParallel(parent); got.Len() != flattenCutoff+3 {
+		t.Fatalf("big flatten length %d, want %d", got.Len(), flattenCutoff+3)
+	}
+}
+
+// TestEstPartitionBytesMatchesBoxedReference pins estPartitionBytes — for
+// typed and boxed batches alike — to what the boxed estimator computed:
+// a sample built by appending every step-th element into a
+// make([]any, 0, sampleN), sized with sizeest.OfSlice, scaled by n/count.
+// The subtle case is n not a multiple of step: the walk then yields up to
+// 2*sampleN-1 positions and the boxed append grew its sample past
+// sampleN, to whatever capacity the runtime's size classes dictate (not a
+// clean doubling) — that capacity was observable in every simulated
+// shuffle-bytes and residency number, so the batch path must reproduce it
+// exactly. A one-off regression here shifted the sec9-chaos sweep by ~6%.
+func TestEstPartitionBytesMatchesBoxedReference(t *testing.T) {
+	boxedRef := func(part []any) int64 {
+		n := len(part)
+		if n == 0 {
+			return 0
+		}
+		if n <= sampleN {
+			return sizeest.OfSlice(part)
+		}
+		step := n / sampleN
+		sample := make([]any, 0, sampleN)
+		for i := 0; i < n; i += step {
+			sample = append(sample, part[i])
+		}
+		return sizeest.OfSlice(sample) * int64(n) / int64(len(sample))
+	}
+	ns := []int{0, 1, 5, 31, 32, 33, 63, 64, 65, 100, 127, 1000, 4095, 4096, 10000}
+	for _, n := range ns {
+		vals := make([]Pair[int, int64], n)
+		// The reference slice is grown one append at a time from nil, the
+		// way routeSerial built shuffle blocks: for n <= sampleN the whole
+		// slice (capacity included) is what the boxed estimator measured.
+		var boxed []any
+		for i := range vals {
+			vals[i] = Pair[int, int64]{i, int64(3 * i)}
+			boxed = append(boxed, vals[i])
+		}
+		if n <= sampleN && cap(boxed) != blockCap(n) {
+			t.Fatalf("n=%d: append-grown cap %d, blockCap says %d", n, cap(boxed), blockCap(n))
+		}
+		want := boxedRef(boxed)
+		// Typed batches report the boxed append-grown capacity for small
+		// blocks (blockCap); above sampleN the block capacity is never
+		// observed, only the sample's.
+		if got := estPartitionBytes(batchOf(vals, blockCap(n))); got != want {
+			t.Errorf("n=%d: typed estPartitionBytes=%d, boxed reference=%d", n, got, want)
+		}
+		if got := estPartitionBytes(boxedBatch(append(make([]any, 0, blockCap(n)), boxed...))); got != want {
+			t.Errorf("n=%d: boxed-batch estPartitionBytes=%d, boxed reference=%d", n, got, want)
+		}
+	}
+}
+
 // materializedParts runs a job for d and returns the raw partitions.
-func materializedParts[T any](t *testing.T, d Dataset[T]) [][]any {
+func materializedParts[T any](t *testing.T, d Dataset[T]) []Batch {
 	t.Helper()
 	parts, err := d.s.runJob(d.n)
 	if err != nil {
@@ -99,7 +205,7 @@ func materializedParts[T any](t *testing.T, d Dataset[T]) [][]any {
 // counts, now that the target is a pure function of (source partition,
 // element index).
 func TestRepartitionDeterministic(t *testing.T) {
-	var layouts [][][]any
+	var layouts [][]Batch
 	for _, workers := range []int{1, 2, 8} {
 		s := poolSession(workers)
 		d := Repartition(Parallelize(s, ints(500), 7), 16)
@@ -118,8 +224,8 @@ func TestRepartitionDeterministic(t *testing.T) {
 	}
 	// Round-robin should stay balanced: 500 elements into 16 partitions.
 	for p, part := range layouts[0] {
-		if len(part) < 500/16-4 || len(part) > 500/16+4 {
-			t.Fatalf("partition %d badly balanced: %d elements", p, len(part))
+		if batchLen(part) < 500/16-4 || batchLen(part) > 500/16+4 {
+			t.Fatalf("partition %d badly balanced: %d elements", p, batchLen(part))
 		}
 	}
 }

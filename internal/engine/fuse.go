@@ -3,20 +3,20 @@ package engine
 // Fused execution of narrow operator chains (ROADMAP item 2, after Flare):
 // consecutive map/filter/flatMap/mapValues/mapPartitions/zip nodes collapse
 // into one typed loop body executed per input batch, so intermediate rows
-// flow through composed closures as unboxed values instead of being boxed
-// into a fresh []any seam after every operator.
+// flow through composed closures as unboxed values instead of being
+// materialized into a fresh batch seam after every operator.
 //
 // The chain is built at construction time: each fusible operator checks
 // whether its parent node carries a typed push-pipeline whose emit type
 // matches the operator's input type, and if so extends it by wrapping. The
-// composed pipeline is stored type-erased on the node; only the final emit
-// of the whole chain boxes a row. Whether a stored chain may actually run
-// is a per-plan decision (physical.go): every intermediate op must be
-// invisible to the plan — not a stage root, not a fan-in memo site, not on
-// the recovery frontier — so fusion never changes which partitions are
-// materialized, memoized, or checkpointed. The A/B bit-identity suite runs
-// the same DAGs fused and unfused and asserts identical partitions, virtual
-// clocks, and cluster stats.
+// composed pipeline is stored type-erased on the node; the final emit of
+// the whole chain lands in a typed output batch. Whether a stored chain may
+// actually run is a per-plan decision (physical.go): every intermediate op
+// must be invisible to the plan — not a stage root, not a fan-in memo site,
+// not on the recovery frontier — so fusion never changes which partitions
+// are materialized, memoized, or checkpointed. The A/B bit-identity suite
+// runs the same DAGs fused and unfused and asserts identical partitions,
+// virtual clocks, and cluster stats.
 //
 // Bit-identity imposes two disciplines on the fused loop:
 //
@@ -28,16 +28,14 @@ package engine
 //     breaks chains — so the replayed sequence of float additions is
 //     identical to the unfused one).
 //
-//   - Capacity fidelity. sizeest.OfSlice charges slice capacity, and
-//     partitions of up to sampleN elements are handed to it whole, so the
-//     fused materialization must reproduce the unfused operator's exact
-//     allocation shape: map-like tops emit cap==len, a filter top
-//     pre-sizes to its input count, and a flatMap top replays one-at-a-time
-//     append growth from a nil slice.
-//
-// Rows emitted by chains whose output size is not known up front are
-// buffered in fixed-capacity record blocks recycled through a sync.Pool,
-// so steady-state fused execution allocates only the final output slice.
+//   - Capacity fidelity. sizeest.OfBatch charges the boxed-equivalent
+//     capacity, and partitions of up to sampleN elements are handed to it
+//     whole, so the fused output batch must report the capacity the unfused
+//     operator's boxed allocation would have had: map-like tops cap==len, a
+//     filter top its input count, a flatMap top the power-of-two growth of
+//     one-at-a-time appends. The host slice itself grows however it likes —
+//     real capacity is invisible to accounting — which is why the record
+//     blocks the boxed implementation pooled are gone.
 
 import (
 	"fmt"
@@ -69,15 +67,15 @@ const (
 
 // fuseInfo is the constructor-built maximal fusible chain ending at its
 // owner node. run is the type-erased typed pipeline
-// (func(*Ctx, *fuseCounts, int, []any, func(T))); exec wraps it with the
+// (func(*Ctx, *fuseCounts, int, Batch, func(T))); exec wraps it with the
 // materializer matching the owner's unfused allocation shape.
 type fuseInfo struct {
-	head *node   // evaluated normally; its boxed partition feeds the chain
+	head *node   // evaluated normally; its partition batch feeds the chain
 	via  []*node // chain operators bottom-up; the last entry is the owner
 	run  any
-	exec func(tc *Ctx, fc *fuseCounts, p int, in []any) []any
+	exec func(tc *Ctx, fc *fuseCounts, p int, in Batch) Batch
 	// allMap marks chains of only 1:1 operators: output size is known up
-	// front, so rows go straight into the exact-size result, no blocks.
+	// front, so rows go straight into the exact-size result.
 	allMap bool
 }
 
@@ -85,7 +83,7 @@ type fuseInfo struct {
 // parent's stored chain when its emit type matches (wrapped to count the
 // parent's emits), or a fresh unboxing loop over the parent's partition.
 type chainBase[A any] struct {
-	run    func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(A))
+	run    func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(A))
 	via    []*node
 	head   *node
 	allMap bool
@@ -93,10 +91,10 @@ type chainBase[A any] struct {
 
 func chainTo[A any](parent *node) chainBase[A] {
 	if fi := parent.fuse; fi != nil && len(fi.via) < maxFuseOps {
-		if run, ok := fi.run.(func(*Ctx, *fuseCounts, int, []any, func(A))); ok {
+		if run, ok := fi.run.(func(*Ctx, *fuseCounts, int, Batch, func(A))); ok {
 			idx := len(fi.via) - 1
 			return chainBase[A]{
-				run: func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(A)) {
+				run: func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(A)) {
 					run(tc, fc, p, in, func(a A) { fc[idx]++; emit(a) })
 				},
 				via:    fi.via,
@@ -106,9 +104,18 @@ func chainTo[A any](parent *node) chainBase[A] {
 		}
 	}
 	return chainBase[A]{
-		run: func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(A)) {
-			for _, e := range in {
-				emit(e.(A))
+		run: func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(A)) {
+			// Typed head batches feed the pipeline monomorphically; any
+			// other shape unboxes element-wise, as the boxed loop did.
+			if v, ok := in.(*Vec[A]); ok {
+				for _, a := range v.xs {
+					emit(a)
+				}
+				return
+			}
+			n := in.Len()
+			for i := 0; i < n; i++ {
+				emit(in.At(i).(A))
 			}
 		},
 		head:   parent,
@@ -119,43 +126,35 @@ func chainTo[A any](parent *node) chainBase[A] {
 // newFuseInfo finishes a chain for owner: appends it to via and builds the
 // materializer for its top shape.
 func newFuseInfo[T any](owner *node, base []*node, head *node,
-	run func(*Ctx, *fuseCounts, int, []any, func(T)), top fuseTop, allMap bool) *fuseInfo {
+	run func(*Ctx, *fuseCounts, int, Batch, func(T)), top fuseTop, allMap bool) *fuseInfo {
 	via := make([]*node, 0, len(base)+1)
 	via = append(append(via, base...), owner)
 	k := len(via)
-	var exec func(tc *Ctx, fc *fuseCounts, p int, in []any) []any
-	switch {
-	case allMap:
-		exec = func(tc *Ctx, fc *fuseCounts, p int, in []any) []any {
-			out := make([]any, len(in))
+	var exec func(tc *Ctx, fc *fuseCounts, p int, in Batch) Batch
+	if allMap {
+		exec = func(tc *Ctx, fc *fuseCounts, p int, in Batch) Batch {
+			out := make([]T, in.Len())
 			i := 0
 			run(tc, fc, p, in, func(t T) { out[i] = t; i++ })
-			return out
+			return batchOf(out, len(out))
 		}
-	case top == fuseTopFlatMap:
-		// The unfused flatMap grows its output one append at a time from
-		// nil; the observable capacity pattern is reproduced by doing the
-		// same (and an empty result stays nil, as unfused).
-		exec = func(tc *Ctx, fc *fuseCounts, p int, in []any) []any {
-			var out []any
+	} else {
+		exec = func(tc *Ctx, fc *fuseCounts, p int, in Batch) Batch {
+			// Output size is unknown up front; the host slice grows freely
+			// (real capacity is invisible to accounting) and the batch
+			// reports the boxed-equivalent capacity afterwards.
+			var out []T
 			run(tc, fc, p, in, func(t T) { out = append(out, t) })
-			return out
-		}
-	default:
-		exec = func(tc *Ctx, fc *fuseCounts, p int, in []any) []any {
-			bb := blockBufPool.Get().(*blockBuf)
-			run(tc, fc, p, in, func(t T) { bb.add(t) })
-			var out []any
-			if top == fuseTopFilter {
+			bcap := len(out)
+			switch top {
+			case fuseTopFilter:
 				// The unfused filter pre-sizes to its input, which is the
 				// emit count of the link below the top.
-				out = bb.appendAll(make([]any, 0, int(fc[k-2])))
-			} else {
-				out = bb.appendAll(make([]any, 0, bb.count()))
+				bcap = int(fc[k-2])
+			case fuseTopFlatMap:
+				bcap = blockCap(len(out))
 			}
-			bb.release()
-			blockBufPool.Put(bb)
-			return out
+			return batchOf(out, bcap)
 		}
 	}
 	return &fuseInfo{head: head, via: via, run: run, exec: exec, allMap: allMap}
@@ -166,7 +165,7 @@ func newFuseInfo[T any](owner *node, base []*node, head *node,
 // the unfused order is impossible, so mapCtx always breaks chains).
 func fuseMap[A, B any](n, parent *node, f func(A) B) {
 	base := chainTo[A](parent)
-	run := func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(B)) {
+	run := func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(B)) {
 		base.run(tc, fc, p, in, func(a A) { emit(f(a)) })
 	}
 	n.fuse = newFuseInfo(n, base.via, base.head, run, fuseTopExact, base.allMap)
@@ -175,7 +174,7 @@ func fuseMap[A, B any](n, parent *node, f func(A) B) {
 // fuseFilter attaches a filtering chain link to n.
 func fuseFilter[A any](n, parent *node, pred func(A) bool) {
 	base := chainTo[A](parent)
-	run := func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(A)) {
+	run := func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(A)) {
 		base.run(tc, fc, p, in, func(a A) {
 			if pred(a) {
 				emit(a)
@@ -188,7 +187,7 @@ func fuseFilter[A any](n, parent *node, pred func(A) bool) {
 // fuseFlatMap attaches an expanding chain link to n.
 func fuseFlatMap[A, B any](n, parent *node, f func(A) []B) {
 	base := chainTo[A](parent)
-	run := func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(B)) {
+	run := func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(B)) {
 		base.run(tc, fc, p, in, func(a A) {
 			for _, b := range f(a) {
 				emit(b)
@@ -203,12 +202,12 @@ func fuseFlatMap[A, B any](n, parent *node, f func(A) []B) {
 // the UDF runs once, and its results stream on.
 func fuseMapPartitions[A, B any](n, parent *node, f func([]A) []B) {
 	base := chainTo[A](parent)
-	run := func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(B)) {
+	run := func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(B)) {
 		// Host-side scratch (capacity invisible to accounting): start at
 		// the head partition's length, the exact row count for all-map
 		// chains below and a close lower bound otherwise, so the buffer
 		// skips the small-capacity doublings of growth from nil.
-		buf := make([]A, 0, len(in))
+		buf := make([]A, 0, in.Len())
 		base.run(tc, fc, p, in, func(a A) { buf = append(buf, a) })
 		for _, b := range f(buf) {
 			emit(b)
@@ -221,7 +220,7 @@ func fuseMapPartitions[A, B any](n, parent *node, f func([]A) []B) {
 // the construction-time partition count, as in the unfused compute.
 func fuseZip[A any](n, parent *node, parts int) {
 	base := chainTo[A](parent)
-	run := func(tc *Ctx, fc *fuseCounts, p int, in []any, emit func(Pair[uint64, A])) {
+	run := func(tc *Ctx, fc *fuseCounts, p int, in Batch, emit func(Pair[uint64, A])) {
 		k := 0
 		base.run(tc, fc, p, in, func(a A) {
 			emit(Pair[uint64, A]{Key: uint64(p) + uint64(k)*uint64(parts), Val: a})
@@ -231,75 +230,16 @@ func fuseZip[A any](n, parent *node, parts int) {
 	n.fuse = newFuseInfo(n, base.via, base.head, run, fuseTopExact, base.allMap)
 }
 
-// fuseBlockCap is the row capacity of one pooled record block.
-const fuseBlockCap = 1024
-
-var rowBlockPool = sync.Pool{New: func() any {
-	b := make([]any, 0, fuseBlockCap)
-	return &b
-}}
-
-var blockBufPool = sync.Pool{New: func() any { return new(blockBuf) }}
-
-// blockBuf accumulates fused-loop output rows in fixed-capacity record
-// blocks recycled through rowBlockPool, so chains whose output size is
-// unknown up front (any chain containing a filter or flatMap) buffer rows
-// without append-growth reallocation and without retaining scratch.
-type blockBuf struct {
-	full [][]any // retired blocks, each exactly fuseBlockCap rows
-	cur  []any
-}
-
-func (b *blockBuf) add(e any) {
-	if len(b.cur) == cap(b.cur) {
-		if b.cur != nil {
-			b.full = append(b.full, b.cur)
-		}
-		b.cur = (*rowBlockPool.Get().(*[]any))[:0]
-	}
-	b.cur = append(b.cur, e)
-}
-
-func (b *blockBuf) count() int {
-	return len(b.full)*fuseBlockCap + len(b.cur)
-}
-
-// appendAll copies the buffered rows, in emit order, onto out.
-func (b *blockBuf) appendAll(out []any) []any {
-	for _, blk := range b.full {
-		out = append(out, blk...)
-	}
-	return append(out, b.cur...)
-}
-
-// release clears and returns every block to the pool (rows must not be
-// retained: blocks are reused and would otherwise pin emitted values).
-func (b *blockBuf) release() {
-	for i, blk := range b.full {
-		clear(blk)
-		blk = blk[:0]
-		rowBlockPool.Put(&blk)
-		b.full[i] = nil
-	}
-	b.full = b.full[:0]
-	if b.cur != nil {
-		clear(b.cur)
-		cur := b.cur[:0]
-		rowBlockPool.Put(&cur)
-		b.cur = nil
-	}
-}
-
 // evalFused runs partition p of a compiled fused chain: one pass over the
-// head's boxed partition through the composed typed pipeline, then a
+// head's partition batch through the composed typed pipeline, then a
 // replay of exactly the per-link input charges the unfused evaluator would
 // have accumulated, in its order (head first, then each link bottom-up).
-func (j *job) evalFused(tc *Ctx, fi *fuseInfo, p int) []any {
+func (j *job) evalFused(tc *Ctx, fi *fuseInfo, p int) Batch {
 	in := j.evalPart(tc, fi.head, p)
 	fc := fuseCountsPool.Get().(*fuseCounts)
 	*fc = fuseCounts{}
 	out := fi.exec(tc, fc, p, in)
-	tc.work += float64(len(in)) * fi.head.weight
+	tc.work += float64(in.Len()) * fi.head.weight
 	for i := 0; i+1 < len(fi.via); i++ {
 		tc.work += float64(fc[i]) * fi.via[i].weight
 	}

@@ -66,32 +66,31 @@ func repartitionJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pa
 		}
 	}
 	target := partInfoFor[K](parts)
-	sideDep := func(n *node, part func(any, int) int) dep {
+	sideDep := func(n *node, shuffled dep) dep {
 		if n.pkey.matches(target) {
 			return narrowDep(n) // co-partitioned: no shuffle
 		}
-		return dep{parent: n, kind: depShuffle, partitioner: part}
+		return shuffled
 	}
 	deps := []dep{
-		sideDep(l.n, keyPartitioner[K, A](s)),
-		sideDep(r.n, keyPartitioner[K, B](s)),
+		sideDep(l.n, pairShuffleDep[K, A](s, l.n)),
+		sideDep(r.n, pairShuffleDep[K, B](s, r.n)),
 	}
 	buildWeight := l.n.weight
-	n := s.newNode("join", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+	n := s.newNode("join", parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
 		tc.UseMemory(s.estResidentBytes(in[0], buildWeight)) // resident build side
-		build := make(map[K][]A, len(in[0]))
-		for _, e := range in[0] {
-			kv := e.(Pair[K, A])
+		lhs := elems[Pair[K, A]](in[0])
+		build := make(map[K][]A, len(lhs))
+		for _, kv := range lhs {
 			build[kv.Key] = append(build[kv.Key], kv.Val)
 		}
-		var out []any
-		for _, e := range in[1] {
-			kv := e.(Pair[K, B])
+		var out []Pair[K, Tuple2[A, B]]
+		for _, kv := range elems[Pair[K, B]](in[1]) {
 			for _, a := range build[kv.Key] {
 				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
 			}
 		}
-		return out
+		return batchOf(out, blockCap(len(out)))
 	})
 	n.pkey = target // the join output stays partitioned by K
 	return fromNode[Pair[K, Tuple2[A, B]]](s, n)
@@ -106,23 +105,22 @@ func broadcastJoin[K comparable, A, B any](small Dataset[Pair[K, A]], big Datase
 		{parent: big.n, kind: depNarrow},
 	}
 	var n *node
-	n = s.newNode("broadcastJoin", big.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+	n = s.newNode("broadcastJoin", big.n.parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
 		build := tc.Once(n.id, func() any {
-			m := make(map[K][]A, len(in[0]))
-			for _, e := range in[0] {
-				kv := e.(Pair[K, A])
+			bc := elems[Pair[K, A]](in[0])
+			m := make(map[K][]A, len(bc))
+			for _, kv := range bc {
 				m[kv.Key] = append(m[kv.Key], kv.Val)
 			}
 			return m
 		}).(map[K][]A)
-		var out []any
-		for _, e := range in[1] {
-			kv := e.(Pair[K, B])
+		var out []Pair[K, Tuple2[A, B]]
+		for _, kv := range elems[Pair[K, B]](in[1]) {
 			for _, a := range build[kv.Key] {
 				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
 			}
 		}
-		return out
+		return batchOf(out, blockCap(len(out)))
 	})
 	// Adaptive recovery's demotion target: the repartition join over the
 	// same inputs, at the same partition count (evaluated at demote time,
@@ -144,15 +142,15 @@ func CrossWithBroadcast[A, B, C any](small Dataset[A], big Dataset[B], f func(A,
 		{parent: small.n, kind: depBroadcast},
 		{parent: big.n, kind: depNarrow},
 	}
-	n := s.newNode("crossBroadcastSmall", big.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, 0, len(in[0])*len(in[1]))
-		for _, be := range in[1] {
-			b := be.(B)
-			for _, ae := range in[0] {
-				out = append(out, f(ae.(A), b))
+	n := s.newNode("crossBroadcastSmall", big.n.parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
+		as := elems[A](in[0])
+		out := make([]C, 0, len(as)*in[1].Len())
+		for _, b := range elems[B](in[1]) {
+			for _, a := range as {
+				out = append(out, f(a, b))
 			}
 		}
-		return out
+		return batchOf(out, cap(out))
 	})
 	// Demotion target: the mirrored half-lifted choice, repartitioned back
 	// to this operator's layout. introRule/introChoice stop recovery from
@@ -176,15 +174,15 @@ func CrossBroadcastBig[A, B, C any](small Dataset[A], big Dataset[B], f func(A, 
 		{parent: big.n, kind: depBroadcast},
 		{parent: small.n, kind: depNarrow},
 	}
-	n := s.newNode("crossBroadcastBig", small.n.parts, deps, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, 0, len(in[0])*len(in[1]))
-		for _, ae := range in[1] {
-			a := ae.(A)
-			for _, be := range in[0] {
-				out = append(out, f(a, be.(B)))
+	n := s.newNode("crossBroadcastBig", small.n.parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
+		bs := elems[B](in[0])
+		out := make([]C, 0, len(bs)*in[1].Len())
+		for _, a := range elems[A](in[1]) {
+			for _, b := range bs {
+				out = append(out, f(a, b))
 			}
 		}
-		return out
+		return batchOf(out, cap(out))
 	})
 	n.fallback = &refallback{
 		rule: "half-lifted", choice: "broadcast-primary", alt: "broadcast-scalar",
@@ -203,20 +201,19 @@ func LeftOuterJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair
 	s := l.s
 	parts := s.cfg.DefaultParallelism
 	deps := []dep{
-		{parent: r.n, kind: depShuffle, partitioner: keyPartitioner[K, B](s)},
-		{parent: l.n, kind: depShuffle, partitioner: keyPartitioner[K, A](s)},
+		pairShuffleDep[K, B](s, r.n),
+		pairShuffleDep[K, A](s, l.n),
 	}
 	buildWeight := r.n.weight
-	n := s.newNode("leftOuterJoin", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+	n := s.newNode("leftOuterJoin", parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
 		tc.UseMemory(s.estResidentBytes(in[0], buildWeight))
-		build := make(map[K][]B, len(in[0]))
-		for _, e := range in[0] {
-			kv := e.(Pair[K, B])
+		rhs := elems[Pair[K, B]](in[0])
+		build := make(map[K][]B, len(rhs))
+		for _, kv := range rhs {
 			build[kv.Key] = append(build[kv.Key], kv.Val)
 		}
-		var out []any
-		for _, e := range in[1] {
-			kv := e.(Pair[K, A])
+		var out []Pair[K, Tuple2[A, Opt[B]]]
+		for _, kv := range elems[Pair[K, A]](in[1]) {
 			bs := build[kv.Key]
 			if len(bs) == 0 {
 				out = append(out, Pair[K, Tuple2[A, Opt[B]]]{kv.Key, Tuple2[A, Opt[B]]{A: kv.Val}})
@@ -226,7 +223,7 @@ func LeftOuterJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair
 				out = append(out, Pair[K, Tuple2[A, Opt[B]]]{kv.Key, Tuple2[A, Opt[B]]{A: kv.Val, B: Opt[B]{Val: b, OK: true}}})
 			}
 		}
-		return out
+		return batchOf(out, blockCap(len(out)))
 	})
 	return fromNode[Pair[K, Tuple2[A, Opt[B]]]](s, n)
 }
@@ -242,40 +239,43 @@ func CoGroup[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pair[K, B]
 	s := l.s
 	parts := s.cfg.DefaultParallelism
 	deps := []dep{
-		{parent: l.n, kind: depShuffle, partitioner: keyPartitioner[K, A](s)},
-		{parent: r.n, kind: depShuffle, partitioner: keyPartitioner[K, B](s)},
+		pairShuffleDep[K, A](s, l.n),
+		pairShuffleDep[K, B](s, r.n),
 	}
 	inWeight := max(l.n.weight, r.n.weight)
-	n := s.newNode("coGroup", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
-		tc.UseMemory(s.estResidentBytes(append(append([]any{}, in[0]...), in[1]...), inWeight))
+	n := s.newNode("coGroup", parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
+		// The combined-input footprint is charged over a literally rebuilt
+		// boxed concat: the chunk-wise append growth of the second append is
+		// part of the observed capacity and is not reproduced by formula.
+		tc.UseMemory(s.estResidentBoxed(append(append([]any{}, toBoxed(in[0])...), toBoxed(in[1])...), inWeight))
+		lhs := elems[Pair[K, A]](in[0])
+		rhs := elems[Pair[K, B]](in[1])
 		la := map[K][]A{}
-		for _, e := range in[0] {
-			kv := e.(Pair[K, A])
+		for _, kv := range lhs {
 			la[kv.Key] = append(la[kv.Key], kv.Val)
 		}
 		rb := map[K][]B{}
-		for _, e := range in[1] {
-			kv := e.(Pair[K, B])
+		for _, kv := range rhs {
 			rb[kv.Key] = append(rb[kv.Key], kv.Val)
 		}
 		// Emit in first-seen input order, not map iteration order, so
 		// partition contents (and the size estimator's positional samples)
 		// are deterministic across processes.
 		seen := map[K]bool{}
-		var out []any
+		var out []Pair[K, Tuple2[[]A, []B]]
 		emit := func(k K) {
 			if !seen[k] {
 				seen[k] = true
 				out = append(out, Pair[K, Tuple2[[]A, []B]]{k, Tuple2[[]A, []B]{A: la[k], B: rb[k]}})
 			}
 		}
-		for _, e := range in[0] {
-			emit(e.(Pair[K, A]).Key)
+		for _, kv := range lhs {
+			emit(kv.Key)
 		}
-		for _, e := range in[1] {
-			emit(e.(Pair[K, B]).Key)
+		for _, kv := range rhs {
+			emit(kv.Key)
 		}
-		return out
+		return batchOf(out, blockCap(len(out)))
 	})
 	return fromNode[Pair[K, Tuple2[[]A, []B]]](s, n)
 }

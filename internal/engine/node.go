@@ -37,17 +37,27 @@ type dep struct {
 	// round-robin) uses this form rather than a shared counter, keeping it
 	// deterministic across visit orders and worker counts.
 	posPartitioner func(srcPart, idx, nParts int) int
+	// batchTargets, when set, is the batch-at-a-time spelling of
+	// partitioner: it fills tg[i] with each element's target and bumps the
+	// per-target counts, dispatching on the batch's concrete type once
+	// instead of boxing every element through partitioner. Installed by
+	// the typed shuffle-dep constructors (shuffle.go) for hashable key
+	// shapes; must agree with partitioner exactly. Returns false when the
+	// batch's shape is not the one it was compiled for, sending the router
+	// to the boxed per-element path.
+	batchTargets func(b Batch, nParts int, tg, ct []int32) bool
 }
 
-// node is an untyped dataset DAG vertex. Elements are boxed as any; the
-// typed operator constructors (ops.go etc.) wrap and unwrap them.
+// node is an untyped dataset DAG vertex. Partitions flow as Batch values
+// (typed vectors with a boxed fallback, batch.go); the typed operator
+// constructors (ops.go etc.) wrap and unwrap them.
 type node struct {
 	id    int64
 	label string
 	parts int
 	deps  []dep
-	// compute produces output partition p given one input slice per dep.
-	compute func(tc *Ctx, p int, inputs [][]any) []any
+	// compute produces output partition p given one input batch per dep.
+	compute func(tc *Ctx, p int, inputs []Batch) Batch
 	// weight is how many real records one element of this node stands
 	// for (cluster.Config.RecordWeight). Sources inherit the session's
 	// configured scale; derived nodes take the maximum of their parents;
@@ -82,7 +92,7 @@ type node struct {
 
 	cached    bool
 	cacheMu   sync.Mutex
-	cacheData [][]any
+	cacheData []Batch
 }
 
 // Ctx carries per-task cost accounting. Operator UDFs that do significant
@@ -94,6 +104,14 @@ type Ctx struct {
 	work         float64 // real element-equivalents processed by this task
 	shuffleBytes float64 // real shuffle bytes read by this task
 	mem          int64   // peak real bytes held by this task
+
+	// Boundary observability (populated only when the session records
+	// events): the encoded wire size of the shuffle blocks this task read
+	// (batchio frames), the element shape of the first non-empty one, and
+	// the encoder's reusable scratch buffer.
+	boundaryBytes int64
+	batchShape    string
+	encScratch    []byte
 }
 
 // Once runs f exactly once per job for the given key, returning the cached
@@ -123,7 +141,7 @@ func (c *Ctx) UseMemory(b int64) {
 // dataset weight and inflated by the cluster's memory overhead factor: the
 // resident footprint of engine-managed (deserialized, boxed, buffered)
 // data.
-func (s *Session) estResidentBytes(part []any, weight float64) int64 {
+func (s *Session) estResidentBytes(part Batch, weight float64) int64 {
 	f := s.cfg.Cluster.MemoryOverheadFactor
 	if f <= 0 {
 		f = 1
@@ -134,29 +152,50 @@ func (s *Session) estResidentBytes(part []any, weight float64) int64 {
 	return int64(float64(estPartitionBytes(part)) * f * weight)
 }
 
+// estResidentBoxed is estResidentBytes for a transient boxed slice that
+// never becomes a Batch (coGroup's combined-input footprint). The boxed
+// estimate observes the slice's real capacity, exactly as the boxed
+// representation did.
+func (s *Session) estResidentBoxed(part []any, weight float64) int64 {
+	return s.estResidentBytes(boxedBatch(part), weight)
+}
+
 // estPartitionBytes estimates the in-memory size of a partition by sampling
 // up to sampleN elements and scaling. Estimation must stay cheap because it
 // runs once per node per partition.
 const sampleN = 32
 
-func estPartitionBytes(part []any) int64 {
-	n := len(part)
+// sampleGrowCap is the capacity Go's append gives a full cap-sampleN []any
+// that overflows by one element. The boxed estimator built its sample by
+// appending into make([]any, 0, sampleN), so when the evenly-spaced walk
+// yields more than sampleN positions (n not a multiple of step) the grown
+// capacity — a malloc size-class artifact, not a clean doubling — was
+// observable in simulated accounting. Reproduce it by performing the same
+// append, whatever the running toolchain makes of it. The walk yields at
+// most 2*sampleN-1 positions, so one growth always suffices.
+var sampleGrowCap = cap(append(make([]any, sampleN, sampleN), nil))
+
+func estPartitionBytes(part Batch) int64 {
+	n := batchLen(part)
 	if n == 0 {
 		return 0
 	}
 	if n <= sampleN {
-		return sizeest.OfSlice(part)
+		return sizeest.OfBatch(part)
 	}
 	// Evenly spaced sample: catches a giant element in small-cardinality
-	// partitions (e.g. groupByKey outputs), scales for uniform ones.
+	// partitions (e.g. groupByKey outputs), scales for uniform ones. The
+	// sample batch's boxed capacity reproduces the boxed loop's appends
+	// into a cap-sampleN []any: up to sampleN sampled elements fit as
+	// allocated, beyond that the overflow append's growth was observable.
 	step := n / sampleN
-	var sampled int64
-	sample := make([]any, 0, sampleN)
-	for i := 0; i < n; i += step {
-		sample = append(sample, part[i])
+	count := (n + step - 1) / step
+	bcap := sampleN
+	if count > sampleN {
+		bcap = sampleGrowCap
 	}
-	sampled = sizeest.OfSlice(sample)
-	return sampled * int64(n) / int64(len(sample))
+	sampled := sizeest.OfBatch(part.sampleEvery(step, bcap))
+	return sampled * int64(n) / int64(count)
 }
 
 func defaultWorkers() int {
@@ -169,7 +208,7 @@ func defaultWorkers() int {
 
 // newNode registers a DAG vertex. Dep childParts and the node weight are
 // filled in here.
-func (s *Session) newNode(label string, parts int, deps []dep, compute func(tc *Ctx, p int, inputs [][]any) []any) *node {
+func (s *Session) newNode(label string, parts int, deps []dep, compute func(tc *Ctx, p int, inputs []Batch) Batch) *node {
 	if parts < 1 {
 		parts = 1
 	}

@@ -2,12 +2,13 @@ package engine
 
 // Map applies f to every element.
 func Map[A, B any](d Dataset[A], f func(A) B) Dataset[B] {
-	n := d.s.newNode("map", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, len(in[0]))
-		for i, e := range in[0] {
-			out[i] = f(e.(A))
+	n := d.s.newNode("map", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]B, len(src))
+		for i, e := range src {
+			out[i] = f(e)
 		}
-		return out
+		return batchOf(out, len(out))
 	})
 	fuseMap(n, d.n, f)
 	return fromNode[B](d.s, n)
@@ -18,12 +19,13 @@ func Map[A, B any](d Dataset[A], f func(A) B) Dataset[B] {
 // inner algorithm sequentially inside one UDF call) can report their true
 // compute and memory costs to the simulated cluster.
 func MapCtx[A, B any](d Dataset[A], f func(*Ctx, A) B) Dataset[B] {
-	n := d.s.newNode("mapCtx", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, len(in[0]))
-		for i, e := range in[0] {
-			out[i] = f(tc, e.(A))
+	n := d.s.newNode("mapCtx", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]B, len(src))
+		for i, e := range src {
+			out[i] = f(tc, e)
 		}
-		return out
+		return batchOf(out, len(out))
 	})
 	// Deliberately not fused: the UDF's Ctx charges interleave with the
 	// loop, and replaying them in the unfused order from inside a fused
@@ -33,14 +35,16 @@ func MapCtx[A, B any](d Dataset[A], f func(*Ctx, A) B) Dataset[B] {
 
 // Filter keeps the elements for which pred is true.
 func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
-	n := d.s.newNode("filter", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, 0, len(in[0]))
-		for _, e := range in[0] {
-			if pred(e.(A)) {
+	n := d.s.newNode("filter", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]A, 0, len(src))
+		for _, e := range src {
+			if pred(e) {
 				out = append(out, e)
 			}
 		}
-		return out
+		// The boxed loop kept the input-length capacity it pre-sized.
+		return batchOf(out, len(src))
 	})
 	n.pkey = d.n.pkey // filtering preserves the partitioning
 	fuseFilter(n, d.n, pred)
@@ -49,14 +53,15 @@ func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
 
 // FlatMap applies f and concatenates the results.
 func FlatMap[A, B any](d Dataset[A], f func(A) []B) Dataset[B] {
-	n := d.s.newNode("flatMap", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		var out []any
-		for _, e := range in[0] {
-			for _, b := range f(e.(A)) {
-				out = append(out, b)
-			}
+	n := d.s.newNode("flatMap", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		var out []B
+		for _, e := range elems[A](in[0]) {
+			out = append(out, f(e)...)
 		}
-		return out
+		// The boxed loop appended one element at a time from nil, growing
+		// through power-of-two capacities; blockCap reports the capacity
+		// that growth reached wherever accounting can observe it.
+		return batchOf(out, blockCap(len(out)))
 	})
 	fuseFlatMap(n, d.n, f)
 	return fromNode[B](d.s, n)
@@ -64,17 +69,13 @@ func FlatMap[A, B any](d Dataset[A], f func(A) []B) Dataset[B] {
 
 // MapPartitions applies f to each whole partition.
 func MapPartitions[A, B any](d Dataset[A], f func([]A) []B) Dataset[B] {
-	n := d.s.newNode("mapPartitions", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		typed := make([]A, len(in[0]))
-		for i, e := range in[0] {
-			typed[i] = e.(A)
-		}
+	n := d.s.newNode("mapPartitions", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		// The UDF gets a fresh slice: elems may alias the input batch, and
+		// partition-level UDFs are allowed to mutate what they receive.
+		typed := make([]A, in[0].Len())
+		copy(typed, elems[A](in[0]))
 		res := f(typed)
-		out := make([]any, len(res))
-		for i, b := range res {
-			out[i] = b
-		}
-		return out
+		return batchOf(res, len(res))
 	})
 	// Partition-level UDFs see whole partitions; recovery must not change
 	// how the data is split under them.
@@ -102,7 +103,7 @@ func Union[A any](a, b Dataset[A]) Dataset[A] {
 			return nil
 		}},
 	}
-	n := a.s.newNode("union", parts, deps, func(tc *Ctx, p int, in [][]any) []any {
+	n := a.s.newNode("union", parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
 		if p < aParts {
 			return in[0]
 		}
@@ -117,12 +118,13 @@ func Union[A any](a, b Dataset[A]) Dataset[A] {
 // lifting tags for UDF invocations (Sec. 4.3).
 func ZipWithUniqueID[A any](d Dataset[A]) Dataset[Pair[uint64, A]] {
 	parts := d.n.parts
-	n := d.s.newNode("zipWithUniqueID", parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, len(in[0]))
-		for k, e := range in[0] {
-			out[k] = Pair[uint64, A]{Key: uint64(p) + uint64(k)*uint64(parts), Val: e.(A)}
+	n := d.s.newNode("zipWithUniqueID", parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]Pair[uint64, A], len(src))
+		for k, e := range src {
+			out[k] = Pair[uint64, A]{Key: uint64(p) + uint64(k)*uint64(parts), Val: e}
 		}
-		return out
+		return batchOf(out, len(out))
 	})
 	// The ID stride captures the partition count at construction time.
 	n.fixedParts = true
@@ -148,13 +150,13 @@ func Values[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[V] {
 // MapValues transforms only the value component; keys are untouched, so
 // any existing hash partitioning is preserved on the result.
 func MapValues[K comparable, V, W any](d Dataset[Pair[K, V]], f func(V) W) Dataset[Pair[K, W]] {
-	n := d.s.newNode("mapValues", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in [][]any) []any {
-		out := make([]any, len(in[0]))
-		for i, e := range in[0] {
-			kv := e.(Pair[K, V])
+	n := d.s.newNode("mapValues", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[Pair[K, V]](in[0])
+		out := make([]Pair[K, W], len(src))
+		for i, kv := range src {
 			out[i] = Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
 		}
-		return out
+		return batchOf(out, len(out))
 	})
 	n.pkey = d.n.pkey
 	fuseMap(n, d.n, func(kv Pair[K, V]) Pair[K, W] {
@@ -180,7 +182,7 @@ func Coalesce[A any](d Dataset[A], parts int) Dataset[A] {
 		}
 		return out
 	}}
-	n := d.s.newNode("coalesce", parts, []dep{merge}, func(tc *Ctx, p int, in [][]any) []any {
+	n := d.s.newNode("coalesce", parts, []dep{merge}, func(tc *Ctx, p int, in []Batch) Batch {
 		return in[0]
 	})
 	return fromNode[A](d.s, n)

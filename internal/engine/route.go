@@ -3,8 +3,12 @@ package engine
 // Map-side shuffle routing. The partitioned parent of a shuffle dep is
 // routed into the child's partitions here; this is the hottest structural
 // loop in the engine (every shuffled element passes through it once per
-// stage boundary), so it has a parallel implementation with exact
-// pre-sizing alongside the single-goroutine reference it replaced.
+// stage boundary). One counting-pass core serves both executors — the
+// serial reference and the pooled parallel router run the identical
+// algorithm with different loop dispatch, so their blocks are equal by
+// construction. Typed batches route without boxing: the dep's
+// batchTargets hashes a whole batch monomorphically in the counting pass,
+// and scatter moves elements between typed blocks in the write pass.
 
 // partTarget returns the target partition for element idx of source
 // partition src under dep d. Partitioners must be pure: routing runs
@@ -16,35 +20,23 @@ func partTarget(d *dep, src, idx int, e any) int {
 	return d.partitioner(e, d.childParts)
 }
 
-// routeSerial is the retained single-goroutine reference router: it visits
-// every element of every parent partition in order and appends it to its
-// target block, growing blocks as it goes. Tests assert the parallel
-// router produces identical blocks; benchmarks use it as the
-// pre-parallelism baseline; legacy-mode sessions still execute it.
-func routeSerial(d *dep, parent [][]any) [][]any {
-	blocks := make([][]any, d.childParts)
-	for src, part := range parent {
-		for idx, e := range part {
-			t := partTarget(d, src, idx, e)
-			blocks[t] = append(blocks[t], e)
-		}
-	}
-	return blocks
-}
-
-// routeParallel is the map-side shuffle router: source partitions are
-// routed concurrently on the session's worker pool. A counting pass
-// records each element's target (the partitioner hash runs exactly once
-// per element — targets are cached for the write pass), the per-(source,
-// target) counts are prefix-summed into exact offsets, and a second
-// parallel pass writes every element directly into its final slot. There
-// is no append growth in the hot loop, and the output block order is
-// identical to routeSerial's: sources in order, elements in source order,
-// so downstream size estimation and task costs are unchanged.
-func (s *Session) routeParallel(d *dep, parent [][]any) [][]any {
+// routeCore routes every element of every parent partition into its
+// target block. A counting pass records each element's target (the
+// partitioner hash runs exactly once per element — targets are cached for
+// the write pass), the per-(source, target) counts are prefix-summed into
+// exact offsets, and a second pass writes every element directly into its
+// final slot. Output block order is deterministic regardless of worker
+// count: sources in order, elements in source order.
+//
+// When every non-empty source shares one batch shape, blocks are
+// allocated in that shape and filled by typed scatter; mixed shapes fall
+// back to boxed blocks. Either way a block's boxed capacity is
+// blockCap(len), reproducing the append-grown []any blocks the simulator
+// observed before batches existed.
+func routeCore(d *dep, parent []Batch, pool *workerPool, workers int) []Batch {
 	nsrc := len(parent)
 	nt := d.childParts
-	blocks := make([][]any, nt)
+	blocks := make([]Batch, nt)
 	if nsrc == 0 {
 		return blocks
 	}
@@ -52,17 +44,41 @@ func (s *Session) routeParallel(d *dep, parent [][]any) [][]any {
 	// target t; targets[src][idx] caches each element's target.
 	targets := make([][]int32, nsrc)
 	counts := make([]int32, nsrc*nt)
-	s.pool.parallelForSafe(s.workers, nsrc, func(src int) {
+	countSrc := func(src int) {
 		part := parent[src]
-		tg := make([]int32, len(part))
+		n := batchLen(part)
+		tg := make([]int32, n)
 		ct := counts[src*nt : (src+1)*nt]
-		for idx, e := range part {
-			t := partTarget(d, src, idx, e)
-			tg[idx] = int32(t)
-			ct[t]++
+		switch {
+		case n == 0:
+		case d.posPartitioner != nil:
+			for idx := 0; idx < n; idx++ {
+				t := d.posPartitioner(src, idx, nt)
+				tg[idx] = int32(t)
+				ct[t]++
+			}
+		case d.batchTargets != nil && d.batchTargets(part, nt, tg, ct):
+			// Typed fast path: one dispatch per batch, no boxing.
+		default:
+			for idx := 0; idx < n; idx++ {
+				t := d.partitioner(part.At(idx), nt)
+				tg[idx] = int32(t)
+				ct[t]++
+			}
 		}
 		targets[src] = tg
-	})
+	}
+	if workers <= 1 {
+		for src := 0; src < nsrc; src++ {
+			countSrc(src)
+		}
+	} else {
+		pool.parallelForSafe(workers, nsrc, countSrc)
+	}
+
+	// Block representation: typed when every non-empty source agrees.
+	proto, homogeneous := routeProto(parent)
+
 	// Prefix-sum counts into write offsets (per target, sources in order)
 	// and allocate each block exactly once at its final size.
 	for t := 0; t < nt; t++ {
@@ -72,35 +88,97 @@ func (s *Session) routeParallel(d *dep, parent [][]any) [][]any {
 			counts[src*nt+t] = run
 			run += c
 		}
-		if run > 0 { // keep empty blocks nil, as the append-based reference does
-			blocks[t] = make([]any, run, blockCap(int(run)))
+		if run > 0 { // keep empty blocks nil, as the boxed reference did
+			if homogeneous {
+				blocks[t] = proto.newLike(int(run), blockCap(int(run)))
+			} else {
+				blocks[t] = &Vec[any]{xs: make([]any, run), bcap: blockCap(int(run))}
+			}
 		}
 	}
+
 	// Write pass: each source owns its offset row, so writes to a shared
 	// block land in disjoint slots.
-	s.pool.parallelForSafe(s.workers, nsrc, func(src int) {
+	writeSrc := func(src int) {
+		part := parent[src]
+		n := batchLen(part)
+		if n == 0 {
+			return
+		}
 		off := counts[src*nt : (src+1)*nt]
 		tg := targets[src]
-		for idx, e := range parent[src] {
+		if homogeneous {
+			part.scatter(tg, off, blocks)
+			return
+		}
+		for idx := 0; idx < n; idx++ {
 			t := tg[idx]
-			blocks[t][off[t]] = e
+			blocks[t].setAny(int(off[t]), part.At(idx))
 			off[t]++
 		}
-	})
+	}
+	if workers <= 1 {
+		for src := 0; src < nsrc; src++ {
+			writeSrc(src)
+		}
+	} else {
+		pool.parallelForSafe(workers, nsrc, writeSrc)
+	}
 	return blocks
 }
 
-// blockCap returns the capacity to allocate for a block of n elements.
-// Slice capacity is observable in simulated accounting: sizeest.OfSlice
-// charges cap, and estPartitionBytes hands whole blocks of up to sampleN
-// elements to it directly. The append-based reference grows such small
-// blocks through the power-of-two capacities of one-at-a-time appends, so
-// the pre-sized router allocates the same capacity to keep simulated
-// numbers bit-identical. Larger blocks go through position sampling, where
-// capacity is never observed, and get exactly n.
+// routeProto scans the non-empty sources for a shared batch shape. It
+// returns the first non-empty batch as the prototype and whether every
+// other non-empty source matches it.
+func routeProto(parent []Batch) (Batch, bool) {
+	var proto Batch
+	for _, part := range parent {
+		if batchLen(part) == 0 {
+			continue
+		}
+		if proto == nil {
+			proto = part
+		} else if !sameBatchShape(proto, part) {
+			return proto, false
+		}
+	}
+	if proto == nil {
+		return zeroBatch, true
+	}
+	return proto, true
+}
+
+// routeSerial is the single-goroutine router the legacy executor runs:
+// routeCore with inline loops.
+func routeSerial(d *dep, parent []Batch) []Batch {
+	return routeCore(d, parent, nil, 1)
+}
+
+// routeParallel routes source partitions concurrently on the session's
+// worker pool. A single-worker pool takes the serial path outright — the
+// dispatch would be pure overhead with no one to overlap it with (the
+// same 1-core audit flattenParallel got).
+func (s *Session) routeParallel(d *dep, parent []Batch) []Batch {
+	if s.workers == 1 {
+		return routeCore(d, parent, nil, 1)
+	}
+	return routeCore(d, parent, s.pool, s.workers)
+}
+
+// blockCap returns the boxed-equivalent capacity of a block of n elements.
+// Capacity is observable in simulated accounting: sizeest charges
+// BoxedCap, and estPartitionBytes hands whole blocks of up to sampleN
+// elements to it directly. The original append-based router grew such
+// small blocks through the power-of-two capacities of one-at-a-time
+// appends, so blocks keep reporting that capacity to keep simulated
+// numbers bit-identical. Larger blocks go through position sampling,
+// where capacity is never observed, and get exactly n.
 func blockCap(n int) int {
 	if n > sampleN {
 		return n
+	}
+	if n == 0 {
+		return 0 // never-appended nil slice
 	}
 	c := 1
 	for c < n {
@@ -109,17 +187,50 @@ func blockCap(n int) int {
 	return c
 }
 
-// flattenSerial is the retained reference flatten for broadcast pinning.
-func flattenSerial(parent [][]any) []any {
-	var total int
-	for _, part := range parent {
-		total += len(part)
+// flattenCore copies every parent partition into its pre-computed region
+// of one exactly-sized batch. Same-shaped sources flatten typed; mixed
+// shapes fall back to a boxed batch. Both report boxed capacity == total,
+// matching the boxed flatten's exact pre-size.
+func flattenCore(parent []Batch, pool *workerPool, workers int) Batch {
+	offsets := make([]int, len(parent)+1)
+	for i, part := range parent {
+		offsets[i+1] = offsets[i] + batchLen(part)
 	}
-	flat := make([]any, 0, total)
-	for _, part := range parent {
-		flat = append(flat, part...)
+	total := offsets[len(parent)]
+	proto, homogeneous := routeProto(parent)
+	var flat Batch
+	if homogeneous {
+		flat = proto.newLike(total, total)
+	} else {
+		flat = &Vec[any]{xs: make([]any, total), bcap: total}
+	}
+	copySrc := func(src int) {
+		part := parent[src]
+		n := batchLen(part)
+		if n == 0 {
+			return
+		}
+		off := offsets[src]
+		if flat.copyFrom(off, part) {
+			return
+		}
+		for idx := 0; idx < n; idx++ {
+			flat.setAny(off+idx, part.At(idx))
+		}
+	}
+	if workers <= 1 {
+		for src := range parent {
+			copySrc(src)
+		}
+	} else {
+		pool.parallelForSafe(workers, len(parent), copySrc)
 	}
 	return flat
+}
+
+// flattenSerial is the retained reference flatten for broadcast pinning.
+func flattenSerial(parent []Batch) Batch {
+	return flattenCore(parent, nil, 1)
 }
 
 // flattenCutoff is the total element count below which flattenParallel
@@ -127,31 +238,21 @@ func flattenSerial(parent [][]any) []any {
 // and for small inputs the pool dispatch and per-partition goroutine
 // handoff cost as much as the copy itself (BenchmarkBroadcastFlatten
 // measured ~131k elements finishing in identical time either way). Both
-// paths produce a slice of identical length, capacity, and order, so the
-// routing choice is invisible to simulated accounting.
+// paths produce a batch of identical length, order, and boxed capacity,
+// so the routing choice is invisible to simulated accounting.
 const flattenCutoff = 1 << 18
 
-// flattenParallel copies every parent partition into its pre-computed
-// region of one exactly-sized slice, partitions concurrently; inputs
-// below flattenCutoff take the serial copy instead.
-func (s *Session) flattenParallel(parent [][]any) []any {
-	offsets := make([]int, len(parent)+1)
-	for i, part := range parent {
-		offsets[i+1] = offsets[i] + len(part)
+// flattenParallel copies partitions concurrently; inputs below
+// flattenCutoff, and single-worker pools, take the serial copy instead.
+func (s *Session) flattenParallel(parent []Batch) Batch {
+	var total int
+	for _, part := range parent {
+		total += batchLen(part)
 	}
-	total := offsets[len(parent)]
 	// A single-worker pool can never win a memcpy sweep: the dispatch is
 	// pure overhead with no one to overlap it with.
 	if total < flattenCutoff || s.workers == 1 {
-		flat := make([]any, 0, total)
-		for _, part := range parent {
-			flat = append(flat, part...)
-		}
-		return flat
+		return flattenCore(parent, nil, 1)
 	}
-	flat := make([]any, total)
-	s.pool.parallelForSafe(s.workers, len(parent), func(src int) {
-		copy(flat[offsets[src]:offsets[src+1]], parent[src])
-	})
-	return flat
+	return flattenCore(parent, s.pool, s.workers)
 }

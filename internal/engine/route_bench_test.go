@@ -12,14 +12,14 @@ import (
 	"testing"
 )
 
-// benchParent builds nsrc source partitions of perSrc int elements.
-// skew=false: values are distinct, so a hash partitioner spreads them
-// evenly. skew=true: 90% of the elements share one hot value (all bound
-// for the same target block), the tail is uniform.
-func benchParent(nsrc, perSrc int, skew bool) [][]any {
-	parent := make([][]any, nsrc)
+// benchParent builds nsrc source partitions of perSrc int elements as
+// typed batches. skew=false: values are distinct, so a hash partitioner
+// spreads them evenly. skew=true: 90% of the elements share one hot value
+// (all bound for the same target block), the tail is uniform.
+func benchParent(nsrc, perSrc int, skew bool) []Batch {
+	parent := make([]Batch, nsrc)
 	for src := range parent {
-		part := make([]any, perSrc)
+		part := make([]int, perSrc)
 		for i := range part {
 			v := src*perSrc + i
 			if skew && i%10 != 0 {
@@ -27,15 +27,79 @@ func benchParent(nsrc, perSrc int, skew bool) [][]any {
 			}
 			part[i] = v
 		}
-		parent[src] = part
+		parent[src] = batchOf(part, perSrc)
 	}
 	return parent
 }
 
 func benchDep(parts int) *dep {
-	return &dep{kind: depShuffle, childParts: parts, partitioner: func(e any, n int) int {
+	d := &dep{kind: depShuffle, childParts: parts, partitioner: func(e any, n int) int {
 		return int(uint32(e.(int))*2654435761) % n
 	}}
+	// The typed counting-pass spelling, as the production shuffle-dep
+	// constructors install it; boxed batches fall through to partitioner.
+	d.batchTargets = func(b Batch, nParts int, tg, ct []int32) bool {
+		v, ok := b.(*Vec[int])
+		if !ok {
+			return false
+		}
+		for i, e := range v.xs {
+			t := int32(int(uint32(e)*2654435761) % nParts)
+			tg[i] = t
+			ct[t]++
+		}
+		return true
+	}
+	return d
+}
+
+// BenchmarkShuffleBoundary is the representation A/B across one whole
+// shuffle stage boundary: the producing operator materializes its output
+// partitions from typed host values, and the router scatters them into
+// target blocks. The boxed side is the pre-batch data path — every element
+// boxed into a []any seam, per-element partitioner calls, per-element
+// block writes. The typed side is the batch data path — a typed output
+// slice, one counting-pass dispatch per batch, typed scatter. The
+// allocs/op gap is the per-element boxing the typed representation no
+// longer performs; `make bench-check` gates it against the committed
+// baseline.
+func BenchmarkShuffleBoundary(b *testing.B) {
+	const nsrc, perSrc, nt = 8, 8192, 16
+	src := make([][]int, nsrc) // the typed values a compute UDF produced
+	for s := range src {
+		vals := make([]int, perSrc)
+		for i := range vals {
+			vals[i] = s*perSrc + i
+		}
+		src[s] = vals
+	}
+	d := benchDep(nt)
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parent := make([]Batch, nsrc)
+			for s, vals := range src {
+				out := make([]any, len(vals))
+				for k, v := range vals {
+					out[k] = v
+				}
+				parent[s] = boxedBatch(out)
+			}
+			routeSerial(d, parent)
+		}
+	})
+	b.Run("typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parent := make([]Batch, nsrc)
+			for s, vals := range src {
+				out := make([]int, len(vals))
+				copy(out, vals)
+				parent[s] = batchOf(out, len(out))
+			}
+			routeSerial(d, parent)
+		}
+	})
 }
 
 // BenchmarkShuffleRoute compares the retained serial router against the
@@ -70,7 +134,10 @@ func BenchmarkShuffleRoute(b *testing.B) {
 // flatten used by pinBroadcast. The small shape sits below flattenCutoff
 // — there the pool dispatch used to cost as much as the copy itself, so
 // flattenParallel now routes it to the serial sweep — and the large shape
-// is where the parallel copy actually engages.
+// is where the parallel copy actually engages. Each sub runs one untimed
+// warm-up flatten first: the output is a single multi-MB allocation, and
+// without the warm-up a short -benchtime run (like the bench-check smoke
+// gate's 3x) measures mostly first-touch page faults instead of the copy.
 func BenchmarkBroadcastFlatten(b *testing.B) {
 	for _, size := range []struct {
 		name         string
@@ -78,7 +145,9 @@ func BenchmarkBroadcastFlatten(b *testing.B) {
 	}{{"small", 16, 8192}, {"large", 16, 65536}} {
 		parent := benchParent(size.nsrc, size.perSrc, false)
 		b.Run(size.name+"/serial", func(b *testing.B) {
+			flattenSerial(parent)
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				flattenSerial(parent)
 			}
@@ -86,6 +155,7 @@ func BenchmarkBroadcastFlatten(b *testing.B) {
 		b.Run(size.name+"/parallel", func(b *testing.B) {
 			s := poolSession(runtime.GOMAXPROCS(0))
 			defer s.Close()
+			s.flattenParallel(parent)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -20,7 +20,7 @@ import (
 // materialized partitions of a stage root plus the provenance of how they
 // were produced.
 type checkpoint struct {
-	data [][]any
+	data []Batch
 	// rep is the simulator's account of the successful attempt (zero for
 	// adopted entries).
 	rep cluster.StageReport
@@ -67,7 +67,7 @@ type stageFailure struct {
 // session enables recovery — re-lower and replan on failure, resuming from
 // the frontier. The first plan is recorded by the event spine; replans are
 // recorded with the recovery event that caused them.
-func (j *job) run(target *node) ([][]any, error) {
+func (j *job) run(target *node) ([]Batch, error) {
 	j.ep = j.s.buildExecPlan(target)
 	if j.s.obs.Enabled() {
 		j.s.obs.StartJob(fmt.Sprintf("#%d %s", target.id, target.label), j.ep.plan.String())

@@ -1,10 +1,59 @@
 package engine
 
-// keyPartitioner hashes Pair keys for shuffle routing.
+// keyPartitioner hashes Pair keys for shuffle routing. It is the boxed
+// per-element form every shuffle dep carries; pairShuffleDep installs the
+// batch-at-a-time spelling next to it for hashable key shapes.
 func keyPartitioner[K comparable, V any](s *Session) func(any, int) int {
 	return func(e any, n int) int {
 		return int(hashOf(s, e.(Pair[K, V]).Key) % uint64(n))
 	}
+}
+
+// pairShuffleDep builds a shuffle dep over Pair[K, V] partitions routed by
+// key hash. When K has a construction-time stable hasher, the dep also
+// gets batchTargets: the router's counting pass then dispatches once per
+// batch and hashes the typed pairs directly, no boxing. Both spellings
+// compute hashOf(s, key) bit-identically, so which one runs is invisible
+// to routing results.
+func pairShuffleDep[K comparable, V any](s *Session, parent *node) dep {
+	d := dep{parent: parent, kind: depShuffle, partitioner: keyPartitioner[K, V](s)}
+	if h, ok := stableBatchHasher[K](); ok {
+		d.batchTargets = func(b Batch, nParts int, tg, ct []int32) bool {
+			v, ok := b.(*Vec[Pair[K, V]])
+			if !ok {
+				return false
+			}
+			for i, kv := range v.xs {
+				t := int32(h(kv.Key) % uint64(nParts))
+				tg[i] = t
+				ct[t]++
+			}
+			return true
+		}
+	}
+	return d
+}
+
+// elemShuffleDep is pairShuffleDep for element-hashed shuffles (Distinct).
+func elemShuffleDep[T comparable](s *Session, parent *node) dep {
+	d := dep{parent: parent, kind: depShuffle, partitioner: func(e any, n int) int {
+		return int(hashOf(s, e.(T)) % uint64(n))
+	}}
+	if h, ok := stableBatchHasher[T](); ok {
+		d.batchTargets = func(b Batch, nParts int, tg, ct []int32) bool {
+			v, ok := b.(*Vec[T])
+			if !ok {
+				return false
+			}
+			for i, e := range v.xs {
+				t := int32(h(e) % uint64(nParts))
+				tg[i] = t
+				ct[t]++
+			}
+			return true
+		}
+	}
+	return d
 }
 
 // ReduceByKey merges all values sharing a key with f, using the session's
@@ -74,12 +123,12 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 		combined = combined.Unscaled()
 	}
 	outWeight := combined.n.weight
-	sd := dep{parent: combined.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
-	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
-		m := make(map[K]V, combineHint(len(in[0])))
-		order := make([]K, 0, combineHint(len(in[0])))
-		for _, e := range in[0] {
-			kv := e.(Pair[K, V])
+	sd := pairShuffleDep[K, V](d.s, combined.n)
+	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[Pair[K, V]](in[0])
+		m := make(map[K]V, combineHint(len(src)))
+		order := make([]K, 0, combineHint(len(src)))
+		for _, kv := range src {
 			if old, ok := m[kv.Key]; ok {
 				m[kv.Key] = f(old, kv.Val)
 			} else {
@@ -87,12 +136,13 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 				order = append(order, kv.Key)
 			}
 		}
-		out := make([]any, 0, len(order))
+		out := make([]Pair[K, V], 0, len(order))
 		for _, k := range order {
 			out = append(out, Pair[K, V]{k, m[k]})
 		}
-		tc.UseMemory(d.s.estResidentBytes(out, outWeight)) // resident build map ~ distinct keys
-		return out
+		b := batchOf(out, len(order))
+		tc.UseMemory(d.s.estResidentBytes(b, outWeight)) // resident build map ~ distinct keys
+		return b
 	})
 	return fromNode[Pair[K, V]](d.s, n)
 }
@@ -111,26 +161,26 @@ func GroupByKeyN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[
 		parts = d.s.cfg.DefaultParallelism
 	}
 	inWeight := d.n.weight
-	sd := dep{parent: d.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
-	n := d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+	sd := pairShuffleDep[K, V](d.s, d.n)
+	n := d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
 		// Grouping buffers the whole input of the partition: that full
 		// residency is exactly what OOMs the outer-parallel workaround
 		// on large or skewed groups (Sec. 9.4, 9.5).
 		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
+		src := elems[Pair[K, V]](in[0])
 		m := make(map[K][]V)
-		order := make([]K, 0, len(in[0]))
-		for _, e := range in[0] {
-			kv := e.(Pair[K, V])
+		order := make([]K, 0, len(src))
+		for _, kv := range src {
 			if _, ok := m[kv.Key]; !ok {
 				order = append(order, kv.Key)
 			}
 			m[kv.Key] = append(m[kv.Key], kv.Val)
 		}
-		out := make([]any, 0, len(order))
+		out := make([]Pair[K, []V], 0, len(order))
 		for _, k := range order {
 			out = append(out, Pair[K, []V]{k, m[k]})
 		}
-		return out
+		return batchOf(out, len(order))
 	})
 	return fromNode[Pair[K, []V]](d.s, n)
 }
@@ -172,21 +222,21 @@ func distinct[T comparable](d Dataset[T], parts int, bound bool) Dataset[T] {
 	}
 	outWeight := local.n.weight
 	s := d.s
-	sd := dep{parent: local.n, kind: depShuffle, partitioner: func(e any, n int) int {
-		return int(hashOf(s, e.(T)) % uint64(n))
-	}}
-	n := s.newNode("distinct", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
-		seen := make(map[T]struct{}, len(in[0]))
-		out := make([]any, 0, len(in[0]))
-		for _, e := range in[0] {
-			t := e.(T)
-			if _, ok := seen[t]; !ok {
-				seen[t] = struct{}{}
+	sd := elemShuffleDep[T](s, local.n)
+	n := s.newNode("distinct", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[T](in[0])
+		seen := make(map[T]struct{}, len(src))
+		out := make([]T, 0, len(src))
+		for _, e := range src {
+			if _, ok := seen[e]; !ok {
+				seen[e] = struct{}{}
 				out = append(out, e)
 			}
 		}
-		tc.UseMemory(s.estResidentBytes(out, outWeight)) // resident dedup set
-		return out
+		// The boxed loop kept the input-length capacity it pre-sized.
+		b := batchOf(out, len(src))
+		tc.UseMemory(s.estResidentBytes(b, outWeight)) // resident dedup set
+		return b
 	})
 	return fromNode[T](s, n)
 }
@@ -204,8 +254,8 @@ func PartitionByKey[K comparable, V any](d Dataset[Pair[K, V]], parts int) Datas
 	if d.n.pkey.matches(partInfoFor[K](parts)) {
 		return d
 	}
-	sd := dep{parent: d.n, kind: depShuffle, partitioner: keyPartitioner[K, V](d.s)}
-	n := d.s.newNode("partitionByKey", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+	sd := pairShuffleDep[K, V](d.s, d.n)
+	n := d.s.newNode("partitionByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
 		return in[0]
 	})
 	n.pkey = partInfoFor[K](parts)
@@ -224,7 +274,7 @@ func Repartition[T any](d Dataset[T], parts int) Dataset[T] {
 	sd := dep{parent: d.n, kind: depShuffle, posPartitioner: func(src, idx, n int) int {
 		return (src + idx) % n
 	}}
-	n := d.s.newNode("repartition", parts, []dep{sd}, func(tc *Ctx, p int, in [][]any) []any {
+	n := d.s.newNode("repartition", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
 		return in[0]
 	})
 	return fromNode[T](d.s, n)

@@ -27,8 +27,8 @@ func SaveText[T any](d Dataset[T], dir string, format func(T) string) error {
 			return fmt.Errorf("engine: save: %w", err)
 		}
 		w := bufio.NewWriter(f)
-		for _, e := range part {
-			if _, err := w.WriteString(format(e.(T)) + "\n"); err != nil {
+		for _, e := range elems[T](part) {
+			if _, err := w.WriteString(format(e) + "\n"); err != nil {
 				f.Close()
 				return fmt.Errorf("engine: save: %w", err)
 			}

@@ -41,6 +41,14 @@ type Stage struct {
 	MaxTaskSec   float64 // slowest simulated task
 	MaxTaskMem   int64   // largest task memory claim
 
+	// Stage-boundary batch observability: the encoded wire size of the
+	// shuffle blocks the stage's tasks read (batchio frames, the distributed
+	// backend's serialization) and the element shape of those batches
+	// (e.g. "Pair[int,int]"; "any" for the boxed fallback, "" when the
+	// stage read no shuffle input).
+	BoundaryBytes int64
+	BatchShape    string
+
 	// Multi-tenant scheduler accounting (zero when the session runs
 	// directly on the single-job simulator). QueueWait is virtual time the
 	// stage spent waiting for slots held by other tenants; the Spec fields
@@ -307,6 +315,12 @@ func (r *Recorder) Report() string {
 			if s.ShuffleBytes > 0 {
 				fmt.Fprintf(&b, " shuffle=%s", bytesStr(int64(s.ShuffleBytes)))
 			}
+			if s.BoundaryBytes > 0 {
+				fmt.Fprintf(&b, " boundary=%s", bytesStr(s.BoundaryBytes))
+				if s.BatchShape != "" {
+					fmt.Fprintf(&b, "/%s", s.BatchShape)
+				}
+			}
 			if s.MemoHits > 0 {
 				fmt.Fprintf(&b, " memo-hits=%d", s.MemoHits)
 			}
@@ -392,6 +406,54 @@ func (r *Recorder) Report() string {
 	return b.String()
 }
 
+// BatchStats renders the stage-boundary batch statistics of the recorded
+// run: for every stage that read shuffle input, the element shape of its
+// batches, how many batches its tasks read (one block per task), and their
+// total encoded wire size (batchio frames). Stages are aggregated across
+// jobs and supersteps by (label, shape) in first-seen order.
+func (r *Recorder) BatchStats() string {
+	if r == nil {
+		return ""
+	}
+	type statKey struct{ label, shape string }
+	type stat struct {
+		runs    int
+		batches int
+		bytes   int64
+	}
+	stats := map[statKey]*stat{}
+	var order []statKey
+	var total int64
+	stages := 0
+	for _, j := range r.Jobs() {
+		for _, s := range j.Stages {
+			if s.BoundaryBytes <= 0 {
+				continue
+			}
+			stages++
+			total += s.BoundaryBytes
+			k := statKey{s.Label, s.BatchShape}
+			a := stats[k]
+			if a == nil {
+				a = &stat{}
+				stats[k] = a
+				order = append(order, k)
+			}
+			a.runs++
+			a.batches += s.Parts
+			a.bytes += s.BoundaryBytes
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "BATCH STATS: %d boundary stages, %s encoded\n", stages, bytesStr(total))
+	for _, k := range order {
+		a := stats[k]
+		fmt.Fprintf(&b, "  %-20s shape=%-28s stages=%-4d batches=%-6d bytes=%s\n",
+			k.label, k.shape, a.runs, a.batches, bytesStr(a.bytes))
+	}
+	return b.String()
+}
+
 // Trace renders the raw event stream, one line per event, in order.
 func (r *Recorder) Trace() string {
 	if r == nil {
@@ -405,9 +467,13 @@ func (r *Recorder) Trace() string {
 			if s.Fused != "" {
 				fused = " " + s.Fused
 			}
-			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s%s\n",
+			boundary := ""
+			if s.BoundaryBytes > 0 {
+				boundary = fmt.Sprintf(" boundary=%s shape=%s", bytesStr(s.BoundaryBytes), s.BatchShape)
+			}
+			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s%s%s\n",
 				j.ID, s.Stage, s.Label, s.Parts, secs(s.Seconds), secs(s.BusySeconds),
-				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain, fused)
+				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain, fused, boundary)
 		}
 		for _, bc := range j.Broadcasts {
 			fmt.Fprintf(&b, "job %d broadcast label=%s bytes=%s dt=%s\n", j.ID, bc.Label, bytesStr(bc.Bytes), secs(bc.Seconds))

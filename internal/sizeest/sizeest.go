@@ -48,7 +48,84 @@ func Of(v any) int64 {
 // elements never consult it, so the estimate is bit-identical to the
 // fully reflective loop.
 func OfSlice(vs []any) int64 {
-	total := sliceHeaderSize + int64(cap(vs))*ifaceSize
+	return ofBoxedElems(vs, int64(cap(vs)))
+}
+
+// Batch is the engine's typed partition shape, seen structurally to avoid
+// an import cycle: a typed backing slice plus the capacity the equivalent
+// boxed []any would have had. OfBatch charges that boxed capacity — batch
+// estimates must be bit-identical to the boxed partitions they replaced,
+// because the simulated cluster observes them.
+type Batch interface {
+	Len() int
+	BoxedCap() int
+	Data() any
+}
+
+// OfBatch estimates the total deep size of a batch as if it were the
+// equivalent boxed []any partition. Typed batches are costed with one type
+// inspection per batch: fixed-size element types multiply a precomputed
+// constant, strings sum header+length monomorphically, and only
+// value-dependent element types walk elements reflectively (sharing one
+// lazily allocated pointer table across the batch, exactly as OfSlice
+// does). The boxed fallback reuses OfSlice's loop verbatim.
+func OfBatch(b Batch) int64 {
+	data := b.Data()
+	if xs, ok := data.([]any); ok {
+		return ofBoxedElems(xs, int64(b.BoxedCap()))
+	}
+	total := sliceHeaderSize + int64(b.BoxedCap())*ifaceSize
+	switch xs := data.(type) {
+	case []int:
+		return total + int64(len(xs))*8
+	case []int64:
+		return total + int64(len(xs))*8
+	case []uint64:
+		return total + int64(len(xs))*8
+	case []float64:
+		return total + int64(len(xs))*8
+	case []string:
+		for _, s := range xs {
+			total += stringHeader + int64(len(s))
+		}
+		return total
+	}
+	rv := reflect.ValueOf(data)
+	t := rv.Type().Elem()
+	n := rv.Len()
+	if sz := fixedDeep(t); sz >= 0 {
+		return total + int64(n)*sz
+	}
+	if t.Kind() == reflect.String {
+		for i := 0; i < n; i++ {
+			total += stringHeader + int64(rv.Index(i).Len())
+		}
+		return total
+	}
+	var seen map[uintptr]struct{}
+	for i := 0; i < n; i++ {
+		v := rv.Index(i)
+		if t.Kind() == reflect.Interface {
+			// A boxed loop unwraps the interface before walking (its
+			// header is part of the bcap·ifaceSize term) and skips nils.
+			if v.IsNil() {
+				continue
+			}
+			v = v.Elem()
+		}
+		if seen == nil {
+			seen = map[uintptr]struct{}{}
+		}
+		total += of(v, seen)
+	}
+	return total
+}
+
+// ofBoxedElems is OfSlice with the observed capacity passed explicitly, so
+// batches can report their boxed-equivalent capacity instead of the host
+// slice's.
+func ofBoxedElems(vs []any, bcap int64) int64 {
+	total := sliceHeaderSize + bcap*ifaceSize
 	var (
 		runT  reflect.Type
 		runSz int64 // deep size of every value of runT, or -1 if value-dependent

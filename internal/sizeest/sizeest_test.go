@@ -223,6 +223,88 @@ func TestOfSliceBatchMatchesReference(t *testing.T) {
 	}
 }
 
+// testBatch is a minimal Batch: a typed backing slice plus the
+// boxed-equivalent capacity, mirroring the engine's Vec.
+type testBatch struct {
+	data any
+	n    int
+	bcap int
+}
+
+func (b testBatch) Len() int      { return b.n }
+func (b testBatch) BoxedCap() int { return b.bcap }
+func (b testBatch) Data() any     { return b.data }
+
+// batchOver wraps a typed slice as a testBatch and returns the equivalent
+// boxed partition with the same observed capacity, built element-wise the
+// way the boxed engine built partitions.
+func batchOver[T any](xs []T, bcap int) (testBatch, []any) {
+	boxed := make([]any, 0, bcap)
+	for _, x := range xs {
+		boxed = append(boxed, x)
+	}
+	return testBatch{data: xs, n: len(xs), bcap: bcap}, boxed
+}
+
+// TestOfBatchMatchesBoxed: OfBatch on a typed batch equals the reflective
+// reference estimate of the equivalent boxed []any partition, bit for bit,
+// for every fast-path shape and the value-dependent fallback. This is the
+// contract that lets the engine carry typed partitions while the simulated
+// cluster observes exactly the numbers the boxed representation produced.
+func TestOfBatchMatchesBoxed(t *testing.T) {
+	type pair struct {
+		K int
+		V int64
+	}
+	shared := []int64{1, 2, 3}
+	check := func(name string, b testBatch, boxed []any) {
+		t.Helper()
+		if got, want := OfBatch(b), ofSliceReference(boxed); got != want {
+			t.Errorf("%s: OfBatch = %d, boxed reference = %d", name, got, want)
+		}
+	}
+	b, boxed := batchOver([]int{1, -2, 3, 1 << 40}, 8)
+	check("int", b, boxed)
+	b, boxed = batchOver([]int64{5, 6}, 2)
+	check("int64", b, boxed)
+	b, boxed = batchOver([]uint64{7, 8, 9}, 4)
+	check("uint64", b, boxed)
+	b, boxed = batchOver([]float64{1.5, -2.5}, 16)
+	check("float64", b, boxed)
+	b, boxed = batchOver([]string{"", "a", "hello world, a longer string"}, 4)
+	check("string", b, boxed)
+	b, boxed = batchOver([]pair{{1, 2}, {3, 4}, {5, 6}}, 4)
+	check("fixedDeep struct", b, boxed)
+	b, boxed = batchOver([][]int64{shared, shared, {4}}, 4)
+	check("value-dependent with shared pointers", b, boxed)
+	b, boxed = batchOver([]pair{}, 0)
+	check("empty", b, boxed)
+
+	// Interface element types skip nils and unwrap before walking, like the
+	// boxed loop (whose nil slots are plain nil anys).
+	errs := []error{nil, errType{"x"}, nil, errType{"yy"}}
+	boxed = make([]any, 0, 8)
+	for _, e := range errs {
+		if e == nil {
+			boxed = append(boxed, nil)
+		} else {
+			boxed = append(boxed, e)
+		}
+	}
+	check("interface elems", testBatch{data: errs, n: len(errs), bcap: 8}, boxed)
+
+	// The boxed fallback IS the OfSlice loop: same result on shared input.
+	mixed := []any{1, "two", pair{3, 3}, nil, shared}
+	got := OfBatch(testBatch{data: mixed, n: len(mixed), bcap: cap(mixed)})
+	if want := ofSliceReference(mixed); got != want {
+		t.Errorf("boxed fallback: OfBatch = %d, reference = %d", got, want)
+	}
+}
+
+type errType struct{ s string }
+
+func (e errType) Error() string { return e.s }
+
 func TestFixedDeepDomains(t *testing.T) {
 	fixed := []any{true, int16(1), uint32(2), 3.0, complex128(4), [8]int{}, struct{ A, B int }{}}
 	for _, v := range fixed {
