@@ -48,11 +48,14 @@ bench-check:
 	$(GO) test -bench . -benchmem -benchtime 10x -run '^$$' ./internal/engine | $(GO) run ./cmd/benchjson -check BENCH_engine.json -factor 3 -gate-allocs ShuffleBoundary
 
 ## fuzz-smoke: fuzz the batch wire codec for 30s from the checked-in seed
-## corpus (internal/engine/testdata/fuzz/FuzzBatchCodec). The decoder must
-## never panic on arbitrary bytes, and everything it accepts must
-## round-trip; CI runs this on every push.
+## corpus (internal/engine/testdata/fuzz/FuzzBatchCodec), then the
+## process-pool frame protocol for 15s (the driver parses these bytes off
+## a socket from another process). Neither decoder may panic on arbitrary
+## bytes, and everything accepted must round-trip; CI runs this on every
+## push.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBatchCodec -fuzztime 30s ./internal/engine
+	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime 15s ./internal/procpool
 
 ## figures: regenerate the simulated-cluster paper figures
 ## (internal/bench/testdata/bench_rows.csv).

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"matryoshka/internal/bench"
+	"matryoshka/internal/procpool"
 	"matryoshka/internal/sched"
 	"matryoshka/internal/tasks"
 )
@@ -56,6 +57,9 @@ type knobs struct {
 	explain    string
 	trace      string
 	batchStats string
+	backend    string
+	workers    int
+	nofuse     bool
 }
 
 // validateFlags rejects out-of-domain knob values before any experiment
@@ -96,10 +100,36 @@ func validateFlags(k knobs) error {
 	if k.batchStats != "" && (k.explain != "" || k.trace != "") {
 		return fmt.Errorf("-batchstats runs its own instrumented pass; drop -explain/-trace or run them separately")
 	}
+	if k.backend != "sim" && k.backend != "proc" {
+		return fmt.Errorf("-backend %q is unknown (want sim or proc)", k.backend)
+	}
+	if k.workers < 0 {
+		return fmt.Errorf("-workers %d is negative (want worker process count, 0 = default)", k.workers)
+	}
+	if k.workers > 0 && k.backend != "proc" {
+		return fmt.Errorf("-workers applies to the process pool; add -backend proc")
+	}
+	if k.backend == "proc" {
+		switch {
+		case k.explain != "" || k.trace != "" || k.batchStats != "":
+			return fmt.Errorf("-backend proc runs the sim-vs-proc A/B comparison; -explain/-trace/-batchstats are simulator views, run them separately")
+		case k.tenants > 0:
+			return fmt.Errorf("-backend proc and -tenants are exclusive: the multi-tenant scheduler is a simulator backend of its own")
+		case k.nofuse:
+			return fmt.Errorf("-backend proc ignores -nofuse (remote stages always run unfused); drop it")
+		}
+	}
 	return nil
 }
 
-func main() { os.Exit(run()) }
+func main() {
+	// A pool worker is this same binary re-exec'd; divert before flags,
+	// tests, or any output.
+	if procpool.IsWorker() {
+		procpool.WorkerMain()
+	}
+	os.Exit(run())
+}
 
 // run is main with explicit exit codes: every early exit is a return, so
 // the deferred profile writers always flush (an os.Exit inside would
@@ -124,6 +154,8 @@ func run() int {
 		mtbf       = flag.Float64("mtbf", 0, "machine crash hazard: mean simulated seconds between crashes per machine (alternative spelling of -chaos)")
 		seed       = flag.Int64("seed", 0, "seed for the crash hazard and straggler skew (0 = default, runs stay bit-reproducible)")
 		nofuse     = flag.Bool("nofuse", false, "disable fused narrow-chain execution (A/B wall-clock comparison; simulated numbers are identical either way)")
+		backend    = flag.String("backend", "sim", "execution backend: sim (per-run simulator) or proc (run the sim-vs-process-pool A/B comparison)")
+		workers    = flag.Int("workers", 0, "worker process count for -backend proc (0 = min(4, NumCPU))")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -131,7 +163,8 @@ func run() int {
 	if err := validateFlags(knobs{mem: *mem, faultRate: *faultRate, straggle: *straggle,
 		chaos: *chaos, mtbf: *mtbf, seed: *seed, tenants: *tenants, policy: *policy,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
-		explain: *explain, trace: *trace, batchStats: *batchStats}); err != nil {
+		explain: *explain, trace: *trace, batchStats: *batchStats,
+		backend: *backend, workers: *workers, nofuse: *nofuse}); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
 		return 2
@@ -181,6 +214,16 @@ func run() int {
 		sc.MTBF = 1000 / *chaos
 	case *mtbf > 0:
 		sc.MTBF = *mtbf
+	}
+
+	if *backend == "proc" {
+		out, err := bench.ProcAB(sc, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		return 0
 	}
 
 	if *tenants > 0 {

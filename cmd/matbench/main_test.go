@@ -11,14 +11,14 @@ func TestValidateFlags(t *testing.T) {
 		k       knobs
 		wantErr string // "" = valid
 	}{
-		{name: "defaults", k: knobs{straggle: 0.25, policy: "fair"}},
-		{name: "fifo policy", k: knobs{tenants: 4, policy: "fifo"}},
-		{name: "boundary rates", k: knobs{faultRate: 1, straggle: 1, policy: "fair"}},
-		{name: "chaos rate", k: knobs{chaos: 4, seed: 7, policy: "fair"}},
-		{name: "mtbf hazard", k: knobs{mtbf: 250, policy: "fair"}},
-		{name: "profiles to distinct files", k: knobs{policy: "fair", cpuProfile: "cpu.out", memProfile: "mem.out"}},
-		{name: "cpu profile alone", k: knobs{policy: "fair", cpuProfile: "cpu.out"}},
-		{name: "mem profile alone", k: knobs{policy: "fair", memProfile: "mem.out"}},
+		{name: "defaults", k: knobs{backend: "sim", straggle: 0.25, policy: "fair"}},
+		{name: "fifo policy", k: knobs{backend: "sim", tenants: 4, policy: "fifo"}},
+		{name: "boundary rates", k: knobs{backend: "sim", faultRate: 1, straggle: 1, policy: "fair"}},
+		{name: "chaos rate", k: knobs{backend: "sim", chaos: 4, seed: 7, policy: "fair"}},
+		{name: "mtbf hazard", k: knobs{backend: "sim", mtbf: 250, policy: "fair"}},
+		{name: "profiles to distinct files", k: knobs{backend: "sim", policy: "fair", cpuProfile: "cpu.out", memProfile: "mem.out"}},
+		{name: "cpu profile alone", k: knobs{backend: "sim", policy: "fair", cpuProfile: "cpu.out"}},
+		{name: "mem profile alone", k: knobs{backend: "sim", policy: "fair", memProfile: "mem.out"}},
 		{name: "faultrate above 1", k: knobs{faultRate: 1.2, policy: "fair"}, wantErr: "-faultrate"},
 		{name: "faultrate negative", k: knobs{faultRate: -0.1, policy: "fair"}, wantErr: "-faultrate"},
 		{name: "mem negative", k: knobs{mem: -1, policy: "fair"}, wantErr: "-mem"},
@@ -30,9 +30,20 @@ func TestValidateFlags(t *testing.T) {
 		{name: "tenants negative", k: knobs{tenants: -2, policy: "fair"}, wantErr: "-tenants"},
 		{name: "unknown policy", k: knobs{policy: "lottery"}, wantErr: "-policy"},
 		{name: "profiles collide", k: knobs{policy: "fair", cpuProfile: "prof.out", memProfile: "prof.out"}, wantErr: "-cpuprofile and -memprofile"},
-		{name: "batchstats alone", k: knobs{policy: "fair", batchStats: "bounce-rate"}},
+		{name: "batchstats alone", k: knobs{backend: "sim", policy: "fair", batchStats: "bounce-rate"}},
 		{name: "batchstats with explain", k: knobs{policy: "fair", batchStats: "bounce-rate", explain: "bounce-rate"}, wantErr: "-batchstats"},
 		{name: "batchstats with trace", k: knobs{policy: "fair", batchStats: "bounce-rate", trace: "pagerank"}, wantErr: "-batchstats"},
+		{name: "proc backend", k: knobs{backend: "proc", policy: "fair"}},
+		{name: "proc backend with workers", k: knobs{backend: "proc", workers: 2, policy: "fair"}},
+		{name: "unknown backend", k: knobs{backend: "spark", policy: "fair"}, wantErr: "-backend"},
+		{name: "empty backend", k: knobs{policy: "fair"}, wantErr: "-backend"},
+		{name: "workers negative", k: knobs{backend: "proc", workers: -1, policy: "fair"}, wantErr: "-workers"},
+		{name: "workers without proc", k: knobs{backend: "sim", workers: 2, policy: "fair"}, wantErr: "-workers"},
+		{name: "proc with explain", k: knobs{backend: "proc", explain: "chaos", policy: "fair"}, wantErr: "-backend proc"},
+		{name: "proc with trace", k: knobs{backend: "proc", trace: "chaos", policy: "fair"}, wantErr: "-backend proc"},
+		{name: "proc with batchstats", k: knobs{backend: "proc", batchStats: "bounce-rate", policy: "fair"}, wantErr: "-backend proc"},
+		{name: "proc with tenants", k: knobs{backend: "proc", tenants: 2, policy: "fair"}, wantErr: "-tenants"},
+		{name: "proc with nofuse", k: knobs{backend: "proc", nofuse: true, policy: "fair"}, wantErr: "-nofuse"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+)
+
+// TestWriteReadBatchOverPipe streams frames across a real byte pipe with
+// deliberately torn writes (1–3 bytes per Write), as a unix socket under
+// load delivers them: ReadBatch must reassemble every frame exactly and
+// report clean io.EOF at the stream's end.
+func TestWriteReadBatchOverPipe(t *testing.T) {
+	batches := []Batch{
+		batchOf([]int{1, 2, 3}, 3),
+		batchOf([]Pair[int, int64]{{1, 10}, {2, 20}, {1, 30}}, 8),
+		batchOf([]string{"", "torn", "writes"}, 3),
+		zeroBatch,
+	}
+	client, server := net.Pipe()
+	go func() {
+		defer client.Close()
+		var stream []byte
+		for _, b := range batches {
+			enc, err := EncodeBatch(nil, b)
+			if err != nil {
+				t.Errorf("encode: %v", err)
+				return
+			}
+			stream = append(stream, enc...)
+		}
+		// Tear the stream into tiny writes that never align with frames.
+		for len(stream) > 0 {
+			n := 1 + len(stream)%3
+			if n > len(stream) {
+				n = len(stream)
+			}
+			if _, err := client.Write(stream[:n]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			stream = stream[n:]
+		}
+	}()
+	for i, want := range batches {
+		got, err := ReadBatch(server)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !batchEqual(got, want) {
+			t.Fatalf("frame %d differs: got %#v want %#v", i, got, want)
+		}
+	}
+	if _, err := ReadBatch(server); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestReadBatchTruncated: a stream cut inside a frame is a loud codec
+// error, distinct from the clean EOF between frames.
+func TestReadBatchTruncated(t *testing.T) {
+	enc, err := EncodeBatch(nil, batchOf([]int{9, 8, 7, 6, 5}, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the body, and inside the 8-byte header.
+	for _, cut := range []int{len(enc) - 4, len(enc) / 2, 9, 5} {
+		r := bytes.NewReader(enc[:cut])
+		if _, err := ReadBatch(r); err == nil || !errors.Is(err, errBatchCodec) {
+			t.Fatalf("cut at %d: got %v, want a codec error", cut, err)
+		} else if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("cut at %d: error %q does not say truncated", cut, err)
+		}
+	}
+	// A valid frame followed by a truncated one: first reads clean.
+	r := bytes.NewReader(append(append([]byte{}, enc...), enc[:10]...))
+	if _, err := ReadBatch(r); err != nil {
+		t.Fatalf("leading intact frame: %v", err)
+	}
+	if _, err := ReadBatch(r); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("trailing cut frame: got %v", err)
+	}
+}
+
+// TestWriteBatchSingleWrite: WriteBatch must emit the frame in one Write
+// call — concurrent writers on a shared socket serialize per frame, and
+// a multi-write frame would interleave.
+func TestWriteBatchSingleWrite(t *testing.T) {
+	var w countingWriter
+	n, err := WriteBatch(&w, batchOf([]int{1, 2, 3}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.calls != 1 {
+		t.Fatalf("frame took %d writes, want 1", w.calls)
+	}
+	if n != w.bytes {
+		t.Fatalf("reported %d bytes, wrote %d", n, w.bytes)
+	}
+}
+
+type countingWriter struct {
+	calls int
+	bytes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.calls++
+	w.bytes += len(p)
+	return len(p), nil
+}

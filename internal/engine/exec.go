@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/engine/plan"
@@ -130,6 +131,14 @@ func (s *Session) runJob(target *node) ([]Batch, error) {
 // job's frontier (and in the node cache for cached roots).
 func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 	j.attempts[n]++
+	// A process-pool backend runs portable stages in worker processes;
+	// stages it cannot take (unregistered closures, infrastructure failure)
+	// fall through to the driver-local path below.
+	if j.s.remote != nil && !j.s.legacyExec {
+		if res, ok := j.launchStageRemote(n, st); ok {
+			return res
+		}
+	}
 	// results cannot be pooled (it outlives the stage on the frontier and
 	// possibly in the node cache) but the cost buffer is per-stage scratch
 	// reused across the session.
@@ -171,6 +180,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			shapeScratch[p] = tc.batchShape
 		}
 	}
+	wallStart := time.Now()
 	if j.s.legacyExec {
 		// Reference mode: the pre-pool launch — one goroutine per
 		// partition, bounded by a stage-local semaphore.
@@ -189,6 +199,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 	} else {
 		j.s.pool.parallelFor(j.s.workers, n.parts, runTask)
 	}
+	wallSeconds := time.Since(wallStart).Seconds()
 	if panicked != nil {
 		panic(panicked)
 	}
@@ -238,6 +249,7 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 			SpecWastedSec: rep.SpecWastedSec,
 			BoundaryBytes: boundaryBytes,
 			BatchShape:    batchShape,
+			WallSeconds:   wallSeconds,
 		})
 	}
 	if j.s.cfg.DebugStages && rep.Seconds > 1 {
@@ -258,6 +270,72 @@ func (j *job) launchStage(n *node, st *plan.Stage) stageResult {
 		n.cacheMu.Unlock()
 	}
 	return stageResult{rep: rep}
+}
+
+// launchStageRemote ships the stage rooted at n to the backend's process
+// pool. ok=false means the stage did not run remotely — because an operator
+// in its chain has no registered portable form, or because the pool failed
+// before producing results — and the caller must run it driver-local. The
+// reason lands in the optimizer decision log, so EXPLAIN ANALYZE shows
+// exactly which stages stayed on the driver and why.
+func (j *job) launchStageRemote(n *node, st *plan.Stage) (stageResult, bool) {
+	driverLocal := func(why error) (stageResult, bool) {
+		j.s.obs.Decide(obs.Decision{
+			Rule:   "proc-backend",
+			Choice: "driver-local",
+			Why:    fmt.Sprintf("stage %q: %v", n.label, why),
+		})
+		return stageResult{}, false
+	}
+	if err := j.stagePortable(n); err != nil {
+		return driverLocal(err)
+	}
+	spec, err := j.buildRemoteSpec(n, j.s.remote.PutBlock)
+	if err != nil {
+		return driverLocal(err)
+	}
+	wallStart := time.Now()
+	res, err := j.s.remote.RunRemoteStage(spec)
+	if err != nil {
+		return driverLocal(err)
+	}
+	if len(res.Parts) != n.parts {
+		return driverLocal(fmt.Errorf("pool returned %d partitions, want %d", len(res.Parts), n.parts))
+	}
+	// Remote stages charge no simulated task costs — the backend's clock is
+	// real wall time — but the stage still runs through RunStageReport so
+	// job/stage/task counters and the per-stage report shape stay uniform.
+	rep, err := j.s.exec.RunStageReport(j.s.stageCosts(n.parts))
+	if err != nil {
+		return stageResult{rep: rep, fail: &stageFailure{
+			root:    n,
+			st:      st,
+			seconds: rep.Seconds,
+			err:     fmt.Errorf("engine: stage %q (%s) failed: %w", n.label, j.chainOf(st), err),
+		}}, true
+	}
+	if j.s.obs.Enabled() {
+		j.s.obs.StageRan(obs.Stage{
+			Stage:         st.ID,
+			Label:         n.label,
+			Chain:         st.ChainString(),
+			Parts:         n.parts,
+			Seconds:       rep.Seconds,
+			BusySeconds:   rep.BusySeconds,
+			Remote:        true,
+			WallSeconds:   time.Since(wallStart).Seconds(),
+			RemoteBytes:   res.BytesShipped,
+			RemoteWorkers: res.Workers,
+		})
+	}
+	j.front[n] = &checkpoint{data: res.Parts, rep: rep}
+	j.registerOutput(n)
+	if n.cached {
+		n.cacheMu.Lock()
+		n.cacheData = res.Parts
+		n.cacheMu.Unlock()
+	}
+	return stageResult{rep: rep}, true
 }
 
 // chainOf renders the stage's pipelined operator chain with record

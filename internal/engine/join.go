@@ -77,20 +77,10 @@ func repartitionJoin[K comparable, A, B any](l Dataset[Pair[K, A]], r Dataset[Pa
 		sideDep(r.n, pairShuffleDep[K, B](s, r.n)),
 	}
 	buildWeight := l.n.weight
+	kernel := RepartitionJoinCompute[K, A, B]()
 	n := s.newNode("join", parts, deps, func(tc *Ctx, p int, in []Batch) Batch {
 		tc.UseMemory(s.estResidentBytes(in[0], buildWeight)) // resident build side
-		lhs := elems[Pair[K, A]](in[0])
-		build := make(map[K][]A, len(lhs))
-		for _, kv := range lhs {
-			build[kv.Key] = append(build[kv.Key], kv.Val)
-		}
-		var out []Pair[K, Tuple2[A, B]]
-		for _, kv := range elems[Pair[K, B]](in[1]) {
-			for _, a := range build[kv.Key] {
-				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
-			}
-		}
-		return batchOf(out, blockCap(len(out)))
+		return kernel(tc, p, in)
 	})
 	n.pkey = target // the join output stays partitioned by K
 	return fromNode[Pair[K, Tuple2[A, B]]](s, n)

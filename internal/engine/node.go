@@ -89,6 +89,11 @@ type node struct {
 	// (compileFusion): the stored chain is only legal when every
 	// intermediate op is invisible to the plan.
 	fuse *fuseInfo
+	// port, when set, names this operator in the portable-op registry
+	// (portable.go), letting a process-pool backend reconstruct and run it
+	// in a worker process. Set by MarkPortable via the taskreg helpers;
+	// nil operators pin their stage to driver-local execution.
+	port *portableMark
 
 	cached    bool
 	cacheMu   sync.Mutex

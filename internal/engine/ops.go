@@ -2,14 +2,7 @@ package engine
 
 // Map applies f to every element.
 func Map[A, B any](d Dataset[A], f func(A) B) Dataset[B] {
-	n := d.s.newNode("map", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
-		src := elems[A](in[0])
-		out := make([]B, len(src))
-		for i, e := range src {
-			out[i] = f(e)
-		}
-		return batchOf(out, len(out))
-	})
+	n := d.s.newNode("map", d.n.parts, []dep{narrowDep(d.n)}, MapCompute(f))
 	fuseMap(n, d.n, f)
 	return fromNode[B](d.s, n)
 }
@@ -35,17 +28,7 @@ func MapCtx[A, B any](d Dataset[A], f func(*Ctx, A) B) Dataset[B] {
 
 // Filter keeps the elements for which pred is true.
 func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
-	n := d.s.newNode("filter", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
-		src := elems[A](in[0])
-		out := make([]A, 0, len(src))
-		for _, e := range src {
-			if pred(e) {
-				out = append(out, e)
-			}
-		}
-		// The boxed loop kept the input-length capacity it pre-sized.
-		return batchOf(out, len(src))
-	})
+	n := d.s.newNode("filter", d.n.parts, []dep{narrowDep(d.n)}, FilterCompute(pred))
 	n.pkey = d.n.pkey // filtering preserves the partitioning
 	fuseFilter(n, d.n, pred)
 	return fromNode[A](d.s, n)
@@ -53,30 +36,14 @@ func Filter[A any](d Dataset[A], pred func(A) bool) Dataset[A] {
 
 // FlatMap applies f and concatenates the results.
 func FlatMap[A, B any](d Dataset[A], f func(A) []B) Dataset[B] {
-	n := d.s.newNode("flatMap", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
-		var out []B
-		for _, e := range elems[A](in[0]) {
-			out = append(out, f(e)...)
-		}
-		// The boxed loop appended one element at a time from nil, growing
-		// through power-of-two capacities; blockCap reports the capacity
-		// that growth reached wherever accounting can observe it.
-		return batchOf(out, blockCap(len(out)))
-	})
+	n := d.s.newNode("flatMap", d.n.parts, []dep{narrowDep(d.n)}, FlatMapCompute(f))
 	fuseFlatMap(n, d.n, f)
 	return fromNode[B](d.s, n)
 }
 
 // MapPartitions applies f to each whole partition.
 func MapPartitions[A, B any](d Dataset[A], f func([]A) []B) Dataset[B] {
-	n := d.s.newNode("mapPartitions", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
-		// The UDF gets a fresh slice: elems may alias the input batch, and
-		// partition-level UDFs are allowed to mutate what they receive.
-		typed := make([]A, in[0].Len())
-		copy(typed, elems[A](in[0]))
-		res := f(typed)
-		return batchOf(res, len(res))
-	})
+	n := d.s.newNode("mapPartitions", d.n.parts, []dep{narrowDep(d.n)}, MapPartitionsCompute(f))
 	// Partition-level UDFs see whole partitions; recovery must not change
 	// how the data is split under them.
 	n.fixedParts = true
@@ -150,14 +117,7 @@ func Values[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[V] {
 // MapValues transforms only the value component; keys are untouched, so
 // any existing hash partitioning is preserved on the result.
 func MapValues[K comparable, V, W any](d Dataset[Pair[K, V]], f func(V) W) Dataset[Pair[K, W]] {
-	n := d.s.newNode("mapValues", d.n.parts, []dep{narrowDep(d.n)}, func(tc *Ctx, p int, in []Batch) Batch {
-		src := elems[Pair[K, V]](in[0])
-		out := make([]Pair[K, W], len(src))
-		for i, kv := range src {
-			out[i] = Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
-		}
-		return batchOf(out, len(out))
-	})
+	n := d.s.newNode("mapValues", d.n.parts, []dep{narrowDep(d.n)}, MapValuesCompute[K](f))
 	n.pkey = d.n.pkey
 	fuseMap(n, d.n, func(kv Pair[K, V]) Pair[K, W] {
 		return Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
@@ -182,9 +142,9 @@ func Coalesce[A any](d Dataset[A], parts int) Dataset[A] {
 		}
 		return out
 	}}
-	n := d.s.newNode("coalesce", parts, []dep{merge}, func(tc *Ctx, p int, in []Batch) Batch {
-		return in[0]
-	})
+	n := d.s.newNode("coalesce", parts, []dep{merge}, identityCompute)
+	// Pure routing: trivially portable to a process-pool backend.
+	n.port = &portableMark{op: "identity"}
 	return fromNode[A](d.s, n)
 }
 

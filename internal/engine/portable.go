@@ -1,0 +1,510 @@
+package engine
+
+// Portable task runtime: the self-contained, shippable representation of a
+// stage, so a Backend that owns real worker processes (internal/procpool)
+// can run stage tasks outside the driver.
+//
+// A stage ships as a RemoteStageSpec: one RemoteTask per output partition,
+// each a tree of RemoteNodes (operators named in the portable-op registry,
+// plus their serialized construction arguments) whose leaves are block ids
+// — shuffle blocks, broadcast pins, materialized frontier partitions and
+// driver-evaluated source partitions, all framed with the batchio codec.
+// The worker resolves operator names through the same registry (populated
+// by init-time registrations linked into both processes — see
+// internal/taskreg), fetches the leaf blocks, and replays the exact
+// unfused per-operator evaluation the driver's evalPartDirect would run.
+// Results are bit-identical by construction: both sides run the same
+// registered kernels over the same blocks in the same order.
+//
+// Stages containing operators with no registered portable form (ad-hoc
+// closures, Ctx-charging UDFs, broadcast-join Once builds) are not
+// shippable; the executor falls back to driver-local execution for exactly
+// those stages and records the reason in the optimizer decision log.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotPortable marks a stage that cannot be shipped to a remote worker:
+// some operator in its task chain has no registered portable form. The
+// executor treats it as "run this stage driver-local", never as a failure.
+var ErrNotPortable = errors.New("engine: stage is not portable")
+
+// portableMark names a node's entry in the portable-op registry plus the
+// serialized argument its factory rebuilds the UDF from.
+type portableMark struct {
+	op  string
+	arg []byte
+}
+
+// PortableCompute is an operator kernel as a worker runs it: one output
+// partition from one input batch per dep. It is the same signature as
+// node.compute — the driver-side constructors in ops.go/shuffle.go/join.go
+// build their nodes from these very kernels (plus driver-only simulated
+// memory charges), which is what makes remote and local results
+// bit-identical.
+type PortableCompute = func(tc *Ctx, p int, inputs []Batch) Batch
+
+// PortableFactory builds a kernel from a node's serialized argument
+// (nil for ops whose UDF is fixed at registration time).
+type PortableFactory = func(arg []byte) (PortableCompute, error)
+
+// portableOps is the process-wide by-name operator registry. Both the
+// driver and the re-exec'd worker populate it through the same package
+// init functions, so a name registered on one side resolves on the other.
+var portableOps sync.Map // string -> PortableFactory
+
+// RegisterPortableOp registers a named operator kernel factory. Call from
+// an init function of a package linked into both the driver and the worker
+// binary (they are the same binary re-exec'd, so one registration site
+// covers both). Registering a name twice panics: silent replacement would
+// let driver and worker disagree on what a name computes.
+func RegisterPortableOp(name string, mk PortableFactory) {
+	if name == "" || mk == nil {
+		panic("engine: RegisterPortableOp needs a name and a factory")
+	}
+	if _, dup := portableOps.LoadOrStore(name, mk); dup {
+		panic(fmt.Sprintf("engine: portable op %q registered twice", name))
+	}
+}
+
+func init() {
+	// The shuffle-only operators (Repartition, PartitionByKey) compute
+	// nothing: routing happened when the driver built the blocks.
+	RegisterPortableOp("identity", func([]byte) (PortableCompute, error) {
+		return identityCompute, nil
+	})
+}
+
+// RegisterBatchShape makes element type T decodable by name in this
+// process. The driver and the worker must both register every element
+// shape that crosses the wire; the taskreg registration helpers do it for
+// their operators' input and output types.
+func RegisterBatchShape[T any]() { registerBatchCodec[T]() }
+
+// MarkPortable records that d's node computes the registered portable op
+// `op` (with the given serialized argument), making stages that pipeline
+// it shippable to a process-pool backend. The mark is inert on simulator
+// sessions. The op must already be registered — a typo'd name would
+// otherwise surface only as a remote failure at run time.
+func MarkPortable[T any](d Dataset[T], op string, arg []byte) Dataset[T] {
+	if _, ok := portableOps.Load(op); !ok {
+		panic(fmt.Sprintf("engine: MarkPortable: op %q is not registered", op))
+	}
+	d.n.port = &portableMark{op: op, arg: arg}
+	return d
+}
+
+// MarkCombinePortable marks the map-side node feeding d's shuffle dep
+// (e.g. the hidden combine of ReduceByKey) as the registered portable op.
+// It must be called on the shuffle consumer returned by the operator
+// constructor, whose first dep is the shuffle edge.
+func MarkCombinePortable[T any](d Dataset[T], op string, arg []byte) Dataset[T] {
+	if _, ok := portableOps.Load(op); !ok {
+		panic(fmt.Sprintf("engine: MarkCombinePortable: op %q is not registered", op))
+	}
+	d.n.deps[0].parent.port = &portableMark{op: op, arg: arg}
+	return d
+}
+
+// RemoteStageSpec is one stage as shipped to the process pool: a task per
+// output partition. All fields are exported value data so the spec
+// marshals with encoding/json.
+type RemoteStageSpec struct {
+	Label string       `json:"label"`
+	Tasks []RemoteTask `json:"tasks"`
+}
+
+// RemoteTask computes one output partition of the stage root.
+type RemoteTask struct {
+	Part int         `json:"part"`
+	Root *RemoteNode `json:"root"`
+}
+
+// RemoteNode is one operator application in a task's chain.
+type RemoteNode struct {
+	Op     string        `json:"op"`
+	Arg    []byte        `json:"arg,omitempty"`
+	Part   int           `json:"part"`
+	Inputs []RemoteInput `json:"inputs,omitempty"`
+}
+
+// RemoteInput is one dep's input batch: a block to fetch from the driver,
+// a nested in-chain operator, a fan-in concatenation, or nothing.
+type RemoteInput struct {
+	Kind   string        `json:"kind"` // "block" | "node" | "concat" | "empty"
+	Block  uint64        `json:"block,omitempty"`
+	Node   *RemoteNode   `json:"node,omitempty"`
+	Concat []RemoteInput `json:"concat,omitempty"`
+}
+
+// RemoteStageResult is what a RemoteRunner reports back for one stage.
+type RemoteStageResult struct {
+	// Parts holds the stage root's materialized partitions, decoded.
+	Parts []Batch
+	// BytesShipped counts the encoded frames that crossed process
+	// boundaries for this stage (input blocks fetched plus results).
+	BytesShipped int64
+	// Workers is how many live worker processes ran the stage's tasks.
+	Workers int
+}
+
+// RemoteRunner is the optional process-pool facet of a Backend: a backend
+// that implements it receives portable stages instead of having the driver
+// execute their tasks locally. PutBlock stores one encoded batch in the
+// backend's block store (spilling to disk over its budget) and returns the
+// id workers fetch it by. RunRemoteStage distributes the spec's tasks over
+// live workers, retrying tasks whose worker died mid-stage; it returns an
+// error only for infrastructure failure (e.g. no live workers), in which
+// case the driver runs the stage locally.
+type RemoteRunner interface {
+	PutBlock(b Batch) (uint64, error)
+	RunRemoteStage(spec *RemoteStageSpec) (*RemoteStageResult, error)
+}
+
+// stagePortable reports whether the stage rooted at n can ship: every
+// in-chain operator down to materialized/shipped leaves must carry a
+// portable mark. The walk mirrors buildRemoteSpec's recursion without
+// moving any data, so a non-portable stage is rejected before any block
+// is stored.
+func (j *job) stagePortable(n *node) error {
+	if len(n.deps) == 0 {
+		return fmt.Errorf("%w: stage root %q is a source (its partitions are driver-resident)", ErrNotPortable, n.label)
+	}
+	var walk func(nd *node) error
+	walk = func(nd *node) error {
+		if nd.port == nil {
+			return fmt.Errorf("%w: operator %q has no registered portable form (see internal/taskreg)", ErrNotPortable, nd.label)
+		}
+		for i := range nd.deps {
+			d := &nd.deps[i]
+			if d.kind != depNarrow {
+				continue // shuffle blocks and broadcasts ship as blocks
+			}
+			p := d.parent
+			if _, ok := j.front[p]; ok {
+				continue // materialized: ships as a block
+			}
+			if len(p.deps) == 0 {
+				continue // in-chain source: driver-evaluated, ships as a block
+			}
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(n)
+}
+
+// buildRemoteSpec assembles the shippable spec for the stage rooted at n,
+// storing every leaf batch through put exactly once (batches shared across
+// tasks — broadcasts, fan-in reads — dedupe on identity). It mirrors
+// evalPartDirect's unfused input assembly exactly; fusion never applies
+// remotely, which the NoFuse bit-identity suite proves is invisible to
+// results.
+func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*RemoteStageSpec, error) {
+	ids := map[Batch]uint64{}
+	blockInput := func(b Batch) (RemoteInput, error) {
+		if b == nil || b == zeroBatch {
+			return RemoteInput{Kind: "empty"}, nil
+		}
+		if id, ok := ids[b]; ok {
+			return RemoteInput{Kind: "block", Block: id}, nil
+		}
+		id, err := put(b)
+		if err != nil {
+			return RemoteInput{}, err
+		}
+		ids[b] = id
+		return RemoteInput{Kind: "block", Block: id}, nil
+	}
+
+	var buildNode func(nd *node, p int) (*RemoteNode, error)
+	var inputFor func(nd *node, pp int) (RemoteInput, error)
+	inputFor = func(nd *node, pp int) (RemoteInput, error) {
+		if cp, ok := j.front[nd]; ok {
+			return blockInput(cp.data[pp])
+		}
+		if len(nd.deps) == 0 {
+			// In-chain source (Parallelize, readers): its partitions are
+			// built from driver-captured state, so evaluate here and ship
+			// the batch rather than the closure.
+			return blockInput(nd.compute(&Ctx{}, pp, nil))
+		}
+		rn, err := buildNode(nd, pp)
+		if err != nil {
+			return RemoteInput{}, err
+		}
+		return RemoteInput{Kind: "node", Node: rn}, nil
+	}
+	buildNode = func(nd *node, p int) (*RemoteNode, error) {
+		if nd.port == nil {
+			return nil, fmt.Errorf("%w: operator %q has no registered portable form (see internal/taskreg)", ErrNotPortable, nd.label)
+		}
+		rn := &RemoteNode{Op: nd.port.op, Arg: nd.port.arg, Part: p, Inputs: make([]RemoteInput, len(nd.deps))}
+		for i := range nd.deps {
+			d := &nd.deps[i]
+			var in RemoteInput
+			var err error
+			switch d.kind {
+			case depNarrow:
+				if d.narrowMap == nil {
+					in, err = inputFor(d.parent, p)
+				} else if pps := d.narrowMap(p); len(pps) == 1 {
+					in, err = inputFor(d.parent, pps[0])
+				} else if len(pps) == 0 {
+					in = RemoteInput{Kind: "empty"}
+				} else {
+					sub := make([]RemoteInput, len(pps))
+					for k, pp := range pps {
+						if sub[k], err = inputFor(d.parent, pp); err != nil {
+							break
+						}
+					}
+					in = RemoteInput{Kind: "concat", Concat: sub}
+				}
+			case depShuffle:
+				in, err = blockInput(j.blocks[d][p])
+			case depBroadcast:
+				in, err = blockInput(j.bcast[d])
+			}
+			if err != nil {
+				return nil, err
+			}
+			rn.Inputs[i] = in
+		}
+		return rn, nil
+	}
+
+	spec := &RemoteStageSpec{Label: n.label, Tasks: make([]RemoteTask, 0, n.parts)}
+	for p := 0; p < n.parts; p++ {
+		root, err := buildNode(n, p)
+		if err != nil {
+			return nil, err
+		}
+		spec.Tasks = append(spec.Tasks, RemoteTask{Part: p, Root: root})
+	}
+	return spec, nil
+}
+
+// FetchFunc resolves a block id to its batch. The worker's implementation
+// fetches the encoded frame from the driver over the pool socket, with a
+// per-worker cache so shared blocks (broadcasts) cross the wire once.
+type FetchFunc func(id uint64) (Batch, error)
+
+// RunRemoteTask evaluates one shipped task in the current process: resolve
+// each operator through the portable-op registry, fetch leaf blocks, and
+// run the chain bottom-up — exactly the unfused evaluation the driver
+// would perform. A panicking kernel is reported as an error, not a worker
+// death.
+func RunRemoteTask(t *RemoteTask, fetch FetchFunc) (b Batch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: remote task %d panicked: %v", t.Part, r)
+		}
+	}()
+	return evalRemoteNode(t.Root, fetch)
+}
+
+func evalRemoteNode(rn *RemoteNode, fetch FetchFunc) (Batch, error) {
+	mkAny, ok := portableOps.Load(rn.Op)
+	if !ok {
+		return nil, fmt.Errorf("engine: portable op %q is not registered in this process", rn.Op)
+	}
+	compute, err := mkAny.(PortableFactory)(rn.Arg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: portable op %q: %w", rn.Op, err)
+	}
+	inputs := make([]Batch, len(rn.Inputs))
+	for i := range rn.Inputs {
+		b, err := evalRemoteInput(&rn.Inputs[i], fetch)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = b
+	}
+	return compute(&Ctx{}, rn.Part, inputs), nil
+}
+
+func evalRemoteInput(in *RemoteInput, fetch FetchFunc) (Batch, error) {
+	switch in.Kind {
+	case "empty":
+		return zeroBatch, nil
+	case "block":
+		b, err := fetch(in.Block)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			b = zeroBatch
+		}
+		return b, nil
+	case "node":
+		return evalRemoteNode(in.Node, fetch)
+	case "concat":
+		// Fan-in concat replays the driver's boxed chunk-wise appends
+		// (see evalPartDirect), adopting the grown capacity as BoxedCap.
+		var xs []any
+		for i := range in.Concat {
+			b, err := evalRemoteInput(&in.Concat[i], fetch)
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, toBoxed(b)...)
+		}
+		return boxedBatch(xs), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown remote input kind %q", in.Kind)
+	}
+}
+
+// ---- Operator kernels ----
+//
+// These are the pure-data halves of the operator constructors: ops.go,
+// shuffle.go and join.go build their node computes from them (wrapping
+// driver-only simulated memory charges where the operator claims
+// residency), and the taskreg registration helpers hand them to
+// RegisterPortableOp so workers run literally the same loops.
+
+func identityCompute(tc *Ctx, p int, in []Batch) Batch { return in[0] }
+
+// MapCompute is Map's kernel.
+func MapCompute[A, B any](f func(A) B) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]B, len(src))
+		for i, e := range src {
+			out[i] = f(e)
+		}
+		return batchOf(out, len(out))
+	}
+}
+
+// FilterCompute is Filter's kernel.
+func FilterCompute[A any](pred func(A) bool) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[A](in[0])
+		out := make([]A, 0, len(src))
+		for _, e := range src {
+			if pred(e) {
+				out = append(out, e)
+			}
+		}
+		// The boxed loop kept the input-length capacity it pre-sized.
+		return batchOf(out, len(src))
+	}
+}
+
+// FlatMapCompute is FlatMap's kernel.
+func FlatMapCompute[A, B any](f func(A) []B) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		var out []B
+		for _, e := range elems[A](in[0]) {
+			out = append(out, f(e)...)
+		}
+		// The boxed loop grew from nil through power-of-two capacities.
+		return batchOf(out, blockCap(len(out)))
+	}
+}
+
+// MapPartitionsCompute is MapPartitions' kernel.
+func MapPartitionsCompute[A, B any](f func([]A) []B) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		// The UDF gets a fresh slice: elems may alias the input batch, and
+		// partition-level UDFs are allowed to mutate what they receive.
+		typed := make([]A, in[0].Len())
+		copy(typed, elems[A](in[0]))
+		res := f(typed)
+		return batchOf(res, len(res))
+	}
+}
+
+// MapValuesCompute is MapValues' kernel.
+func MapValuesCompute[K comparable, V, W any](f func(V) W) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[Pair[K, V]](in[0])
+		out := make([]Pair[K, W], len(src))
+		for i, kv := range src {
+			out[i] = Pair[K, W]{Key: kv.Key, Val: f(kv.Val)}
+		}
+		return batchOf(out, len(out))
+	}
+}
+
+// mergePairs is the shared reduce loop: fold equal keys with f, emitting
+// in first-seen key order (partition contents must be deterministic; see
+// reduceByKey).
+func mergePairs[K comparable, V any](f func(V, V) V, in []Pair[K, V]) []Pair[K, V] {
+	m := make(map[K]V, combineHint(len(in)))
+	order := make([]K, 0, combineHint(len(in)))
+	for _, kv := range in {
+		if old, ok := m[kv.Key]; ok {
+			m[kv.Key] = f(old, kv.Val)
+		} else {
+			m[kv.Key] = kv.Val
+			order = append(order, kv.Key)
+		}
+	}
+	out := make([]Pair[K, V], 0, len(order))
+	for _, k := range order {
+		out = append(out, Pair[K, V]{k, m[k]})
+	}
+	return out
+}
+
+// CombineCompute is the kernel of ReduceByKey's hidden map-side combine
+// (a MapPartitions over mergePairs).
+func CombineCompute[K comparable, V any](f func(V, V) V) PortableCompute {
+	return MapPartitionsCompute(func(in []Pair[K, V]) []Pair[K, V] {
+		return mergePairs(f, in)
+	})
+}
+
+// ReduceByKeyCompute is the reduce-side kernel of ReduceByKey.
+func ReduceByKeyCompute[K comparable, V any](f func(V, V) V) PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		out := mergePairs(f, elems[Pair[K, V]](in[0]))
+		return batchOf(out, len(out))
+	}
+}
+
+// GroupByKeyCompute is GroupByKey's kernel.
+func GroupByKeyCompute[K comparable, V any]() PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		src := elems[Pair[K, V]](in[0])
+		m := make(map[K][]V)
+		order := make([]K, 0, len(src))
+		for _, kv := range src {
+			if _, ok := m[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
+			m[kv.Key] = append(m[kv.Key], kv.Val)
+		}
+		out := make([]Pair[K, []V], 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[K, []V]{k, m[k]})
+		}
+		return batchOf(out, len(order))
+	}
+}
+
+// RepartitionJoinCompute is the probe kernel of the repartition join.
+func RepartitionJoinCompute[K comparable, A, B any]() PortableCompute {
+	return func(tc *Ctx, p int, in []Batch) Batch {
+		lhs := elems[Pair[K, A]](in[0])
+		build := make(map[K][]A, len(lhs))
+		for _, kv := range lhs {
+			build[kv.Key] = append(build[kv.Key], kv.Val)
+		}
+		var out []Pair[K, Tuple2[A, B]]
+		for _, kv := range elems[Pair[K, B]](in[1]) {
+			for _, a := range build[kv.Key] {
+				out = append(out, Pair[K, Tuple2[A, B]]{kv.Key, Tuple2[A, B]{a, kv.Val}})
+			}
+		}
+		return batchOf(out, blockCap(len(out)))
+	}
+}

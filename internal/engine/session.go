@@ -96,6 +96,12 @@ type Session struct {
 	// backend does not track per-machine output residency.
 	resid Residency
 
+	// remote is exec's process-pool facet (portable.go), nil when the
+	// backend has no real workers: when set, stages whose operators all
+	// carry portable marks are shipped to worker processes instead of
+	// executing on the driver's host pool.
+	remote RemoteRunner
+
 	// workers bounds real (host) parallelism for task execution; pool is
 	// the persistent worker pool they run on, created once per session and
 	// reused across all stages and jobs.
@@ -233,6 +239,7 @@ func NewSession(cfg Config) (*Session, error) {
 		feedback:   newFeedback(),
 	}
 	s.resid, _ = exec.(Residency)
+	s.remote, _ = exec.(RemoteRunner)
 	if sim != nil && cfg.Cluster.Faults.Active() && cfg.Obs.Enabled() {
 		rec := cfg.Obs
 		sim.SetFaultObserver(func(at float64, machine int, kind, detail string) {

@@ -97,50 +97,19 @@ func reduceByKey[K comparable, V any](d Dataset[Pair[K, V]], f func(V, V) V, par
 	// Outputs are emitted in first-seen key order, not map iteration
 	// order: partition contents must be deterministic because the size
 	// estimator samples by position, and a per-process sample would leak
-	// wall randomness into simulated durations.
+	// wall randomness into simulated durations. The merge loop itself
+	// (mergePairs, portable.go) is shared with the process-pool kernels.
 	combined := MapPartitions(d, func(in []Pair[K, V]) []Pair[K, V] {
-		// Size hints are capped: pre-sizing to len(in) allocates a bucket
-		// per input row, but combines typically see far fewer distinct
-		// keys than rows, and an over-sized map is pure host-side garbage.
-		// Both are scratch — capacity here is invisible to accounting.
-		m := make(map[K]V, combineHint(len(in)))
-		order := make([]K, 0, combineHint(len(in)))
-		for _, kv := range in {
-			if old, ok := m[kv.Key]; ok {
-				m[kv.Key] = f(old, kv.Val)
-			} else {
-				m[kv.Key] = kv.Val
-				order = append(order, kv.Key)
-			}
-		}
-		out := make([]Pair[K, V], 0, len(order))
-		for _, k := range order {
-			out = append(out, Pair[K, V]{k, m[k]})
-		}
-		return out
+		return mergePairs(f, in)
 	})
 	if bound {
 		combined = combined.Unscaled()
 	}
 	outWeight := combined.n.weight
 	sd := pairShuffleDep[K, V](d.s, combined.n)
+	kernel := ReduceByKeyCompute[K](f)
 	n := d.s.newNode("reduceByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
-		src := elems[Pair[K, V]](in[0])
-		m := make(map[K]V, combineHint(len(src)))
-		order := make([]K, 0, combineHint(len(src)))
-		for _, kv := range src {
-			if old, ok := m[kv.Key]; ok {
-				m[kv.Key] = f(old, kv.Val)
-			} else {
-				m[kv.Key] = kv.Val
-				order = append(order, kv.Key)
-			}
-		}
-		out := make([]Pair[K, V], 0, len(order))
-		for _, k := range order {
-			out = append(out, Pair[K, V]{k, m[k]})
-		}
-		b := batchOf(out, len(order))
+		b := kernel(tc, p, in)
 		tc.UseMemory(d.s.estResidentBytes(b, outWeight)) // resident build map ~ distinct keys
 		return b
 	})
@@ -162,25 +131,13 @@ func GroupByKeyN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[
 	}
 	inWeight := d.n.weight
 	sd := pairShuffleDep[K, V](d.s, d.n)
+	kernel := GroupByKeyCompute[K, V]()
 	n := d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
 		// Grouping buffers the whole input of the partition: that full
 		// residency is exactly what OOMs the outer-parallel workaround
 		// on large or skewed groups (Sec. 9.4, 9.5).
 		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
-		src := elems[Pair[K, V]](in[0])
-		m := make(map[K][]V)
-		order := make([]K, 0, len(src))
-		for _, kv := range src {
-			if _, ok := m[kv.Key]; !ok {
-				order = append(order, kv.Key)
-			}
-			m[kv.Key] = append(m[kv.Key], kv.Val)
-		}
-		out := make([]Pair[K, []V], 0, len(order))
-		for _, k := range order {
-			out = append(out, Pair[K, []V]{k, m[k]})
-		}
-		return batchOf(out, len(order))
+		return kernel(tc, p, in)
 	})
 	return fromNode[Pair[K, []V]](d.s, n)
 }
@@ -255,9 +212,9 @@ func PartitionByKey[K comparable, V any](d Dataset[Pair[K, V]], parts int) Datas
 		return d
 	}
 	sd := pairShuffleDep[K, V](d.s, d.n)
-	n := d.s.newNode("partitionByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
-		return in[0]
-	})
+	n := d.s.newNode("partitionByKey", parts, []dep{sd}, identityCompute)
+	// Pure routing (the shuffle blocks already are the output): portable.
+	n.port = &portableMark{op: "identity"}
 	n.pkey = partInfoFor[K](parts)
 	return fromNode[Pair[K, V]](d.s, n)
 }
@@ -274,8 +231,8 @@ func Repartition[T any](d Dataset[T], parts int) Dataset[T] {
 	sd := dep{parent: d.n, kind: depShuffle, posPartitioner: func(src, idx, n int) int {
 		return (src + idx) % n
 	}}
-	n := d.s.newNode("repartition", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
-		return in[0]
-	})
+	n := d.s.newNode("repartition", parts, []dep{sd}, identityCompute)
+	// Pure routing (the shuffle blocks already are the output): portable.
+	n.port = &portableMark{op: "identity"}
 	return fromNode[T](d.s, n)
 }

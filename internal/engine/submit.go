@@ -9,7 +9,9 @@ package engine
 // runs on its own goroutine while the caller holds a JobHandle.
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
 	"matryoshka/internal/cluster"
 )
@@ -72,6 +74,20 @@ func (h *JobHandle) Err() error {
 	return h.err
 }
 
+// WaitCtx is Wait with a deadline: it returns the job's result, or
+// ctx.Err() when the context expires first. The job itself keeps running —
+// engine jobs are not cancellable mid-stage — and its result stays
+// retrievable: a later Wait (or WaitCtx) on the same handle returns it, so
+// nothing leaks when a caller gives up early.
+func (h *JobHandle) WaitCtx(ctx context.Context) (any, error) {
+	select {
+	case <-h.done:
+		return h.val, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // SubmitJob runs `run` — a closure invoking the session's actions
 // (Collect, Count, ...) — asynchronously and returns a future for its
 // result. If the session's backend applies admission control and the
@@ -97,7 +113,9 @@ func (s *Session) SubmitJob(run func() (any, error)) (*JobHandle, error) {
 		}
 		defer func() {
 			if r := recover(); r != nil {
-				h.err = fmt.Errorf("engine: submitted job panicked: %v", r)
+				// The goroutine's stack is gone by the time the caller sees
+				// the error; capture it here or the panic site is lost.
+				h.err = fmt.Errorf("engine: submitted job panicked: %v\n%s", r, debug.Stack())
 			}
 		}()
 		h.val, h.err = run()

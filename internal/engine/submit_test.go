@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSubmitPanicIncludesStack: a panicking submitted job must surface as
+// an error carrying the goroutine stack — the panic site is otherwise
+// unrecoverable, since the job goroutine is gone when the caller looks.
+func TestSubmitPanicIncludesStack(t *testing.T) {
+	sess, err := NewSession(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.SubmitJob(func() (any, error) {
+		panic("kaboom in UDF")
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	_, err = h.Wait()
+	if err == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "kaboom in UDF") {
+		t.Fatalf("error loses the panic value: %q", msg)
+	}
+	if !strings.Contains(msg, "goroutine") || !strings.Contains(msg, "submit_test.go") {
+		t.Fatalf("error loses the stack (no goroutine header / panic site): %q", msg)
+	}
+}
+
+// TestWaitCtx: an expired context returns ctx.Err() promptly without
+// consuming the result — the job keeps running and a later Wait still
+// sees its value.
+func TestWaitCtx(t *testing.T) {
+	sess, err := NewSession(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	h, err := sess.SubmitJob(func() (any, error) {
+		<-release
+		return 42, nil
+	})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, werr := h.WaitCtx(ctx); !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("expired WaitCtx: got %v, want DeadlineExceeded", werr)
+	}
+
+	close(release)
+	v, werr := h.Wait()
+	if werr != nil || v != 42 {
+		t.Fatalf("result lost after abandoned WaitCtx: v=%v err=%v", v, werr)
+	}
+	// A live context returns the result too.
+	v, werr = h.WaitCtx(context.Background())
+	if werr != nil || v != 42 {
+		t.Fatalf("WaitCtx after completion: v=%v err=%v", v, werr)
+	}
+}

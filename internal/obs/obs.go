@@ -49,6 +49,17 @@ type Stage struct {
 	BoundaryBytes int64
 	BatchShape    string
 
+	// Real-execution accounting. WallSeconds is the host wall-clock time
+	// the stage's tasks actually took (recorded for every stage, simulated
+	// or not — the simulated Seconds above is virtual time and differs by
+	// design). The Remote fields are filled only when a process-pool
+	// backend ran the stage in worker processes: the encoded bytes that
+	// crossed process boundaries and the live-worker count that ran it.
+	Remote        bool
+	WallSeconds   float64
+	RemoteBytes   int64
+	RemoteWorkers int
+
 	// Multi-tenant scheduler accounting (zero when the session runs
 	// directly on the single-job simulator). QueueWait is virtual time the
 	// stage spent waiting for slots held by other tenants; the Spec fields
@@ -334,6 +345,13 @@ func (r *Recorder) Report() string {
 				fmt.Fprintf(&b, " spec=%d/%d won, %s wasted", s.SpecWon, s.SpecLaunched, secs(s.SpecWastedSec))
 			}
 			fmt.Fprintf(&b, " maxtask=%s", secs(s.MaxTaskSec))
+			if s.Remote {
+				fmt.Fprintf(&b, " remote[wall=%s", secs(s.WallSeconds))
+				if s.RemoteBytes > 0 {
+					fmt.Fprintf(&b, " shipped=%s", bytesStr(s.RemoteBytes))
+				}
+				fmt.Fprintf(&b, " workers=%d]", s.RemoteWorkers)
+			}
 			if s.Chain != s.Label {
 				fmt.Fprintf(&b, " chain=%s", s.Chain)
 			}
@@ -471,9 +489,14 @@ func (r *Recorder) Trace() string {
 			if s.BoundaryBytes > 0 {
 				boundary = fmt.Sprintf(" boundary=%s shape=%s", bytesStr(s.BoundaryBytes), s.BatchShape)
 			}
-			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s%s%s\n",
+			remote := ""
+			if s.Remote {
+				remote = fmt.Sprintf(" remote=true wall=%s shipped=%s workers=%d",
+					secs(s.WallSeconds), bytesStr(s.RemoteBytes), s.RemoteWorkers)
+			}
+			fmt.Fprintf(&b, "job %d stage %d label=%s parts=%d dt=%s busy=%s shuffle=%s memo-hits=%d retries=%d maxtask=%s maxmem=%s chain=%s%s%s%s\n",
 				j.ID, s.Stage, s.Label, s.Parts, secs(s.Seconds), secs(s.BusySeconds),
-				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain, fused, boundary)
+				bytesStr(int64(s.ShuffleBytes)), s.MemoHits, s.Retries, secs(s.MaxTaskSec), bytesStr(s.MaxTaskMem), s.Chain, fused, boundary, remote)
 		}
 		for _, bc := range j.Broadcasts {
 			fmt.Fprintf(&b, "job %d broadcast label=%s bytes=%s dt=%s\n", j.ID, bc.Label, bytesStr(bc.Bytes), secs(bc.Seconds))

@@ -1,0 +1,110 @@
+package procpool
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// blockStore holds the encoded batch frames workers fetch by id: shuffle
+// blocks, broadcast pins, materialized frontier partitions. Frames live in
+// memory up to a byte budget; past it the oldest frames spill to per-block
+// temp files (oldest-first: a stage's own inputs were put most recently
+// and are the ones about to be fetched). Ids are monotonic for the life of
+// the store, so a worker-side cache can never alias two different blocks
+// across jobs even though clear() empties the store between them.
+type blockStore struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64
+
+	next     uint64
+	mem      map[uint64][]byte
+	order    []uint64 // in-memory ids, insertion order (spill candidates)
+	memBytes int64
+	disk     map[uint64]string // spilled id -> file path
+
+	spilledBlocks int
+	spilledBytes  int64
+}
+
+func newBlockStore(dir string, budget int64) *blockStore {
+	return &blockStore{
+		dir:    dir,
+		budget: budget,
+		mem:    map[uint64][]byte{},
+		disk:   map[uint64]string{},
+	}
+}
+
+// put stores one encoded frame and returns its id, spilling oldest
+// in-memory frames to disk while the budget is exceeded.
+func (s *blockStore) put(frame []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := s.next
+	s.mem[id] = frame
+	s.order = append(s.order, id)
+	s.memBytes += int64(len(frame))
+	for s.memBytes > s.budget && len(s.order) > 0 {
+		old := s.order[0]
+		s.order = s.order[1:]
+		data, ok := s.mem[old]
+		if !ok {
+			continue
+		}
+		path := filepath.Join(s.dir, fmt.Sprintf("blk-%d", old))
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			return 0, fmt.Errorf("procpool: spill block %d: %w", old, err)
+		}
+		delete(s.mem, old)
+		s.memBytes -= int64(len(data))
+		s.disk[old] = path
+		s.spilledBlocks++
+		s.spilledBytes += int64(len(data))
+	}
+	return id, nil
+}
+
+// get returns the encoded frame for id, reading it back from its spill
+// file if it left memory (without re-admitting it: a spilled block is
+// usually fetched once per worker and cached there).
+func (s *blockStore) get(id uint64) ([]byte, error) {
+	s.mu.Lock()
+	if data, ok := s.mem[id]; ok {
+		s.mu.Unlock()
+		return data, nil
+	}
+	path, ok := s.disk[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("procpool: unknown block %d", id)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("procpool: read spilled block %d: %w", id, err)
+	}
+	return data, nil
+}
+
+// clear drops every block and deletes spill files. Ids keep counting up.
+func (s *blockStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, path := range s.disk {
+		os.Remove(path)
+	}
+	s.mem = map[uint64][]byte{}
+	s.disk = map[uint64]string{}
+	s.order = nil
+	s.memBytes = 0
+}
+
+// spillStats reports how many blocks (and bytes) have ever spilled.
+func (s *blockStore) spillStats() (int, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBlocks, s.spilledBytes
+}

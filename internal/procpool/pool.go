@@ -1,0 +1,699 @@
+package procpool
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/engine"
+)
+
+// Config sizes a Pool. The zero value means defaults.
+type Config struct {
+	// Workers is how many worker processes to spawn (default
+	// min(4, NumCPU)).
+	Workers int
+	// MemoryBudget bounds the driver-side block store in bytes before
+	// frames spill to per-block temp files (default 256 MiB).
+	MemoryBudget int64
+	// HeartbeatEvery is how often workers beat (default 100ms);
+	// HeartbeatTimeout is how long a silent worker stays presumed-live
+	// before it is declared crashed (default 3s).
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	// KillAfterTasks, when >0, SIGKILLs the assigned worker immediately
+	// after the Nth task dispatch of the pool's lifetime (1-based) — the
+	// deterministic mid-stage crash the recovery tests inject.
+	KillAfterTasks int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+		if n := runtime.NumCPU(); n < c.Workers {
+			c.Workers = n
+		}
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 256 << 20
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * time.Second
+	}
+}
+
+// maxTaskAttempts bounds per-task re-dispatch after worker deaths; a task
+// that outlives this many workers fails the stage (which then runs
+// driver-local).
+const maxTaskAttempts = 3
+
+// taskReply is what a dispatched task resolves to: a batch frame or an
+// error message (from the worker, or synthesized when it died).
+type taskReply struct {
+	payload []byte
+	errMsg  string
+}
+
+// workerProc is the driver's handle on one worker process.
+type workerProc struct {
+	idx  int
+	pid  int
+	cmd  *exec.Cmd
+	conn net.Conn
+	wmu  sync.Mutex // serializes frame writes to conn
+
+	mu       sync.Mutex
+	dead     bool
+	deadErr  error
+	lastBeat time.Time
+	pending  map[uint64]chan taskReply // in-flight task id -> reply
+}
+
+func (w *workerProc) send(typ byte, body []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.conn, typ, body)
+}
+
+func (w *workerProc) isDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dead
+}
+
+// poolOutput mirrors the simulator's shuffle-residency bookkeeping: each
+// partition records the worker index that "holds" it, or -(idx+1) once
+// that worker crashed. The actual bytes stay on the driver's frontier —
+// what this models is which results a real cluster would have lost, so
+// the engine's lineage recovery is exercised by real process deaths.
+type poolOutput struct {
+	locs    []int
+	counted bool // FetchFailures already incremented for this output
+}
+
+// Pool is a process-pool backend for engine sessions: real worker
+// processes run portable stages, wall-clock replaces the simulated clock,
+// and worker crashes surface as fetch failures the engine recovers from.
+// Create with Start, stop with Close. A Pool may serve many sequential
+// sessions (the engine runs one stage at a time per session; Pools are
+// not meant to be shared by concurrent sessions).
+type Pool struct {
+	cfg   Config
+	dir   string
+	ln    net.Listener
+	store *blockStore
+	start time.Time
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	taskSeq    uint64 // atomic: wire task ids
+	nDispatch  int64  // atomic: lifetime dispatch count (KillAfterTasks)
+	shipped    int64  // atomic: bytes served to + returned by workers
+	remoteSt   int64  // atomic: remote stages completed
+	remoteTk   int64  // atomic: remote tasks completed
+	localPut   int64  // atomic: blocks stored via PutBlock
+	workerList []*workerProc
+
+	mu          sync.Mutex
+	closed      bool
+	stats       cluster.Stats
+	clockOffset float64
+	lastClock   float64
+	pinned      int64
+	outputs     map[cluster.OutputID]*poolOutput
+	nextOut     cluster.OutputID
+	rrOut       int // round-robin cursor for RegisterOutput placement
+}
+
+// The three engine facets the pool provides.
+var (
+	_ engine.Backend      = (*Pool)(nil)
+	_ engine.Residency    = (*Pool)(nil)
+	_ engine.RemoteRunner = (*Pool)(nil)
+)
+
+// Start spawns the workers (re-execs of the current binary; see IsWorker)
+// and waits for all of them to complete the socket handshake.
+func Start(cfg Config) (*Pool, error) {
+	cfg.defaults()
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("procpool: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "matpool-")
+	if err != nil {
+		return nil, fmt.Errorf("procpool: %w", err)
+	}
+	sock := filepath.Join(dir, "pool.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("procpool: %w", err)
+	}
+	p := &Pool{
+		cfg:     cfg,
+		dir:     dir,
+		ln:      ln,
+		store:   newBlockStore(dir, cfg.MemoryBudget),
+		start:   time.Now(),
+		stopCh:  make(chan struct{}),
+		outputs: map[cluster.OutputID]*poolOutput{},
+	}
+	cmds := make(map[int]*exec.Cmd, cfg.Workers)
+	fail := func(err error) (*Pool, error) {
+		for _, cmd := range cmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+		ln.Close()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), socketEnv+"="+sock)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("procpool: spawn worker %d: %w", i, err))
+		}
+		cmds[cmd.Process.Pid] = cmd
+	}
+	ul := ln.(*net.UnixListener)
+	for i := 0; i < cfg.Workers; i++ {
+		ul.SetDeadline(time.Now().Add(10 * time.Second))
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("procpool: worker %d never connected: %w", i, err))
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		typ, body, err := readFrame(conn)
+		if err != nil || typ != msgHello {
+			conn.Close()
+			return fail(fmt.Errorf("procpool: worker %d bad hello (type %d): %v", i, typ, err))
+		}
+		pid, err := parseHello(body)
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("procpool: worker %d hello: %w", i, err))
+		}
+		conn.SetReadDeadline(time.Time{})
+		w := &workerProc{
+			idx:      i,
+			pid:      pid,
+			cmd:      cmds[pid], // nil only if something else dialed our socket
+			conn:     conn,
+			lastBeat: time.Now(),
+			pending:  map[uint64]chan taskReply{},
+		}
+		if w.cmd == nil {
+			conn.Close()
+			return fail(fmt.Errorf("procpool: connection from unknown pid %d", pid))
+		}
+		if err := w.send(msgHelloAck, encodeHelloAck(i, cfg.HeartbeatEvery)); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("procpool: worker %d ack: %w", i, err))
+		}
+		p.workerList = append(p.workerList, w)
+	}
+	ul.SetDeadline(time.Time{})
+	for _, w := range p.workerList {
+		go p.readLoop(w)
+		go p.waitWorker(w)
+	}
+	go p.monitor()
+	return p, nil
+}
+
+// Close shuts the pool down: workers get a shutdown frame, then SIGKILL.
+// Teardown deaths are not counted as crashes.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	for _, w := range p.workerList {
+		w.send(msgShutdown, nil)
+	}
+	p.ln.Close()
+	for _, w := range p.workerList {
+		w.conn.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+	}
+	p.store.clear()
+	os.RemoveAll(p.dir)
+}
+
+// readLoop demuxes one worker's incoming frames. Any frame proves the
+// worker alive; a read error means it died (or the pool is closing).
+func (p *Pool) readLoop(w *workerProc) {
+	for {
+		typ, body, err := readFrame(w.conn)
+		if err != nil {
+			p.markDead(w, fmt.Errorf("procpool: worker %d connection lost: %v", w.idx, err))
+			return
+		}
+		w.mu.Lock()
+		w.lastBeat = time.Now()
+		w.mu.Unlock()
+		switch typ {
+		case msgHeartbeat:
+			// lastBeat above is the whole message.
+		case msgFetchBlock:
+			id, perr := parseBlockReq(body)
+			if perr != nil {
+				p.markDead(w, fmt.Errorf("procpool: worker %d sent a bad fetch: %v", w.idx, perr))
+				return
+			}
+			data, gerr := p.store.get(id)
+			var out []byte
+			if gerr != nil {
+				out = encodeTagged(id, false, []byte(gerr.Error()))
+			} else {
+				out = encodeTagged(id, true, data)
+				atomic.AddInt64(&p.shipped, int64(len(data)))
+			}
+			if w.send(msgBlockData, out) != nil {
+				return // the write error side will mark it dead via next read
+			}
+		case msgTaskResult:
+			id, ok, rest, perr := parseTagged(body)
+			if perr != nil {
+				p.markDead(w, fmt.Errorf("procpool: worker %d sent a bad result: %v", w.idx, perr))
+				return
+			}
+			w.mu.Lock()
+			ch := w.pending[id]
+			delete(w.pending, id)
+			w.mu.Unlock()
+			if ch != nil {
+				if ok {
+					ch <- taskReply{payload: rest}
+				} else {
+					ch <- taskReply{errMsg: string(rest)}
+				}
+			}
+		}
+	}
+}
+
+// waitWorker reaps the worker process; an exit before Close is a crash.
+func (p *Pool) waitWorker(w *workerProc) {
+	err := w.cmd.Wait()
+	p.markDead(w, fmt.Errorf("procpool: worker %d exited: %v", w.idx, err))
+}
+
+// monitor declares workers dead when their heartbeats stop — the hung or
+// stopped process case SIGKILL'd crashes don't exercise.
+func (p *Pool) monitor() {
+	t := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-t.C:
+			for _, w := range p.workerList {
+				w.mu.Lock()
+				stale := !w.dead && time.Since(w.lastBeat) > p.cfg.HeartbeatTimeout
+				w.mu.Unlock()
+				if stale {
+					p.markDead(w, fmt.Errorf("procpool: worker %d heartbeat timed out", w.idx))
+				}
+			}
+		}
+	}
+}
+
+// markDead records a worker crash exactly once: fail its in-flight tasks,
+// cut the connection, make sure the process is gone, and mark every
+// shuffle partition registered on it lost — the state CheckFetch turns
+// into the FetchFailedError lineage recovery rewinds from.
+func (p *Pool) markDead(w *workerProc, reason error) {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.dead = true
+	w.deadErr = reason
+	pend := w.pending
+	w.pending = map[uint64]chan taskReply{}
+	w.mu.Unlock()
+
+	w.conn.Close()
+	if w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+	for _, ch := range pend {
+		ch <- taskReply{errMsg: reason.Error()} // buffered, never blocks
+	}
+
+	p.mu.Lock()
+	if !p.closed {
+		p.stats.MachineCrashes++
+		for _, out := range p.outputs {
+			for i, loc := range out.locs {
+				if loc == w.idx {
+					out.locs[i] = -(w.idx + 1)
+				}
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) liveWorkers() []*workerProc {
+	live := make([]*workerProc, 0, len(p.workerList))
+	for _, w := range p.workerList {
+		if !w.isDead() {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// LiveWorkers reports how many workers are still up.
+func (p *Pool) LiveWorkers() int { return len(p.liveWorkers()) }
+
+// Workers reports how many workers were spawned.
+func (p *Pool) Workers() int { return len(p.workerList) }
+
+// RemoteStages and RemoteTasks count what actually ran in worker
+// processes (the A/B tests assert they are nonzero: a silently
+// driver-local run would still produce identical values).
+func (p *Pool) RemoteStages() int { return int(atomic.LoadInt64(&p.remoteSt)) }
+
+// RemoteTasks counts tasks completed by worker processes.
+func (p *Pool) RemoteTasks() int { return int(atomic.LoadInt64(&p.remoteTk)) }
+
+// BytesShipped totals the encoded frames that crossed process boundaries.
+func (p *Pool) BytesShipped() int64 { return atomic.LoadInt64(&p.shipped) }
+
+// Spills reports blocks (and bytes) the driver store spilled to disk.
+func (p *Pool) Spills() (blocks int, bytes int64) { return p.store.spillStats() }
+
+// ---- engine.RemoteRunner ----
+
+// PutBlock frames b with the batch codec and stores it for workers to
+// fetch (spilling to disk over the store's budget).
+func (p *Pool) PutBlock(b engine.Batch) (uint64, error) {
+	frame, err := engine.EncodeBatch(nil, b)
+	if err != nil {
+		return 0, err
+	}
+	atomic.AddInt64(&p.localPut, 1)
+	return p.store.put(frame)
+}
+
+// RunRemoteStage distributes the spec's tasks round-robin over live
+// workers and collects the decoded result partitions. Tasks whose worker
+// dies mid-flight are re-dispatched on surviving workers (bounded by
+// maxTaskAttempts); deterministic task errors and worker exhaustion fail
+// the stage, which the engine then runs driver-local.
+func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStageResult, error) {
+	if len(spec.Tasks) == 0 {
+		return &engine.RemoteStageResult{}, nil
+	}
+	shippedBefore := atomic.LoadInt64(&p.shipped)
+	parts := make([]engine.Batch, len(spec.Tasks))
+	attempts := make([]int, len(spec.Tasks))
+	queue := make([]int, len(spec.Tasks))
+	for i := range queue {
+		queue[i] = i
+	}
+	var resMu sync.Mutex
+	ranOn := map[int]bool{}
+	for len(queue) > 0 {
+		live := p.liveWorkers()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("procpool: stage %q: no live workers", spec.Label)
+		}
+		assign := make([][]int, len(live))
+		for k, ti := range queue {
+			assign[k%len(live)] = append(assign[k%len(live)], ti)
+		}
+		var requeue []int
+		var permErr error
+		var wg sync.WaitGroup
+		for wi := range live {
+			if len(assign[wi]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w *workerProc, list []int) {
+				defer wg.Done()
+				for li, ti := range list {
+					payload, err := p.runTaskOn(w, &spec.Tasks[ti])
+					if err != nil {
+						resMu.Lock()
+						if w.isDead() {
+							// Requeue this worker's remaining share on the
+							// survivors, bounding how many crashes one task
+							// may ride out.
+							for _, rest := range list[li:] {
+								attempts[rest]++
+								if attempts[rest] >= maxTaskAttempts {
+									permErr = fmt.Errorf("procpool: stage %q task %d died %d times: %v", spec.Label, spec.Tasks[rest].Part, attempts[rest], err)
+								} else {
+									requeue = append(requeue, rest)
+								}
+							}
+						} else {
+							permErr = fmt.Errorf("procpool: stage %q task %d: %v", spec.Label, spec.Tasks[ti].Part, err)
+						}
+						resMu.Unlock()
+						return
+					}
+					b, _, derr := engine.DecodeBatch(payload)
+					if derr != nil {
+						resMu.Lock()
+						permErr = fmt.Errorf("procpool: stage %q task %d result: %v", spec.Label, spec.Tasks[ti].Part, derr)
+						resMu.Unlock()
+						return
+					}
+					atomic.AddInt64(&p.shipped, int64(len(payload)))
+					resMu.Lock()
+					parts[ti] = b
+					ranOn[w.idx] = true
+					resMu.Unlock()
+				}
+			}(live[wi], assign[wi])
+		}
+		wg.Wait()
+		if permErr != nil {
+			return nil, permErr
+		}
+		queue = requeue
+	}
+	atomic.AddInt64(&p.remoteSt, 1)
+	atomic.AddInt64(&p.remoteTk, int64(len(spec.Tasks)))
+	return &engine.RemoteStageResult{
+		Parts:        parts,
+		BytesShipped: atomic.LoadInt64(&p.shipped) - shippedBefore,
+		Workers:      len(ranOn),
+	}, nil
+}
+
+// runTaskOn ships one task to w and waits for its reply (or w's death,
+// which resolves the reply with an error). The KillAfterTasks hook fires
+// synchronously here so the crash — and the lost-output bookkeeping — is
+// ordered before any later stage of the run, making recovery tests
+// deterministic.
+func (p *Pool) runTaskOn(w *workerProc, t *engine.RemoteTask) ([]byte, error) {
+	id := atomic.AddUint64(&p.taskSeq, 1)
+	body, err := encodeTask(id, t)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan taskReply, 1)
+	w.mu.Lock()
+	if w.dead {
+		err := w.deadErr
+		w.mu.Unlock()
+		return nil, err
+	}
+	w.pending[id] = ch
+	w.mu.Unlock()
+	if err := w.send(msgTask, body); err != nil {
+		p.markDead(w, fmt.Errorf("procpool: worker %d send failed: %v", w.idx, err))
+		return nil, err
+	}
+	if k := p.cfg.KillAfterTasks; k > 0 && atomic.AddInt64(&p.nDispatch, 1) == int64(k) {
+		p.markDead(w, fmt.Errorf("procpool: worker %d killed by test hook after task %d", w.idx, k))
+	}
+	r := <-ch
+	if r.errMsg != "" {
+		return nil, fmt.Errorf("%s", r.errMsg)
+	}
+	return r.payload, nil
+}
+
+// ---- engine.Backend ----
+
+// StartJob counts the job; a real pool has no launch overhead to charge.
+func (p *Pool) StartJob() {
+	p.mu.Lock()
+	p.stats.Jobs++
+	p.mu.Unlock()
+}
+
+// RunStageReport reports the wall-clock the stage actually took (the
+// delta since the previous report) and counts its tasks. The simulated
+// per-task costs are ignored: this backend measures instead of modeling.
+func (p *Pool) RunStageReport(tasks []cluster.Task) (cluster.StageReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Stages++
+	p.stats.Tasks += len(tasks)
+	now := p.clockLocked()
+	sec := now - p.lastClock
+	p.lastClock = now
+	p.stats.BusySeconds += sec
+	return cluster.StageReport{
+		Tasks:       len(tasks),
+		Waves:       1,
+		Makespan:    sec,
+		Seconds:     sec,
+		BusySeconds: sec,
+	}, nil
+}
+
+// Broadcast pins bytes for the current job (bookkeeping only: actual
+// broadcast batches ship as ordinary blocks, cached per worker).
+func (p *Pool) Broadcast(bytes int64) error {
+	p.mu.Lock()
+	p.stats.Broadcasts++
+	p.pinned += bytes
+	p.mu.Unlock()
+	return nil
+}
+
+// Unpin releases part of the pinned broadcast bytes early.
+func (p *Pool) Unpin(bytes int64) {
+	p.mu.Lock()
+	p.pinned -= bytes
+	p.mu.Unlock()
+}
+
+// ReleaseBroadcasts is the end-of-job hook: the job's blocks are dead, so
+// the store empties and workers drop their caches.
+func (p *Pool) ReleaseBroadcasts() {
+	p.mu.Lock()
+	p.pinned = 0
+	p.mu.Unlock()
+	p.store.clear()
+	for _, w := range p.liveWorkers() {
+		w.send(msgClearCache, nil)
+	}
+}
+
+// Clock is wall time since the pool started, plus retry-backoff advances.
+func (p *Pool) Clock() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clockLocked()
+}
+
+func (p *Pool) clockLocked() float64 {
+	return time.Since(p.start).Seconds() + p.clockOffset
+}
+
+// Stats returns the pool's accumulated counters.
+func (p *Pool) Stats() cluster.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ---- engine.Residency ----
+
+// RegisterOutput places a completed stage's partitions round-robin over
+// the currently live workers, mirroring the simulator's machine
+// placement. If every worker is down the output is born lost; the next
+// CheckFetch fails and recovery (or the job's error path) takes over.
+func (p *Pool) RegisterOutput(parts int) cluster.OutputID {
+	liveIdx := []int{}
+	for _, w := range p.workerList {
+		if !w.isDead() {
+			liveIdx = append(liveIdx, w.idx)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextOut++
+	id := p.nextOut
+	locs := make([]int, parts)
+	for i := range locs {
+		if len(liveIdx) == 0 {
+			locs[i] = -1
+		} else {
+			locs[i] = liveIdx[(p.rrOut+i)%len(liveIdx)]
+		}
+	}
+	p.rrOut += parts
+	p.outputs[id] = &poolOutput{locs: locs}
+	return id
+}
+
+// CheckFetch reports a *cluster.FetchFailedError if any partition of the
+// output was registered on a worker that has since died. Each output
+// counts at most one fetch failure, like the simulator.
+func (p *Pool) CheckFetch(id cluster.OutputID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out, ok := p.outputs[id]
+	if !ok {
+		return nil
+	}
+	var lost []int
+	machine := 0
+	for i, loc := range out.locs {
+		if loc < 0 {
+			lost = append(lost, i)
+			machine = -loc - 1
+		}
+	}
+	if len(lost) == 0 {
+		return nil
+	}
+	if !out.counted {
+		out.counted = true
+		p.stats.FetchFailures++
+	}
+	return &cluster.FetchFailedError{Machine: machine, Parts: lost, Total: len(out.locs)}
+}
+
+// DropOutput forgets an output (its stage was rewound or recomputed).
+func (p *Pool) DropOutput(id cluster.OutputID) {
+	p.mu.Lock()
+	delete(p.outputs, id)
+	p.mu.Unlock()
+}
+
+// Advance adds recovery-backoff seconds to the pool clock.
+func (p *Pool) Advance(dt float64) {
+	p.mu.Lock()
+	p.clockOffset += dt
+	p.mu.Unlock()
+}

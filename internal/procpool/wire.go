@@ -1,0 +1,240 @@
+// Package procpool is the process-pool backend: a driver-side Pool that
+// spawns real worker processes (re-execs of the current binary), ships
+// them portable stage tasks (engine.RemoteStageSpec), serves them input
+// blocks from a spill-capable block store, and detects worker death by
+// heartbeat — surfacing lost shuffle outputs through the same
+// cluster.FetchFailedError the simulator's fault injection raises, so the
+// engine's lineage-based recovery handles real crashes unchanged.
+//
+// The Pool implements engine.Backend (wall-clock stage reports),
+// engine.Residency (which worker "holds" each registered shuffle output)
+// and engine.RemoteRunner (block store + remote stage dispatch). Stages
+// whose operators lack a portable registration simply run driver-local;
+// the pool is an acceleration substrate, never a correctness requirement.
+package procpool
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"matryoshka/internal/engine"
+)
+
+// The driver/worker wire protocol: framed messages over a unix socket.
+// Every frame is a u32 big-endian payload length followed by the payload;
+// the payload's first byte is the message type. Numbers inside bodies are
+// big-endian. The framing is deliberately dumb — all structure lives in
+// the per-type bodies, each parsed by a bounds-checked reader that fails
+// loud on truncation (fuzzed in wire_test.go: arbitrary bytes must error,
+// never panic).
+const (
+	msgHello      byte = iota + 1 // worker → driver: u64 pid
+	msgHelloAck                   // driver → worker: u32 index | u64 heartbeat period (ns)
+	msgTask                       // driver → worker: u64 task id | JSON engine.RemoteTask
+	msgTaskResult                 // worker → driver: u64 task id | u8 ok | batch frame or error string
+	msgFetchBlock                 // worker → driver: u64 block id
+	msgBlockData                  // driver → worker: u64 block id | u8 ok | batch frame or error string
+	msgHeartbeat                  // worker → driver: empty
+	msgClearCache                 // driver → worker: empty (drop cached blocks, end of job)
+	msgShutdown                   // driver → worker: empty (exit cleanly)
+)
+
+// maxWireFrame caps a declared frame length so a corrupt or hostile peer
+// cannot make the reader allocate unboundedly (mirrors batchio's cap).
+const maxWireFrame = 1 << 30
+
+// writeFrame sends one frame as a single Write (callers still serialize
+// concurrent writers per connection: large writes may be split by the
+// kernel, and interleaved partial writes would corrupt the stream).
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	buf := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(body)))
+	buf[4] = typ
+	copy(buf[5:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame. io.EOF at a frame boundary passes through
+// clean (the peer hung up); a partial frame is a distinct error.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("procpool: truncated frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(head[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("procpool: empty wire frame")
+	}
+	if n > maxWireFrame {
+		return 0, nil, fmt.Errorf("procpool: wire frame length %d exceeds cap %d", n, maxWireFrame)
+	}
+	// Grow the body buffer as bytes actually arrive (geometric, from
+	// 1 MiB): a lying length prefix must not make the reader allocate
+	// its full declared size — up to the cap above — before the stream
+	// proves it has the payload.
+	const grow = 1 << 20
+	need := int(n - 1)
+	body := make([]byte, 0, min(need, grow))
+	for len(body) < need {
+		if len(body) == cap(body) {
+			next := make([]byte, len(body), min(need, 2*cap(body)))
+			copy(next, body)
+			body = next
+		}
+		m, err := io.ReadFull(r, body[len(body):cap(body)])
+		body = body[:len(body)+m]
+		if err != nil {
+			return 0, nil, fmt.Errorf("procpool: truncated wire frame: %w", err)
+		}
+	}
+	return head[4], body, nil
+}
+
+// wireReader is a bounds-checked cursor over a frame body.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, fmt.Errorf("procpool: frame body truncated at byte %d", r.off)
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("procpool: frame body truncated at byte %d", r.off)
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *wireReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("procpool: frame body truncated at byte %d", r.off)
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// rest returns everything after the cursor (may be empty, never nil).
+func (r *wireReader) rest() []byte {
+	if r.off >= len(r.b) {
+		return []byte{}
+	}
+	return r.b[r.off:]
+}
+
+func encodeHello(pid int) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, uint64(pid))
+	return b
+}
+
+func parseHello(body []byte) (int, error) {
+	r := &wireReader{b: body}
+	pid, err := r.u64()
+	return int(pid), err
+}
+
+func encodeHelloAck(idx int, beatEvery time.Duration) []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint32(b, uint32(idx))
+	binary.BigEndian.PutUint64(b[4:], uint64(beatEvery.Nanoseconds()))
+	return b
+}
+
+func parseHelloAck(body []byte) (int, time.Duration, error) {
+	r := &wireReader{b: body}
+	idx, err := r.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	ns, err := r.u64()
+	if err != nil {
+		return 0, 0, err
+	}
+	if ns == 0 || ns > uint64(time.Hour) {
+		return 0, 0, fmt.Errorf("procpool: implausible heartbeat period %dns", ns)
+	}
+	return int(idx), time.Duration(ns), nil
+}
+
+func encodeTask(id uint64, t *engine.RemoteTask) ([]byte, error) {
+	js, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("procpool: marshal task %d: %w", t.Part, err)
+	}
+	b := make([]byte, 8+len(js))
+	binary.BigEndian.PutUint64(b, id)
+	copy(b[8:], js)
+	return b, nil
+}
+
+func parseTask(body []byte) (uint64, *engine.RemoteTask, error) {
+	r := &wireReader{b: body}
+	id, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	var t engine.RemoteTask
+	if err := json.Unmarshal(r.rest(), &t); err != nil {
+		return 0, nil, fmt.Errorf("procpool: unmarshal task %d: %w", id, err)
+	}
+	if t.Root == nil {
+		return 0, nil, fmt.Errorf("procpool: task %d has no root operator", id)
+	}
+	return id, &t, nil
+}
+
+// encodeTagged frames the shared (id, ok, bytes) shape of msgTaskResult
+// and msgBlockData: on ok the trailing bytes are an encoded batch frame,
+// otherwise an error string.
+func encodeTagged(id uint64, ok bool, rest []byte) []byte {
+	b := make([]byte, 9+len(rest))
+	binary.BigEndian.PutUint64(b, id)
+	if ok {
+		b[8] = 1
+	}
+	copy(b[9:], rest)
+	return b
+}
+
+func parseTagged(body []byte) (id uint64, ok bool, rest []byte, err error) {
+	r := &wireReader{b: body}
+	if id, err = r.u64(); err != nil {
+		return 0, false, nil, err
+	}
+	flag, err := r.u8()
+	if err != nil {
+		return 0, false, nil, err
+	}
+	if flag > 1 {
+		return 0, false, nil, fmt.Errorf("procpool: bad ok flag %d", flag)
+	}
+	return id, flag == 1, r.rest(), nil
+}
+
+func encodeBlockReq(id uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, id)
+	return b
+}
+
+func parseBlockReq(body []byte) (uint64, error) {
+	r := &wireReader{b: body}
+	return r.u64()
+}

@@ -1,0 +1,155 @@
+package procpool
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"matryoshka/internal/engine"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := map[byte][]byte{
+		msgHello:      encodeHello(4242),
+		msgHelloAck:   encodeHelloAck(3, 250*time.Millisecond),
+		msgFetchBlock: encodeBlockReq(77),
+		msgBlockData:  encodeTagged(77, true, []byte("frame-bytes")),
+		msgTaskResult: encodeTagged(9, false, []byte("boom")),
+		msgHeartbeat:  nil,
+		msgClearCache: nil,
+		msgShutdown:   nil,
+	}
+	order := []byte{msgHello, msgHelloAck, msgFetchBlock, msgBlockData, msgTaskResult, msgHeartbeat, msgClearCache, msgShutdown}
+	for _, typ := range order {
+		if err := writeFrame(&buf, typ, bodies[typ]); err != nil {
+			t.Fatalf("write type %d: %v", typ, err)
+		}
+	}
+	for _, want := range order {
+		typ, body, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("read type %d: %v", want, err)
+		}
+		if typ != want {
+			t.Fatalf("got type %d, want %d", typ, want)
+		}
+		if wb := bodies[want]; len(wb) > 0 && !bytes.Equal(body, wb) {
+			t.Fatalf("type %d body mismatch", want)
+		}
+	}
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Fatalf("drained stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestWireFieldRoundTrips(t *testing.T) {
+	if pid, err := parseHello(encodeHello(911)); err != nil || pid != 911 {
+		t.Fatalf("hello: pid %d err %v", pid, err)
+	}
+	idx, every, err := parseHelloAck(encodeHelloAck(2, 125*time.Millisecond))
+	if err != nil || idx != 2 || every != 125*time.Millisecond {
+		t.Fatalf("helloAck: idx %d every %v err %v", idx, every, err)
+	}
+	id, ok, rest, err := parseTagged(encodeTagged(31, true, []byte("payload")))
+	if err != nil || id != 31 || !ok || string(rest) != "payload" {
+		t.Fatalf("tagged: id %d ok %v rest %q err %v", id, ok, rest, err)
+	}
+	task := &engine.RemoteTask{Part: 3, Root: &engine.RemoteNode{
+		Op: "identity", Part: 3,
+		Inputs: []engine.RemoteInput{{Kind: "block", Block: 12}},
+	}}
+	body, err := encodeTask(55, task)
+	if err != nil {
+		t.Fatalf("encodeTask: %v", err)
+	}
+	gotID, gotTask, err := parseTask(body)
+	if err != nil || gotID != 55 {
+		t.Fatalf("parseTask: id %d err %v", gotID, err)
+	}
+	if gotTask.Part != 3 || gotTask.Root.Op != "identity" || gotTask.Root.Inputs[0].Block != 12 {
+		t.Fatalf("parseTask: task mismatch: %+v", gotTask)
+	}
+}
+
+func TestWireRejectsMalformed(t *testing.T) {
+	// Truncated header.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0})); err == nil || err == io.EOF {
+		t.Fatalf("truncated header: got %v", err)
+	}
+	// Declared length zero.
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0, 0})); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty frame: got %v", err)
+	}
+	// Declared length over the cap.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, byte(msgTask)}
+	if _, _, err := readFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+	// Body shorter than declared.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgTaskResult, encodeTagged(1, true, []byte("abcdef"))); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := readFrame(bytes.NewReader(cut)); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated body: got %v", err)
+	}
+	// Truncated message bodies.
+	if _, err := parseHello([]byte{1, 2}); err == nil {
+		t.Fatal("short hello parsed")
+	}
+	if _, _, err := parseHelloAck([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("short helloAck parsed")
+	}
+	if _, _, _, err := parseTagged([]byte{9}); err == nil {
+		t.Fatal("short tagged parsed")
+	}
+	if _, _, _, err := parseTagged(encodeTagged(1, true, nil)[:8]); err == nil {
+		t.Fatal("tagged without flag parsed")
+	}
+	if _, _, err := parseTask([]byte{0, 0, 0, 0, 0, 0, 0, 1, '{'}); err == nil {
+		t.Fatal("bad task json parsed")
+	}
+	if _, _, err := parseTask(append(make([]byte, 8), []byte(`{}`)...)); err == nil {
+		t.Fatal("rootless task parsed")
+	}
+}
+
+// FuzzWireFrame feeds arbitrary bytes through the frame reader and every
+// body parser: the driver reads these off a socket from another process,
+// so none of them may panic or over-allocate on garbage.
+func FuzzWireFrame(f *testing.F) {
+	var seed bytes.Buffer
+	writeFrame(&seed, msgHello, encodeHello(123))
+	writeFrame(&seed, msgHelloAck, encodeHelloAck(1, 100*time.Millisecond))
+	writeFrame(&seed, msgTaskResult, encodeTagged(7, true, []byte("data")))
+	writeFrame(&seed, msgFetchBlock, encodeBlockReq(9))
+	writeFrame(&seed, msgHeartbeat, nil)
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, byte(msgTask)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 64; i++ { // bound the walk on pathological inputs
+			typ, body, err := readFrame(r)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case msgHello:
+				parseHello(body)
+			case msgHelloAck:
+				parseHelloAck(body)
+			case msgTask:
+				parseTask(body)
+			case msgTaskResult, msgBlockData:
+				parseTagged(body)
+			case msgFetchBlock:
+				parseBlockReq(body)
+			}
+		}
+	})
+}

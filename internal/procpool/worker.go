@@ -1,0 +1,173 @@
+package procpool
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"matryoshka/internal/engine"
+)
+
+// socketEnv carries the pool's unix socket path into spawned workers. Its
+// presence is what distinguishes a worker re-exec from a normal launch.
+const socketEnv = "MATRYOSHKA_PROCPOOL_SOCKET"
+
+// IsWorker reports whether this process was spawned as a pool worker.
+// Binaries that may host a pool (matbench, test binaries via TestMain)
+// must check it first thing in main and divert to WorkerMain — before
+// flag parsing, before tests, before anything that prints.
+func IsWorker() bool { return os.Getenv(socketEnv) != "" }
+
+// WorkerMain runs the worker protocol loop and exits the process; it
+// never returns. Operator and batch-shape registrations happened in init
+// functions by the time main runs, so the worker resolves exactly the
+// names the driver registered — they are the same binary.
+func WorkerMain() {
+	os.Exit(workerRun(os.Getenv(socketEnv)))
+}
+
+func workerRun(sock string) int {
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "procpool worker: dial: %v\n", err)
+		return 1
+	}
+	defer conn.Close()
+
+	// The heartbeat goroutine and the task loop share the connection;
+	// writes must not interleave.
+	var wmu sync.Mutex
+	send := func(typ byte, body []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, typ, body)
+	}
+
+	if err := send(msgHello, encodeHello(os.Getpid())); err != nil {
+		fmt.Fprintf(os.Stderr, "procpool worker: hello: %v\n", err)
+		return 1
+	}
+	typ, body, err := readFrame(conn)
+	if err != nil || typ != msgHelloAck {
+		fmt.Fprintf(os.Stderr, "procpool worker: handshake: type %d err %v\n", typ, err)
+		return 1
+	}
+	_, beatEvery, err := parseHelloAck(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "procpool worker: handshake: %v\n", err)
+		return 1
+	}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(beatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if send(msgHeartbeat, nil) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Per-worker block cache: shared blocks (broadcasts, fan-in reads)
+	// cross the wire once per worker. Ids are never reused by the driver,
+	// so caching by id alone is safe; clearCache bounds its memory to a
+	// job's working set.
+	cache := map[uint64]engine.Batch{}
+
+	// fetch resolves a block id over the socket. The worker runs one task
+	// at a time with at most one outstanding fetch, so the next blockData
+	// frame answers this request; housekeeping frames that race a late
+	// fetch are handled inline.
+	fetch := func(id uint64) (engine.Batch, error) {
+		if b, ok := cache[id]; ok {
+			return b, nil
+		}
+		if err := send(msgFetchBlock, encodeBlockReq(id)); err != nil {
+			return nil, err
+		}
+		for {
+			typ, body, err := readFrame(conn)
+			if err != nil {
+				return nil, err
+			}
+			switch typ {
+			case msgBlockData:
+				gotID, ok, rest, perr := parseTagged(body)
+				if perr != nil {
+					return nil, perr
+				}
+				if gotID != id {
+					return nil, fmt.Errorf("procpool: block %d answered request for %d", gotID, id)
+				}
+				if !ok {
+					return nil, fmt.Errorf("procpool: fetch block %d: %s", id, rest)
+				}
+				b, _, derr := engine.DecodeBatch(rest)
+				if derr != nil {
+					return nil, fmt.Errorf("procpool: decode block %d: %w", id, derr)
+				}
+				cache[id] = b
+				return b, nil
+			case msgClearCache:
+				cache = map[uint64]engine.Batch{}
+			case msgShutdown:
+				return nil, fmt.Errorf("procpool: shutdown during fetch")
+			default:
+				return nil, fmt.Errorf("procpool: unexpected frame type %d during fetch", typ)
+			}
+		}
+	}
+
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			// Driver hung up (pool closed, driver exited): clean exit.
+			if err == io.EOF {
+				return 0
+			}
+			return 0
+		}
+		switch typ {
+		case msgTask:
+			id, task, perr := parseTask(body)
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "procpool worker: %v\n", perr)
+				return 1
+			}
+			var payload []byte
+			b, rerr := engine.RunRemoteTask(task, fetch)
+			if rerr == nil {
+				if b == nil {
+					b = &engine.Vec[any]{}
+				}
+				payload, rerr = engine.EncodeBatch(nil, b)
+			}
+			var out []byte
+			if rerr != nil {
+				out = encodeTagged(id, false, []byte(rerr.Error()))
+			} else {
+				out = encodeTagged(id, true, payload)
+			}
+			if send(msgTaskResult, out) != nil {
+				return 0
+			}
+		case msgClearCache:
+			cache = map[uint64]engine.Batch{}
+		case msgShutdown:
+			return 0
+		default:
+			fmt.Fprintf(os.Stderr, "procpool worker: unexpected frame type %d\n", typ)
+			return 1
+		}
+	}
+}

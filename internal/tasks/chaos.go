@@ -3,7 +3,25 @@ package tasks
 import (
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/engine"
+	"matryoshka/internal/taskreg"
 )
+
+// The chaos diamond's operators are registered by name so a process-pool
+// backend can run its stages in worker processes (the same binary
+// re-exec'd makes these registrations there too). The named functions are
+// behaviorally identical to the closures they replaced; the simulator's
+// golden numbers cannot see the difference.
+func chaosSum(a, b int64) int64                      { return a + b }
+func chaosCount(vs []int64) int64                    { return int64(len(vs)) }
+func chaosTotal(t engine.Tuple2[int64, int64]) int64 { return t.A + t.B }
+
+func init() {
+	taskreg.RegisterReduceByKey[int, int64]("chaos.sum", chaosSum)
+	taskreg.RegisterGroupByKey[int, int64]("chaos.group")
+	taskreg.RegisterMapValues[int, []int64, int64]("chaos.count", chaosCount)
+	taskreg.RegisterJoin[int, int64, int64]("chaos.join")
+	taskreg.RegisterMapValues[int, engine.Tuple2[int64, int64], int64]("chaos.total", chaosTotal)
+}
 
 // ChaosSpec is the fault-tolerance workload behind `matbench -explain
 // chaos` and the sec9-chaos experiment: several back-to-back jobs, each
@@ -69,14 +87,10 @@ func (sp ChaosSpec) Run(cc cluster.Config) Outcome {
 	for r := 0; r < sp.Rounds; r++ {
 		left := engine.Parallelize(sess, sp.pairs(r), sp.Parts)
 		right := engine.Parallelize(sess, sp.pairs(r), sp.Parts+2)
-		sums := engine.ReduceByKeyN(left, func(a, b int64) int64 { return a + b }, sp.Parts)
-		counts := engine.MapValues(engine.GroupByKeyN(right, sp.Parts+2), func(vs []int64) int64 {
-			return int64(len(vs))
-		})
-		joined := engine.JoinWith(sums, counts, engine.JoinRepartition, sp.Parts+1)
-		got, err := engine.CollectMap(engine.MapValues(joined, func(t engine.Tuple2[int64, int64]) int64 {
-			return t.A + t.B
-		}))
+		sums := taskreg.ReduceByKeyN[int, int64](left, "chaos.sum", sp.Parts)
+		counts := taskreg.MapValues[int, []int64, int64](taskreg.GroupByKeyN[int, int64](right, "chaos.group", sp.Parts+2), "chaos.count")
+		joined := taskreg.JoinWith[int, int64, int64](sums, counts, "chaos.join", engine.JoinRepartition, sp.Parts+1)
+		got, err := engine.CollectMap(taskreg.MapValues[int, engine.Tuple2[int64, int64], int64](joined, "chaos.total"))
 		if err != nil {
 			return finish(chaosName, Matryoshka, sess, nil, err)
 		}

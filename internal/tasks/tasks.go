@@ -71,14 +71,14 @@ func (o Outcome) String() string {
 // into a failed Outcome via finish. The workaround baselines use it
 // directly: they must die exactly where the systems they model die.
 func newSession(cc cluster.Config) (*engine.Session, error) {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs})
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs, Backend: Backend})
 }
 
 // newMatryoshkaSession is newSession with the engine's adaptive recovery
 // loop enabled (unless Recovery is flipped off): the runtime half of the
 // paper's lowering phase, available only to the Matryoshka strategy.
 func newMatryoshkaSession(cc cluster.Config) (*engine.Session, error) {
-	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs, Recover: Recovery})
+	return engine.NewSession(engine.Config{Cluster: cc, DebugStages: DebugStages, LegacyExec: LegacyExec, NoFuse: NoFuse, Obs: Obs, Backend: Backend, Recover: Recovery})
 }
 
 // recordWeight is the session's simulation scale (real records per
@@ -133,6 +133,13 @@ var NoFuse bool
 // decisions of every session created by tasks — the hook matbench's
 // --explain/--trace flags use to render EXPLAIN ANALYZE for a run.
 var Obs *obs.Recorder
+
+// Backend, when non-nil, replaces the per-run private simulator on every
+// session created by tasks — matbench's `-backend proc` sets it to a
+// procpool.Pool so stages with registered portable operators execute in
+// real worker processes. When nil (the default), each run builds its own
+// cluster.Simulator as always.
+var Backend engine.Backend
 
 // Recovery enables adaptive OOM/failure recovery on Matryoshka sessions
 // (engine.Config.Recover): failed physical choices are re-lowered and jobs
