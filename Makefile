@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench fuzz-smoke
+.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench shred-bench fuzz-smoke
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -69,6 +69,14 @@ sched-bench:
 	$(GO) run ./cmd/matbench -q -exp sec-sched
 	$(GO) run ./cmd/matbench -q -exp sec-sched-straggle
 	$(GO) run ./cmd/matbench -tenants 3 -policy fair -speculate -straggle 0.25
+
+## shred-bench: smoke the shredded nested-bag lowering — the Zipf-skew
+## sweep (materialized vs shredded clock and peak task memory; what
+## EXPERIMENTS.md's sec-shred section reports) plus one run's EXPLAIN
+## ANALYZE showing the shred rule's decision.
+shred-bench:
+	$(GO) run ./cmd/matbench -q -exp sec-shred
+	$(GO) run ./cmd/matbench -explain shred
 
 ## chaos-bench: smoke the fault-tolerance path — the crash-rate sweep
 ## (abort vs lineage recovery; what EXPERIMENTS.md's sec9-chaos section

@@ -21,6 +21,9 @@
 //	matbench -exp fig1 -cpuprofile cpu.out -memprofile mem.out
 //	                                 # profile the host engine under a real workload
 //	matbench -exp fig1 -nofuse       # wall-clock A/B against the unfused executor
+//	matbench -exp sec-shred -skew 1.5            # nested-bag lowerings under a chosen Zipf exponent
+//	matbench -exp fig7-bounce -shred on          # force the shredded group materialization
+//	matbench -explain shred                      # watch the shred rule pick a lowering from observed sizes
 //
 // Reported times are simulated cluster seconds (see internal/cluster);
 // absolute values depend on the scale, the relative shapes are the result.
@@ -60,6 +63,8 @@ type knobs struct {
 	backend    string
 	workers    int
 	nofuse     bool
+	skew       float64
+	shred      string
 }
 
 // validateFlags rejects out-of-domain knob values before any experiment
@@ -99,6 +104,14 @@ func validateFlags(k knobs) error {
 	}
 	if k.batchStats != "" && (k.explain != "" || k.trace != "") {
 		return fmt.Errorf("-batchstats runs its own instrumented pass; drop -explain/-trace or run them separately")
+	}
+	if k.skew != 0 && k.skew <= 1 {
+		return fmt.Errorf("-skew %v is not a valid Zipf exponent (want > 1, 0 = each generator's default)", k.skew)
+	}
+	switch k.shred {
+	case "", "auto", "on", "off":
+	default:
+		return fmt.Errorf("-shred %q is unknown (want auto, on, or off)", k.shred)
 	}
 	if k.backend != "sim" && k.backend != "proc" {
 		return fmt.Errorf("-backend %q is unknown (want sim or proc)", k.backend)
@@ -141,7 +154,7 @@ func run() int {
 		perGB      = flag.Int("records-per-gb", bench.DefaultScale().RecordsPerGB, "simulated records per paper-GB (smaller = faster)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		csvPath    = flag.String("csv", "", "also write raw rows as CSV to this file")
-		explain    = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery)")
+		explain    = flag.String("explain", "", "EXPLAIN ANALYZE one task's Matryoshka run (bounce-rate, pagerank, k-means, avg-distances, recovery, chaos, shred)")
 		trace      = flag.String("trace", "", "print the raw job/stage/decision event stream of one task's Matryoshka run")
 		batchStats = flag.String("batchstats", "", "print per-stage batch shape, batch count, and encoded boundary bytes of one task's Matryoshka run")
 		mem        = flag.Int64("mem", 0, "override per-machine memory in bytes (creates the pressure adaptive recovery reacts to)")
@@ -154,6 +167,8 @@ func run() int {
 		mtbf       = flag.Float64("mtbf", 0, "machine crash hazard: mean simulated seconds between crashes per machine (alternative spelling of -chaos)")
 		seed       = flag.Int64("seed", 0, "seed for the crash hazard and straggler skew (0 = default, runs stay bit-reproducible)")
 		nofuse     = flag.Bool("nofuse", false, "disable fused narrow-chain execution (A/B wall-clock comparison; simulated numbers are identical either way)")
+		skew       = flag.Float64("skew", 0, "override the Zipf exponent of skewed datasets (> 1; 0 = each generator's default)")
+		shred      = flag.String("shred", "auto", "nested-bag materialization lowering: auto (optimizer picks per group-by), on (force shredded), off (force materialized)")
 		backend    = flag.String("backend", "sim", "execution backend: sim (per-run simulator) or proc (run the sim-vs-process-pool A/B comparison)")
 		workers    = flag.Int("workers", 0, "worker process count for -backend proc (0 = min(4, NumCPU))")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -164,12 +179,16 @@ func run() int {
 		chaos: *chaos, mtbf: *mtbf, seed: *seed, tenants: *tenants, policy: *policy,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		explain: *explain, trace: *trace, batchStats: *batchStats,
-		backend: *backend, workers: *workers, nofuse: *nofuse}); err != nil {
+		backend: *backend, workers: *workers, nofuse: *nofuse,
+		skew: *skew, shred: *shred}); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
 		return 2
 	}
 	tasks.NoFuse = *nofuse
+	if *shred != "" {
+		tasks.Shred = *shred
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -208,7 +227,7 @@ func run() int {
 		}
 		return 0
 	}
-	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate, Seed: uint64(*seed)}
+	sc := bench.Scale{RecordsPerGB: *perGB, MemoryPerMachine: *mem, FaultRate: *faultRate, Seed: uint64(*seed), Skew: *skew}
 	switch {
 	case *chaos > 0:
 		sc.MTBF = 1000 / *chaos

@@ -44,6 +44,13 @@ func TestValidateFlags(t *testing.T) {
 		{name: "proc with batchstats", k: knobs{backend: "proc", batchStats: "bounce-rate", policy: "fair"}, wantErr: "-backend proc"},
 		{name: "proc with tenants", k: knobs{backend: "proc", tenants: 2, policy: "fair"}, wantErr: "-tenants"},
 		{name: "proc with nofuse", k: knobs{backend: "proc", nofuse: true, policy: "fair"}, wantErr: "-nofuse"},
+		{name: "skew exponent", k: knobs{backend: "sim", skew: 1.5, policy: "fair"}},
+		{name: "shred forced on", k: knobs{backend: "sim", shred: "on", policy: "fair"}},
+		{name: "shred forced off", k: knobs{backend: "sim", shred: "off", policy: "fair"}},
+		{name: "skew exactly 1", k: knobs{skew: 1, policy: "fair"}, wantErr: "-skew"},
+		{name: "skew negative", k: knobs{skew: -0.5, policy: "fair"}, wantErr: "-skew"},
+		{name: "skew below 1", k: knobs{skew: 0.8, policy: "fair"}, wantErr: "-skew"},
+		{name: "unknown shred mode", k: knobs{shred: "maybe", policy: "fair"}, wantErr: "-shred"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -49,6 +49,10 @@ type Scale struct {
 	// (straggler skew, the crash hazard). 0 means the default seed, so
 	// unseeded runs stay bit-identical to each other.
 	Seed uint64
+	// Skew, when > 1, overrides the Zipf skew exponent of every skewed
+	// dataset the scale's experiments generate (matbench -skew; the
+	// generators default to datagen.DefaultZipfS).
+	Skew float64
 }
 
 // defaultSeed keeps unseeded runs reproducible (and matches the seed the
@@ -151,6 +155,7 @@ func Registry() []Experiment {
 		{ID: "fig9-bounce", Title: "Fig. 9: 8x input, large cluster, Bounce Rate", XName: "inner computations", Run: Fig9Bounce},
 		{ID: "sec9-recovery", Title: "Sec. 9 memory pressure: abort vs adaptive recovery", XName: "GB per machine", Run: Sec9Recovery},
 		{ID: "sec9-chaos", Title: "Machine crashes: abort vs lineage recovery vs crash rate", XName: "crashes/machine/1000s", Run: Sec9Chaos},
+		{ID: "sec-shred", Title: "Nested-bag lowering under Zipf skew: materialized vs shredded (clock + peak task MB)", XName: "zipf exponent", Run: SecShred},
 		{ID: "sec-sched", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs tenants (25% stragglers)", XName: "interactive tenants", Run: SecSched},
 		{ID: "sec-sched-straggle", Title: "Multi-tenant scheduling: interactive p50/p99 and makespan vs straggler rate (3 tenants)", XName: "straggler %", Run: SecSchedStraggle},
 	}

@@ -4,6 +4,7 @@ import (
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/core"
 	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
 	"matryoshka/internal/tasks"
 )
 
@@ -37,6 +38,7 @@ func pageRankSpec(sc Scale, groups int, gb float64, skewed bool) tasks.PageRankS
 		Eps:           1e-6,
 		MaxIters:      6,
 		Skewed:        skewed,
+		Skew:          sc.Skew,
 		Seed:          2,
 	}
 }
@@ -56,7 +58,7 @@ func avgDistSpec(comps int) tasks.AvgDistSpec {
 }
 
 func bounceSpec(sc Scale, days int, gb float64, skewed bool) tasks.BounceRateSpec {
-	return tasks.BounceRateSpec{Visits: sc.Records(gb), Days: days, Skewed: skewed, Seed: 4}
+	return tasks.BounceRateSpec{Visits: sc.Records(gb), Days: days, Skewed: skewed, Skew: sc.Skew, Seed: 4}
 }
 
 // Fig1 reproduces the motivating experiment: K-means under the two
@@ -319,6 +321,57 @@ func Sec9Recovery(sc Scale) []Row {
 			out := memPressureSpec(sc).Run(cc)
 			tasks.Recovery = prev
 			rows = append(rows, row("sec9-recovery", mode.name, memGB, out))
+		}
+	}
+	return rows
+}
+
+// shredSpec is the skewed nested-materialization workload behind the
+// sec-shred experiment and `matbench -explain shred`: 0.15 GB of visits
+// over 256 days, with the day distribution's Zipf exponent swept. On the
+// deliberately tight 2x1 GB demo cluster, a mild-skew head day still fits
+// one task (materialization wins — no spill I/O surcharge), while the
+// head day of a high-skew draw cannot be materialized in one task — the
+// scenario class the paper's own lowering cannot handle (ROADMAP) — and
+// only the shredded lowering streams it through the spill group build.
+func shredSpec(sc Scale, skew float64) tasks.ShredSpec {
+	return tasks.ShredSpec{Visits: sc.Records(0.15), Days: 256, Skew: skew, Seed: 5}
+}
+
+// SecShred sweeps the Zipf exponent and compares the nested-bag
+// lowerings: materialized without recovery (abort — what the paper's
+// lowering does), materialized with the recovery loop (which demotes the
+// group build to shredded after burning the failed attempt), shredded
+// first-try with recovery OFF (it must not need it), and the optimizer's
+// auto choice. Each run reports simulated clock and, as a second
+// `peakMB/<mode>` series, the peak single-task resident claim from the
+// run's private event recorder — the peak-bytes half of the crossover:
+// on mild skew the materialized build is cheapest (no spill I/O
+// surcharge), on high skew it aborts or pays the failed attempt while
+// shredded completes first-try with a fraction of the resident peak.
+func SecShred(sc Scale) []Row {
+	var rows []Row
+	for _, skew := range []float64{1.05, 1.2, 1.5, 2.0} {
+		for _, mode := range []struct {
+			name  string
+			shred string
+			rec   bool
+		}{
+			{"materialized/abort", "off", false},
+			{"materialized/recover", "off", true},
+			{"shredded", "on", false},
+			{"auto", "auto", true},
+		} {
+			prevShred, prevRec, prevObs := tasks.Shred, tasks.Recovery, tasks.Obs
+			rec := obs.NewRecorder()
+			tasks.Shred, tasks.Recovery, tasks.Obs = mode.shred, mode.rec, rec
+			out := shredSpec(sc, skew).Run(sc.Cluster(2, 2, 1))
+			tasks.Shred, tasks.Recovery, tasks.Obs = prevShred, prevRec, prevObs
+			rows = append(rows,
+				row("sec-shred", mode.name, skew, out),
+				Row{Exp: "sec-shred", Series: "peakMB/" + mode.name, X: skew,
+					Seconds: float64(rec.PeakTaskMem()) / (1 << 20), Jobs: out.Jobs},
+			)
 		}
 	}
 	return rows

@@ -10,7 +10,7 @@ import (
 
 // ExplainTasks lists the task names ExplainRun accepts.
 func ExplainTasks() []string {
-	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances", "recovery", "chaos"}
+	return []string{"bounce-rate", "pagerank", "k-means", "avg-distances", "recovery", "chaos", "shred"}
 }
 
 // ExplainRun runs one task's Matryoshka strategy at this scale with the
@@ -80,6 +80,16 @@ func explainRecorder(task string, sc Scale) (*obs.Recorder, error) {
 			sp.Faults = cluster.FaultPlan{MTBF: sc.MTBF, Seed: sc.seed()}
 		}
 		out = sp.Run(sc.Cluster(4, 4, 8))
+	case "shred":
+		// The skewed nested-materialization scenario on the sec-shred
+		// demo cluster: the decision log's rule=shred line shows the
+		// optimizer reading the observed group sizes and picking the
+		// shredded flat/dictionary lowering for the un-shred boundary.
+		skew := sc.Skew
+		if skew <= 1 {
+			skew = 2.0
+		}
+		out = shredSpec(sc, skew).Run(sc.Cluster(2, 2, 1))
 	default:
 		return nil, fmt.Errorf("bench: unknown task %q (have %v)", task, ExplainTasks())
 	}

@@ -85,6 +85,33 @@ func TestExplainRunTraceShape(t *testing.T) {
 	}
 }
 
+// TestExplainRunShredShape: `matbench -explain shred` renders the shred
+// rule's decision — the optimizer reading observed group sizes and
+// picking the shredded lowering for the high-skew demo workload — in
+// both the report's decision log and the raw trace.
+func TestExplainRunShredShape(t *testing.T) {
+	out, err := ExplainRun("shred", explainScale(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"EXPLAIN ANALYZE:",
+		"[shred] shredded",
+		"largest of",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shred report missing %q:\n%s", want, out)
+		}
+	}
+	trace, err := ExplainRun("shred", explainScale(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace, "decision rule=shred choice=shredded") {
+		t.Errorf("shred trace missing shred decision:\n%s", trace)
+	}
+}
+
 func TestExplainRunUnknownTask(t *testing.T) {
 	if _, err := ExplainRun("no-such-task", explainScale(), false); err == nil {
 		t.Fatal("want error for unknown task")
@@ -96,8 +123,8 @@ func TestExplainRunUnknownTask(t *testing.T) {
 
 // TestBatchStatsRunShape: the -batchstats rendering names every shuffle
 // boundary the bounce-rate plan crosses, with typed element shapes (the
-// distinct count on int64 tags and the per-tag reduce on Pair batches),
-// batch counts, and encoded byte totals.
+// group-size reduce that shredding derives key tags from and the per-tag
+// reduce on Pair batches), batch counts, and encoded byte totals.
 func TestBatchStatsRunShape(t *testing.T) {
 	out, err := BatchStatsRun("bounce-rate", explainScale())
 	if err != nil {
@@ -107,8 +134,8 @@ func TestBatchStatsRunShape(t *testing.T) {
 		"BATCH STATS:",
 		"boundary stages",
 		"encoded",
-		"shape=int64",
-		"shape=Pair[",
+		"shape=Pair[int64,int64]",
+		"shape=Pair[Tag,int64]",
 		"stages=",
 		"batches=",
 		"bytes=",
@@ -145,7 +172,7 @@ func TestSec8DecisionCoverage(t *testing.T) {
 	}
 
 	rules := rec.SortedRules()
-	for _, want := range []string{"bag-scalar-join", "half-lifted", "partitions", "scalar-join"} {
+	for _, want := range []string{"bag-scalar-join", "half-lifted", "partitions", "scalar-join", "shred"} {
 		if !slices.Contains(rules, want) {
 			t.Errorf("rule %q never fired; recorded rules: %v", want, rules)
 		}

@@ -14,6 +14,10 @@ type Options struct {
 	// ForceHalfLifted, when non-nil, fixes the half-lifted
 	// mapWithClosure broadcast side (Fig. 8 right).
 	ForceHalfLifted *HalfLiftedChoice
+	// ForceShred, when non-nil, fixes the nested-bag representation
+	// (materialized vs shredded) instead of letting ShredStrategy pick
+	// from observed group sizes (matbench -shred on/off).
+	ForceShred *ShredChoice
 	// TargetScalarsPerPartition overrides the partition-count rule of
 	// Sec. 8.1 (0 = default).
 	TargetScalarsPerPartition int64

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"matryoshka/internal/engine"
+	"matryoshka/internal/shred"
 )
 
 // NestedBag represents a nested bag outside any UDF (Sec. 4.5): the
@@ -16,6 +17,17 @@ import (
 type NestedBag[O, I any] struct {
 	Outer InnerScalar[O]
 	Inner InnerBag[I]
+
+	// materialize, when non-nil, is the physical lowering of the
+	// consumption boundary (CollectNested), chosen by the shred rule in
+	// GroupByKeyIntoNestedBag: either a cluster-side group build
+	// (materialized — each group in one task) or an un-shred of the
+	// dictionary form (shredded — spill group-by + dictionary join).
+	// Type-erased because NestedBag's O is unconstrained; it returns a
+	// map[O][]I and CollectNested asserts it back. Lazy: bags that are
+	// never collected never pay for it. Struct-literal NestedBags leave
+	// it nil and use the generic driver-side tag collection.
+	materialize func() (any, error)
 }
 
 // Ctx returns the nested bag's LiftingContext (shared by Outer and Inner).
@@ -48,8 +60,19 @@ func (nb NestedBag[O, I]) Collect() (map[Tag]engine.Pair[Tag, O], map[Tag][]I, e
 }
 
 // CollectNested gathers the nested bag as outer-value -> inner elements,
-// for outer types that are comparable.
+// for outer types that are comparable. Nested bags built by
+// GroupByKeyIntoNestedBag carry the shred rule's chosen materialization
+// lowering and run that; per-group element order is identical either
+// way (source-partition-major input order), so the choice is invisible
+// to the result.
 func CollectNested[O comparable, I any](nb NestedBag[O, I]) (map[O][]I, error) {
+	if nb.materialize != nil {
+		m, err := nb.materialize()
+		if err != nil {
+			return nil, err
+		}
+		return m.(map[O][]I), nil
+	}
 	outer, err := nb.Outer.Collect()
 	if err != nil {
 		return nil, err
@@ -73,19 +96,29 @@ func CollectNested[O comparable, I any](nb NestedBag[O, I]) (map[O][]I, error) {
 // Matryoshka robust to skew, Sec. 9.5), builds the InnerScalar of keys,
 // and counts the groups — which is how every InnerScalar size becomes
 // known up front (Sec. 8.1).
+// The tag/dictionary duality: a mined tag RootTag(hash(key)) and a
+// shredded dictionary groupID hash(key) are the same 64-bit identity, so
+// the shredded Top bag doubles as the source of the key tags, and the
+// shred rule's choice only governs the consumption-boundary lowering —
+// the lifted dataflow over InnerBag/InnerScalar is shared verbatim.
 func GroupByKeyIntoNestedBag[K comparable, V any](d engine.Dataset[engine.Pair[K, V]], opt Options) (NestedBag[K, V], error) {
 	sess := d.Session()
-	// Group keys are cardinality-bounded (one per group): unscaled.
-	keys := engine.DistinctBound(engine.Keys(d), 0)
-	keyTags := engine.Map(keys, func(k K) engine.Pair[Tag, K] {
-		return engine.KV(RootTag(engine.HashKey(sess, k)), k)
-	}).Cache()
-	size, err := engine.Count(keyTags)
+	// Shred first: one bounded shuffle yields the (key, groupID, size)
+	// top-level records — the per-key sizes are the observed statistics
+	// the shred rule feeds on, and the records enumerate each group
+	// exactly once in the same deterministic first-seen order a distinct
+	// over the keys would (group keys are cardinality-bounded: unscaled).
+	sb := shred.Shred(d)
+	st, err := shred.Observe(sb)
 	if err != nil {
 		return NestedBag[K, V]{}, err
 	}
+	keyTags := engine.Map(sb.Top, func(r shred.Record[K]) engine.Pair[Tag, K] {
+		return engine.KV(RootTag(r.Group), r.Key)
+	}).Cache()
 	tags := engine.Keys(keyTags)
-	ctx := NewContext(sess, tags, size, opt)
+	ctx := NewContext(sess, tags, st.Groups, opt)
+	choice := ctx.ShredStrategy(st.Groups, st.Max, st.Total, d.Weight())
 
 	outer := InnerScalar[K]{repr: keyTags, ctx: ctx}
 	inner := InnerBag[V]{
@@ -94,7 +127,16 @@ func GroupByKeyIntoNestedBag[K comparable, V any](d engine.Dataset[engine.Pair[K
 		}),
 		ctx: ctx,
 	}
-	return NestedBag[K, V]{Outer: outer, Inner: inner}, nil
+	nb := NestedBag[K, V]{Outer: outer, Inner: inner}
+	if choice == ShredShredded {
+		nb.materialize = func() (any, error) { return shred.UnshredCollect(sb) }
+	} else {
+		// The paper's lowering: each group's inner bag built in one task.
+		// GroupByKey registers the spill lowering as its OOM fallback, so
+		// a giant-group failure demotes to shredded at run time.
+		nb.materialize = func() (any, error) { return engine.CollectMap(engine.GroupByKey(d)) }
+	}
+	return nb, nil
 }
 
 // MapNestedBag is mapWithLiftedUDF on a NestedBag (Listing 2, line 4): the

@@ -110,6 +110,67 @@ func (c *Ctx) BagScalarJoinStrategy() engine.JoinStrategy {
 	return engine.JoinBroadcastLeft
 }
 
+// ShredChoice selects the physical representation of a nested bag built
+// by GroupByKeyIntoNestedBag: materialize each group's inner bag in one
+// task at consumption boundaries (the paper's lowering), or keep the
+// shredded flat/dictionary form (internal/shred) and un-shred through a
+// spill group-by plus dictionary join. Both produce bit-identical
+// nested values; they differ in where the memory goes.
+type ShredChoice int
+
+const (
+	// ShredMaterialized builds each group's inner bag in one task
+	// (engine.GroupByKey) when the nested value is consumed.
+	ShredMaterialized ShredChoice = iota
+	// ShredShredded keeps inner-bag contents as a flat dictionary and
+	// un-shreds through the spill group build (shred.Unshred).
+	ShredShredded
+)
+
+func (s ShredChoice) String() string {
+	if s == ShredMaterialized {
+		return "materialized"
+	}
+	return "shredded"
+}
+
+// ForceShredChoice builds the Options override for a ShredChoice.
+func ForceShredChoice(s ShredChoice) *ShredChoice { return &s }
+
+// shredBytesPerRow is the assumed real bytes per inner row when sizing a
+// group build — the same figure the benchmarks use for record weight
+// (bench realBytesPerRecord).
+const shredBytesPerRow = 48
+
+// ShredStrategy picks the nested-bag representation from the observed
+// group structure: the shredded form wins exactly when materializing the
+// largest group in a single task would eat more than half a machine
+// (the group's task never runs alone in a wave), after honoring an
+// explicit override and this session's OOM feedback.
+func (c *Ctx) ShredStrategy(groups, maxGroup, total int64, weight float64) ShredChoice {
+	if f := c.Opt.ForceShred; f != nil {
+		c.decide("shred", f.String(), true, "Options.ForceShred override")
+		return *f
+	}
+	if why, denied := c.Sess.Feedback().Denied("shred", "materialized"); denied {
+		c.decide("shred", ShredShredded.String(), true, "retried-after-OOM: %s", why)
+		return ShredShredded
+	}
+	cl := c.Sess.Config().Cluster
+	est := int64(float64(maxGroup) * weight * shredBytesPerRow * cl.MemoryOverheadFactor)
+	budget := cl.MemoryPerMachine / 2
+	if est > budget {
+		c.decide("shred", ShredShredded.String(), false,
+			"largest of %d groups has %d rows (of %d): materializing it is ~%dMB resident, over the %dMB half-machine budget",
+			groups, maxGroup, total, est>>20, budget>>20)
+		return ShredShredded
+	}
+	c.decide("shred", ShredMaterialized.String(), false,
+		"largest of %d groups has %d rows (of %d): materializing it is ~%dMB resident, within the %dMB half-machine budget",
+		groups, maxGroup, total, est>>20, budget>>20)
+	return ShredMaterialized
+}
+
 // HalfLiftedChoice selects the broadcast side of a half-lifted
 // mapWithClosure (Sec. 8.3), which is a cross product between the bag
 // representing an InnerScalar and a primary input bag from outside the

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
+)
+
+func obsSession() (*engine.Session, *obs.Recorder) {
+	rec := obs.NewRecorder()
+	cfg := engine.DefaultConfig()
+	cfg.Cluster.Machines = 4
+	cfg.Cluster.CoresPerMachine = 2
+	cfg.DefaultParallelism = 6
+	cfg.Obs = rec
+	s, err := engine.NewSession(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s, rec
+}
+
+func groupedInput(n, keys int) []engine.Pair[int64, int64] {
+	out := make([]engine.Pair[int64, int64], n)
+	for i := range out {
+		out[i] = engine.KV(int64(i%keys), int64(i*3))
+	}
+	return out
+}
+
+// TestShredStrategyFeedbackDenial: once session feedback denies
+// shred=materialized (the recovery loop does this after a giant-group
+// OOM), ShredStrategy must pick shredded — forced, with the denial
+// reason in the logged decision.
+func TestShredStrategyFeedbackDenial(t *testing.T) {
+	s, rec := obsSession()
+	d := engine.Parallelize(s, groupedInput(100, 5), 4)
+	s.Feedback().Deny("shred", "materialized", "shred=materialized OOMed at run time (test seed)")
+	nb, err := GroupByKeyIntoNestedBag(d, Options{})
+	if err != nil {
+		t.Fatalf("GroupByKeyIntoNestedBag: %v", err)
+	}
+	var found *obs.Decision
+	for i, dec := range rec.Decisions() {
+		if dec.Rule == "shred" {
+			found = &rec.Decisions()[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("no shred decision logged")
+	}
+	if found.Choice != "shredded" || !found.Forced {
+		t.Fatalf("decision = %+v, want forced shredded", found)
+	}
+	if !strings.Contains(found.Why, "retried-after-OOM") {
+		t.Errorf("Why = %q, want a retried-after-OOM cause", found.Why)
+	}
+	// The denied lowering must not run: the collect still succeeds and
+	// matches the reference grouping.
+	got, err := CollectNested(nb)
+	if err != nil {
+		t.Fatalf("CollectNested: %v", err)
+	}
+	if len(got) != 5 || len(got[0]) != 20 {
+		t.Fatalf("got %d groups (group 0 has %d), want 5 groups of 20", len(got), len(got[0]))
+	}
+}
+
+// TestShredForcedModesBitIdentical: ForceShred on vs off produce
+// DeepEqual-identical nested values, and each forced choice is logged.
+func TestShredForcedModesBitIdentical(t *testing.T) {
+	run := func(c ShredChoice) (map[int64][]int64, *obs.Recorder) {
+		s, rec := obsSession()
+		d := engine.Parallelize(s, groupedInput(3000, 17), 8)
+		nb, err := GroupByKeyIntoNestedBag(d, Options{ForceShred: ForceShredChoice(c)})
+		if err != nil {
+			t.Fatalf("GroupByKeyIntoNestedBag(%v): %v", c, err)
+		}
+		got, err := CollectNested(nb)
+		if err != nil {
+			t.Fatalf("CollectNested(%v): %v", c, err)
+		}
+		return got, rec
+	}
+	mat, matRec := run(ShredMaterialized)
+	shr, shrRec := run(ShredShredded)
+	if !reflect.DeepEqual(mat, shr) {
+		t.Fatal("materialized and shredded nested values diverged")
+	}
+	if len(mat) != 17 {
+		t.Fatalf("got %d groups, want 17", len(mat))
+	}
+	check := func(rec *obs.Recorder, want string) {
+		t.Helper()
+		for _, dec := range rec.Decisions() {
+			if dec.Rule == "shred" && dec.Choice == want && dec.Forced {
+				return
+			}
+		}
+		t.Errorf("no forced shred=%s decision logged", want)
+	}
+	check(matRec, "materialized")
+	check(shrRec, "shredded")
+}
+
+// TestShredStrategySizeRule: with no override and no feedback, the rule
+// flips on the estimated resident bytes of the largest group against
+// the half-machine budget.
+func TestShredStrategySizeRule(t *testing.T) {
+	s, rec := obsSession()
+	ctx := &Ctx{Sess: s, Size: 10, Parts: 1}
+	weight := 1.0
+	budget := s.Config().Cluster.MemoryPerMachine / 2
+	overhead := s.Config().Cluster.MemoryOverheadFactor
+	// A max group just under the budget stays materialized; far over it
+	// goes shredded.
+	smallMax := int64(float64(budget)/(overhead*shredBytesPerRow)) / 2
+	hugeMax := smallMax * 8
+	if got := ctx.ShredStrategy(10, smallMax, smallMax*10, weight); got != ShredMaterialized {
+		t.Errorf("small max group: got %v, want materialized", got)
+	}
+	if got := ctx.ShredStrategy(10, hugeMax, hugeMax*2, weight); got != ShredShredded {
+		t.Errorf("huge max group: got %v, want shredded", got)
+	}
+	var whys []string
+	for _, dec := range rec.Decisions() {
+		if dec.Rule == "shred" {
+			whys = append(whys, dec.Why)
+		}
+	}
+	if len(whys) != 2 {
+		t.Fatalf("logged %d shred decisions, want 2", len(whys))
+	}
+	for _, why := range whys {
+		if !strings.Contains(why, "largest of 10 groups") {
+			t.Errorf("Why %q does not report observed sizes", why)
+		}
+	}
+}

@@ -24,15 +24,31 @@ type Visit struct {
 	IP  int64
 }
 
+// DefaultZipfS is the Zipf skew exponent the skewed generators use when
+// no explicit exponent is given — the Sec. 9.5 setting.
+const DefaultZipfS = 1.2
+
 // Visits generates n page visits over `days` distinct days. With skewed
 // set, days are drawn from a Zipf distribution (a few huge days, many tiny
-// ones — Sec. 9.5); otherwise uniformly. Roughly half the visitors on each
-// day bounce (visit exactly one page).
+// ones — Sec. 9.5) with exponent DefaultZipfS; otherwise uniformly.
+// Roughly half the visitors on each day bounce (visit exactly one page).
 func Visits(n, days int, skewed bool, seed int64) []Visit {
+	s := 0.0
+	if skewed {
+		s = DefaultZipfS
+	}
+	return VisitsSkew(n, days, s, seed)
+}
+
+// VisitsSkew is Visits with an explicit Zipf skew exponent: s > 1 draws
+// days Zipf(s), s == 0 draws them uniformly (matbench -skew). At
+// DefaultZipfS it is bit-identical to Visits(skewed=true).
+func VisitsSkew(n, days int, s float64, seed int64) []Visit {
 	rng := rand.New(rand.NewSource(seed))
+	skewed := s > 0
 	var zipf *rand.Zipf
 	if skewed {
-		zipf = rand.NewZipf(rng, 1.2, 1, uint64(days-1))
+		zipf = rand.NewZipf(rng, s, 1, uint64(days-1))
 	}
 	// First pass: draw each visit's day, counting per-day volumes.
 	dayOf := make([]int64, n)
@@ -70,12 +86,25 @@ type Edge struct {
 // "we perform a grouping of the graph edges and compute a separate
 // PageRank for each group"). Each group has the given vertex and edge
 // counts. With skewed set, the *sizes* of the groups follow a Zipf
-// distribution with the same totals.
+// distribution (exponent DefaultZipfS) with the same totals.
 func GroupedGraph(groups, verticesPerGroup, edgesPerGroup int, skewed bool, seed int64) []GroupedEdge {
+	s := 0.0
+	if skewed {
+		s = DefaultZipfS
+	}
+	return GroupedGraphSkew(groups, verticesPerGroup, edgesPerGroup, s, seed)
+}
+
+// GroupedGraphSkew is GroupedGraph with an explicit Zipf skew exponent:
+// s > 1 draws group sizes Zipf(s), s == 0 keeps them uniform (matbench
+// -skew). At DefaultZipfS it is bit-identical to
+// GroupedGraph(skewed=true).
+func GroupedGraphSkew(groups, verticesPerGroup, edgesPerGroup int, s float64, seed int64) []GroupedEdge {
 	rng := rand.New(rand.NewSource(seed))
+	skewed := s > 0
 	sizes := make([]int, groups)
 	if skewed {
-		zipf := rand.NewZipf(rng, 1.2, 1, uint64(groups-1))
+		zipf := rand.NewZipf(rng, s, 1, uint64(groups-1))
 		for i := 0; i < groups*edgesPerGroup; i++ {
 			sizes[zipf.Uint64()]++
 		}

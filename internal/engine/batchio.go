@@ -81,8 +81,15 @@ func init() {
 	registerBatchCodec[string]()
 	registerBatchCodec[Pair[int, int]]()
 	registerBatchCodec[Pair[int, int64]]()
+	registerBatchCodec[Pair[int64, int64]]()
 	registerBatchCodec[Pair[string, int]]()
 	registerBatchCodec[Pair[string, string]]()
+	// Shredded nested-bag dictionary shapes (internal/shred): inner-bag
+	// contents keyed by the 64-bit group id, and the gid-keyed group
+	// build those dictionaries shuffle through.
+	registerBatchCodec[Pair[uint64, int64]]()
+	registerBatchCodec[Pair[uint64, uint64]]()
+	registerBatchCodec[Pair[uint64, []int64]]()
 }
 
 // registerElemType records a boxed element's concrete type so the same

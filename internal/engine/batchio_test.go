@@ -38,6 +38,8 @@ func codecBatches(rng *rand.Rand) []Batch {
 	pii := make([]Pair[int, int], n)
 	psi := make([]Pair[string, int], n)
 	groups := make([]Pair[int, []int], n)
+	dict := make([]Pair[uint64, int64], n)
+	dictGroups := make([]Pair[uint64, []int64], n)
 	opts := make([]Pair[int, Tuple2[int, Opt[string]]], n)
 	for i := 0; i < n; i++ {
 		ints[i] = rng.Int() - rng.Int()
@@ -50,6 +52,12 @@ func codecBatches(rng *rand.Rand) []Batch {
 			g[k] = rng.Intn(50)
 		}
 		groups[i] = Pair[int, []int]{rng.Intn(10), g}
+		dict[i] = Pair[uint64, int64]{rng.Uint64(), int64(rng.Intn(1 << 20))}
+		dg := make([]int64, rng.Intn(5))
+		for k := range dg {
+			dg[k] = int64(rng.Intn(1 << 16))
+		}
+		dictGroups[i] = Pair[uint64, []int64]{rng.Uint64(), dg}
 		opts[i] = Pair[int, Tuple2[int, Opt[string]]]{
 			Key: i, Val: Tuple2[int, Opt[string]]{A: rng.Intn(5), B: Opt[string]{Val: randString(rng, 6), OK: rng.Intn(2) == 0}},
 		}
@@ -75,6 +83,8 @@ func codecBatches(rng *rand.Rand) []Batch {
 		batchOf(pii, bcap),
 		batchOf(psi, bcap),
 		batchOf(groups, bcap),
+		batchOf(dict, bcap),
+		batchOf(dictGroups, bcap),
 		batchOf(opts, bcap),
 		boxedBatch(boxed),
 		zeroBatch,

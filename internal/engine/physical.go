@@ -103,12 +103,29 @@ func (ep *execPlan) compileFusion() {
 		if fi == nil || len(fi.via) < 2 || pn.Done {
 			continue
 		}
+		// The chain must still mirror the live DAG: recovery's rewire
+		// splices a replacement parent into consumer deps, and a
+		// construction-time pipeline built over the abandoned lowering
+		// would silently evaluate it — a node the current plan never
+		// routes shuffle blocks or pins broadcasts for. Every fusible
+		// operator chains through its first dep, so the links and head
+		// must agree with deps[0] edges end to end.
 		legal := true
-		for _, m := range fi.via[:len(fi.via)-1] {
-			pm := ep.pnodes[m]
-			if pm == nil || pm.Done || ep.plan.IsRoot(pm) || ep.plan.Memo[pm] {
+		prev := fi.head
+		for _, m := range fi.via {
+			if len(m.deps) == 0 || m.deps[0].parent != prev {
 				legal = false
 				break
+			}
+			prev = m
+		}
+		if legal {
+			for _, m := range fi.via[:len(fi.via)-1] {
+				pm := ep.pnodes[m]
+				if pm == nil || pm.Done || ep.plan.IsRoot(pm) || ep.plan.Memo[pm] {
+					legal = false
+					break
+				}
 			}
 		}
 		if legal {

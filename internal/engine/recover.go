@@ -96,6 +96,16 @@ func (j *job) recover(f *stageFailure, target *node) (*node, bool) {
 		if !ok {
 			target, rec.Action, ok = j.demoteBroadcastIn(f, target)
 		}
+		if !ok {
+			// Last resort: re-lower the failed stage root itself to its
+			// registered fallback. This is how a giant-group OOM demotes a
+			// materialized group build to the shredded spill lowering —
+			// raising partitions cannot split one group, so raiseParts has
+			// already refused by the time this fires. demoteBroadcast is
+			// the generic fallback demotion despite its name: it works on
+			// any node with a registered refallback.
+			target, rec.Action, ok = j.demoteBroadcast(f.root, f.oom, target)
+		}
 		relowered = ok
 	}
 	if !ok {

@@ -125,21 +125,61 @@ func TestRecoverTaskOOMRaisesPartitions(t *testing.T) {
 	}
 }
 
-// TestRecoverGiantGroupStillOOMs: a single unsplittable group defeats the
-// partition raise — recovery is bounded and the job still reports OOM,
-// exactly as the paper observes for the outer-parallel workaround.
-func TestRecoverGiantGroupStillOOMs(t *testing.T) {
-	// 1 MB machines: ingest fits, but the single ~3.5 MB group cannot be
-	// split by raising partitions — it always lands in one task.
-	cfg, _ := recoverConfig(1 << 20)
-	s := mustSession(cfg)
-	pairs := make([]Pair[int, int64], 5000)
-	for i := range pairs {
-		pairs[i] = KV(7, int64(i))
+// TestRecoverGiantGroupDemotesToShredded: a single unsplittable group
+// defeats the partition raise (it always lands in one task), which used
+// to abort with OOM exactly as the paper observes for the outer-parallel
+// workaround. With the shredded lowering registered as the group build's
+// fallback, recovery now demotes groupByKey to the spill variant after
+// the raises are exhausted, denylists shred=materialized for the
+// session, and the job completes — deterministically.
+func TestRecoverGiantGroupDemotesToShredded(t *testing.T) {
+	run := func() ([]Pair[int, []int64], float64, *Session, *obs.Recorder) {
+		// 1 MB machines: ingest fits, but the single ~3.5 MB group cannot
+		// be split by raising partitions; the spill build's bounded
+		// working set (~220 KB) fits.
+		cfg, rec := recoverConfig(1 << 20)
+		s := mustSession(cfg)
+		pairs := make([]Pair[int, int64], 5000)
+		for i := range pairs {
+			pairs[i] = KV(7, int64(i))
+		}
+		got, err := Collect(GroupByKey(Parallelize(s, pairs, 8)))
+		if err != nil {
+			t.Fatalf("Collect with recovery: %v", err)
+		}
+		return got, s.Clock(), s, rec
 	}
-	_, err := Collect(GroupByKey(Parallelize(s, pairs, 8)))
-	if !errors.Is(err, cluster.ErrOutOfMemory) {
-		t.Fatalf("err = %v, want OOM despite recovery", err)
+
+	got, clock1, s, rec := run()
+	if len(got) != 1 || got[0].Key != 7 || len(got[0].Val) != 5000 {
+		t.Fatalf("got %d groups (first key %d, %d values), want the one 5000-value group",
+			len(got), got[0].Key, len(got[0].Val))
+	}
+	if why, denied := s.Feedback().Denied("shred", "materialized"); !denied {
+		t.Error("failed materialized group build not denylisted")
+	} else if !strings.Contains(why, "OOMed") {
+		t.Errorf("denylist reason = %q", why)
+	}
+	recs := recoveries(rec)
+	var demoted bool
+	for _, r := range recs {
+		if r.Action == "re-lowered(shred=shredded)" {
+			demoted = true
+			if !strings.Contains(r.What, "task OOM") {
+				t.Errorf("demotion What = %q", r.What)
+			}
+		}
+	}
+	if !demoted {
+		t.Fatalf("no shred demotion among recoveries: %+v", recs)
+	}
+	if report := rec.Report(); !strings.Contains(report, "re-lowered(shred=shredded)") {
+		t.Errorf("EXPLAIN ANALYZE does not render the demotion:\n%s", report)
+	}
+
+	_, clock2, _, _ := run()
+	if clock1 != clock2 {
+		t.Errorf("recovered clock not deterministic: %.6f vs %.6f", clock1, clock2)
 	}
 }
 
@@ -225,5 +265,47 @@ func TestRecoveryOffStillAborts(t *testing.T) {
 	_, err := Collect(JoinWith(small, big, JoinBroadcastLeft, 0))
 	if !errors.Is(err, cluster.ErrOutOfMemory) {
 		t.Fatalf("err = %v, want OOM", err)
+	}
+}
+
+// TestRecoverDemotionUnfusesStaleChains: a fused map chain compiled over a
+// broadcast-side lowering must stop fusing when recovery demotes that
+// lowering — the constructor-built pipeline still heads at the abandoned
+// node, which the replanned stage graph never routes or pins for, so
+// running it would read a nil broadcast. The replan has to notice the
+// chain no longer mirrors the rewired DAG and fall back to unfused
+// evaluation of the replacement.
+func TestRecoverDemotionUnfusesStaleChains(t *testing.T) {
+	// 1 MB machines: broadcasting the 2000-element primary (~1.2 MB
+	// resident) OOMs; the mirrored lowering broadcasts the one-element
+	// scalar side instead.
+	cfg, rec := recoverConfig(1 << 20)
+	s := mustSession(cfg)
+	scalar := Parallelize(s, []int{1000}, 2)
+	primary := Parallelize(s, ints(2000), 4)
+	crossed := CrossBroadcastBig(scalar, primary, func(a, b int) int { return a + b })
+	// Two fusible links on top: enough for a compiled chain whose head is
+	// the crossed node the demotion abandons.
+	mapped := Map(Map(crossed, func(v int) int { return v * 2 }), func(v int) int { return v + 1 })
+	got, err := Collect(mapped)
+	if err != nil {
+		t.Fatalf("Collect with recovery: %v", err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("cross produced %d elements, want 2000", len(got))
+	}
+	sort.Ints(got)
+	if want := (1000+0)*2 + 1; got[0] != want {
+		t.Fatalf("got[0] = %d, want %d", got[0], want)
+	}
+	if want := (1000+1999)*2 + 1; got[len(got)-1] != want {
+		t.Fatalf("got[last] = %d, want %d", got[len(got)-1], want)
+	}
+	if _, denied := s.Feedback().Denied("half-lifted", "broadcast-primary"); !denied {
+		t.Error("failed half-lifted side not denylisted")
+	}
+	recs := recoveries(rec)
+	if len(recs) == 0 || recs[0].Action != "re-lowered(half-lifted=broadcast-scalar)" {
+		t.Fatalf("recoveries = %+v", recs)
 	}
 }

@@ -1,5 +1,7 @@
 package engine
 
+import "matryoshka/internal/obs"
+
 // keyPartitioner hashes Pair keys for shuffle routing. It is the boxed
 // per-element form every shuffle dep carries; pairShuffleDep installs the
 // batch-at-a-time spelling next to it for hashable key shapes.
@@ -125,18 +127,75 @@ func GroupByKey[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[Pair[K, []V]
 }
 
 // GroupByKeyN is GroupByKey with an explicit partition count.
+//
+// The group build is registered as a re-lowerable choice under the
+// "shred" rule: if a task OOMs building its groups, the recovery loop
+// can demote the node to the spill variant (GroupByKeySpillN) instead
+// of only raising partition counts — raising partitions cannot split a
+// single giant group, spilling can stream it. A session whose feedback
+// already denies shred=materialized (a previous run OOMed here) gets
+// the spill lowering up front.
 func GroupByKeyN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[Pair[K, []V]] {
+	if parts <= 0 {
+		parts = d.s.cfg.DefaultParallelism
+	}
+	if why, denied := d.s.feedback.Denied("shred", "materialized"); denied {
+		d.s.obs.Decide(obs.Decision{Rule: "shred", Choice: "shredded", Forced: true,
+			Why: "retried-after-OOM: " + why})
+		return GroupByKeySpillN(d, parts)
+	}
+	inWeight := d.n.weight
+	sd := pairShuffleDep[K, V](d.s, d.n)
+	kernel := GroupByKeyCompute[K, V]()
+	var n *node
+	n = d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
+		// Grouping buffers the whole input of the partition: that full
+		// residency is exactly what OOMs the outer-parallel workaround
+		// on large or skewed groups (Sec. 9.4, 9.5).
+		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
+		return kernel(tc, p, in)
+	})
+	n.fallback = &refallback{
+		rule: "shred", choice: "materialized", alt: "shredded",
+		build: func() *node {
+			return GroupByKeySpillN(d, n.parts).n
+		},
+	}
+	return fromNode[Pair[K, []V]](d.s, n)
+}
+
+// Spill group-by cost model. A spilling build keeps only a bounded
+// working set resident (run buffers plus a merge fan-in) instead of the
+// whole partition: model it as 1/spillResidencyFraction of the full
+// footprint. In exchange every row is written to and re-read from local
+// disk across the run/merge passes, charged as spillIOFactor extra
+// element-ops on top of the grouping work itself.
+const (
+	spillResidencyFraction = 16
+	spillIOFactor          = 3
+)
+
+// GroupByKeySpill is the spill-friendly group build: identical output
+// (same routing, same per-group element order — source-partition-major
+// input order) to GroupByKey, but the task streams its partition
+// through bounded run buffers instead of holding it resident, so a
+// giant group costs I/O time rather than memory. This is the group
+// build the shredded nested-bag lowering uses at un-shred boundaries.
+func GroupByKeySpill[K comparable, V any](d Dataset[Pair[K, V]]) Dataset[Pair[K, []V]] {
+	return GroupByKeySpillN(d, 0)
+}
+
+// GroupByKeySpillN is GroupByKeySpill with an explicit partition count.
+func GroupByKeySpillN[K comparable, V any](d Dataset[Pair[K, V]], parts int) Dataset[Pair[K, []V]] {
 	if parts <= 0 {
 		parts = d.s.cfg.DefaultParallelism
 	}
 	inWeight := d.n.weight
 	sd := pairShuffleDep[K, V](d.s, d.n)
 	kernel := GroupByKeyCompute[K, V]()
-	n := d.s.newNode("groupByKey", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
-		// Grouping buffers the whole input of the partition: that full
-		// residency is exactly what OOMs the outer-parallel workaround
-		// on large or skewed groups (Sec. 9.4, 9.5).
-		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight))
+	n := d.s.newNode("groupByKeySpill", parts, []dep{sd}, func(tc *Ctx, p int, in []Batch) Batch {
+		tc.UseMemory(d.s.estResidentBytes(in[0], inWeight) / spillResidencyFraction)
+		tc.Charge(int64(float64(in[0].Len()) * inWeight * spillIOFactor))
 		return kernel(tc, p, in)
 	})
 	return fromNode[Pair[K, []V]](d.s, n)

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestGroupByKeySpillMatchesGroupByKey: the spill build is a pure
+// re-lowering — identical groups, identical per-group element order
+// (source-partition-major input order) — so recovery may swap one for
+// the other without changing any result bit.
+func TestGroupByKeySpillMatchesGroupByKey(t *testing.T) {
+	build := func(spill bool) []Pair[int, []int64] {
+		s := testSession()
+		pairs := make([]Pair[int, int64], 3000)
+		for i := range pairs {
+			pairs[i] = KV(i%37, int64(i))
+		}
+		d := Parallelize(s, pairs, 8)
+		var got []Pair[int, []int64]
+		var err error
+		if spill {
+			got, err = Collect(GroupByKeySpill(d))
+		} else {
+			got, err = Collect(GroupByKey(d))
+		}
+		if err != nil {
+			t.Fatalf("Collect(spill=%v): %v", spill, err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+		return got
+	}
+	mat, spl := build(false), build(true)
+	if !reflect.DeepEqual(mat, spl) {
+		t.Fatalf("spill group build diverged from materialized:\n%v\nvs\n%v", mat, spl)
+	}
+	if len(mat) != 37 {
+		t.Fatalf("got %d groups, want 37", len(mat))
+	}
+}
+
+// TestGroupByKeyHonorsShredDenylist: a session whose feedback already
+// denies shred=materialized (a previous run OOMed the group build) gets
+// the spill lowering up front — the giant group that would OOM the
+// materialized build completes first-try, with recovery OFF, and the
+// forced choice lands in the decision log.
+func TestGroupByKeyHonorsShredDenylist(t *testing.T) {
+	cfg, rec := recoverConfig(1 << 20)
+	cfg.Recover = false
+	s := mustSession(cfg)
+	s.Feedback().Deny("shred", "materialized", "shred=materialized OOMed at run time (test seed)")
+	pairs := make([]Pair[int, int64], 5000)
+	for i := range pairs {
+		pairs[i] = KV(7, int64(i))
+	}
+	got, err := Collect(GroupByKey(Parallelize(s, pairs, 8)))
+	if err != nil {
+		t.Fatalf("Collect with denylisted materialized build: %v", err)
+	}
+	if len(got) != 1 || len(got[0].Val) != 5000 {
+		t.Fatalf("got %d groups (%d values), want 1 group of 5000", len(got), len(got[0].Val))
+	}
+	var forced bool
+	for _, d := range rec.Decisions() {
+		if d.Rule == "shred" && d.Choice == "shredded" && d.Forced {
+			forced = true
+		}
+	}
+	if !forced {
+		t.Errorf("forced shredded decision missing from log: %+v", rec.Decisions())
+	}
+}

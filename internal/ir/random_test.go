@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -223,6 +224,41 @@ func TestRandomNestedProgramsMatchReference(t *testing.T) {
 			if got[k] != want {
 				t.Errorf("seed %d (loop=%v) group %d: got %d, want %d", seed, withLoop, k, got[k], want)
 			}
+		}
+	}
+}
+
+// TestRandomNestedProgramsShredLoweringsAgree lowers every randomized
+// nested program twice — group materialization forced materialized and
+// forced shredded — and requires the collected results to be DeepEqual,
+// element order included: the shred rule must be a pure physical choice
+// invisible to any program the parsing phase accepts.
+func TestRandomNestedProgramsShredLoweringsAgree(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		prog, _, withLoop := generate(seed)
+		ps, err := Parse(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed + 1000))
+		var data []any
+		for i := 0; i < 60; i++ {
+			data = append(data, int64(rng.Intn(40)))
+		}
+		var results []any
+		for _, choice := range []core.ShredChoice{core.ShredMaterialized, core.ShredShredded} {
+			// Fresh session per lowering: node ids and caches must not leak
+			// between the two plans.
+			res, err := Lower(ps, testSession(), map[string][]any{"data": data},
+				core.Options{ForceShred: core.ForceShredChoice(choice)})
+			if err != nil {
+				t.Fatalf("seed %d (loop=%v) %v: lowering failed: %v", seed, withLoop, choice, err)
+			}
+			results = append(results, res)
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Errorf("seed %d (loop=%v): materialized and shredded lowerings diverged\nmaterialized: %v\nshredded:     %v",
+				seed, withLoop, results[0], results[1])
 		}
 	}
 }

@@ -269,6 +269,33 @@ func (r *Recorder) Jobs() []Job {
 	return append([]Job(nil), r.jobs...)
 }
 
+// PeakTaskMem returns the largest single-task memory claim recorded
+// across all jobs and stages (including a still-open job) — the
+// peak-resident-bytes figure the sec-shred experiment reports per
+// nested-bag lowering.
+func (r *Recorder) PeakTaskMem() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var peak int64
+	scan := func(j *Job) {
+		for _, s := range j.Stages {
+			if s.MaxTaskMem > peak {
+				peak = s.MaxTaskMem
+			}
+		}
+	}
+	for i := range r.jobs {
+		scan(&r.jobs[i])
+	}
+	if r.cur != nil {
+		scan(r.cur)
+	}
+	return peak
+}
+
 // Decisions returns the decision log.
 func (r *Recorder) Decisions() []Decision {
 	if r == nil {

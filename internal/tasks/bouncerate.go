@@ -13,7 +13,8 @@ import (
 type BounceRateSpec struct {
 	Visits int
 	Days   int
-	Skewed bool // Zipf day distribution (Sec. 9.5)
+	Skewed bool    // Zipf day distribution (Sec. 9.5)
+	Skew   float64 // Zipf exponent when Skewed (0 = datagen.DefaultZipfS)
 	Seed   int64
 }
 
@@ -23,7 +24,7 @@ type BounceRates = map[int64]float64
 const bounceRateName = "bounce-rate"
 
 func (sp BounceRateSpec) data() []engine.Pair[int64, int64] {
-	visits := datagen.Visits(sp.Visits, sp.Days, sp.Skewed, sp.Seed)
+	visits := datagen.VisitsSkew(sp.Visits, sp.Days, zipfExponent(sp.Skewed, sp.Skew), sp.Seed)
 	pairs := make([]engine.Pair[int64, int64], len(visits))
 	for i, v := range visits {
 		pairs[i] = engine.KV(v.Day, v.IP)
@@ -87,6 +88,7 @@ func (e *unknownStrategyError) Error() string { return "tasks: unknown strategy 
 // expressed with the nesting primitives (Listing 2), lowered to the flat
 // plan (Listing 3) at run time.
 func (sp BounceRateSpec) runMatryoshka(cc cluster.Config, opt core.Options) Outcome {
+	opt = shredOptions(opt)
 	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(bounceRateName, Matryoshka, err)

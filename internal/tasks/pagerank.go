@@ -20,7 +20,8 @@ type PageRankSpec struct {
 	TotalVertices int
 	Eps           float64 // L1 rank-change convergence threshold
 	MaxIters      int
-	Skewed        bool // Zipf group sizes (Sec. 9.5)
+	Skewed        bool    // Zipf group sizes (Sec. 9.5)
+	Skew          float64 // Zipf exponent when Skewed (0 = datagen.DefaultZipfS)
 	Seed          int64
 	// NoCoPartition disables pre-partitioning of the loop's static join
 	// inputs (edges, degrees), re-shuffling them every superstep — the
@@ -39,7 +40,7 @@ func (sp PageRankSpec) data() []datagen.GroupedEdge {
 	if vpg < 2 {
 		vpg = 2
 	}
-	return datagen.GroupedGraph(sp.Groups, vpg, epg, sp.Skewed, sp.Seed)
+	return datagen.GroupedGraphSkew(sp.Groups, vpg, epg, zipfExponent(sp.Skewed, sp.Skew), sp.Seed)
 }
 
 // Reference computes every group's PageRank sequentially.
@@ -90,6 +91,7 @@ type prDN struct {
 // iteration lifted per Sec. 6 (groups converge at different iterations).
 // opt is exposed for the Fig. 8 join-strategy ablation.
 func (sp PageRankSpec) RunMatryoshka(cc cluster.Config, opt core.Options) Outcome {
+	opt = shredOptions(opt)
 	sess, err := newMatryoshkaSession(cc)
 	if err != nil {
 		return failed(pageRankName, Matryoshka, err)

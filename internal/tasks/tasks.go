@@ -23,9 +23,24 @@ import (
 	"fmt"
 
 	"matryoshka/internal/cluster"
+	"matryoshka/internal/core"
+	"matryoshka/internal/datagen"
 	"matryoshka/internal/engine"
 	"matryoshka/internal/obs"
 )
+
+// zipfExponent maps a spec's (Skewed, Skew) knobs to the datagen skew
+// exponent: 0 when unskewed, the explicit exponent when one is set
+// (matbench -skew), datagen.DefaultZipfS otherwise.
+func zipfExponent(skewed bool, skew float64) float64 {
+	if !skewed {
+		return 0
+	}
+	if skew > 1 {
+		return skew
+	}
+	return datagen.DefaultZipfS
+}
 
 // Strategy names an execution strategy.
 type Strategy string
@@ -147,3 +162,24 @@ var Backend engine.Backend
 // experiments flip it off to show the abort-vs-recover gap. Workaround
 // baselines never recover regardless.
 var Recovery = true
+
+// Shred selects the nested-bag materialization lowering on Matryoshka
+// runs (matbench -shred): "auto" (default) lets the Sec. 8 shred rule
+// pick per group-by from observed group sizes, "on" forces the shredded
+// flat/dictionary lowering, "off" forces whole-group materialization.
+var Shred = "auto"
+
+// shredOptions applies the package-level Shred toggle to a run's
+// optimizer options, keeping an explicit per-call ForceShred intact.
+func shredOptions(opt core.Options) core.Options {
+	if opt.ForceShred != nil {
+		return opt
+	}
+	switch Shred {
+	case "on":
+		opt.ForceShred = core.ForceShredChoice(core.ShredShredded)
+	case "off":
+		opt.ForceShred = core.ForceShredChoice(core.ShredMaterialized)
+	}
+	return opt
+}
