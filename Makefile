@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench shred-bench fuzz-smoke
+.PHONY: check test race vet build bench bench-check figures fmt-check sched-bench chaos-bench shred-bench procchaos-bench fuzz-smoke
 
 ## check: everything CI runs — formatting, vet, build, tests, race tests.
 check: fmt-check vet build test race
@@ -77,6 +77,13 @@ sched-bench:
 shred-bench:
 	$(GO) run ./cmd/matbench -q -exp sec-shred
 	$(GO) run ./cmd/matbench -explain shred
+
+## procchaos-bench: smoke the process pool's self-healing — 20 jobs
+## under seeded worker kills; exits nonzero unless the respawn-on run
+## matches the reference bit-for-bit (with at least one respawn and one
+## lineage recomputation) and the respawn-off control aborts.
+procchaos-bench:
+	$(GO) run ./cmd/matbench -records-per-gb 2000 -backend proc -procchaos
 
 ## chaos-bench: smoke the fault-tolerance path — the crash-rate sweep
 ## (abort vs lineage recovery; what EXPERIMENTS.md's sec9-chaos section

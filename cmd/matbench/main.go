@@ -16,6 +16,7 @@
 //	matbench -explain chaos                      # machine crashes + lineage recomputation
 //	matbench -exp sec9-chaos -seed 7             # crash-rate sweep under a different hazard seed
 //	matbench -exp fig3-kmeans -mtbf 200          # any experiment under a machine-crash hazard
+//	matbench -backend proc -procchaos        # self-healing soak: 20 jobs under seeded worker kills
 //	matbench -tenants 3 -policy fair -speculate -straggle 0.25
 //	                                 # one multi-tenant scheduling run (p50/p99/makespan)
 //	matbench -exp fig1 -cpuprofile cpu.out -memprofile mem.out
@@ -62,6 +63,7 @@ type knobs struct {
 	batchStats string
 	backend    string
 	workers    int
+	procChaos  bool
 	nofuse     bool
 	skew       float64
 	shred      string
@@ -122,6 +124,9 @@ func validateFlags(k knobs) error {
 	if k.workers > 0 && k.backend != "proc" {
 		return fmt.Errorf("-workers applies to the process pool; add -backend proc")
 	}
+	if k.procChaos && k.backend != "proc" {
+		return fmt.Errorf("-procchaos soaks the process pool; add -backend proc")
+	}
 	if k.backend == "proc" {
 		switch {
 		case k.explain != "" || k.trace != "" || k.batchStats != "":
@@ -171,6 +176,7 @@ func run() int {
 		shred      = flag.String("shred", "auto", "nested-bag materialization lowering: auto (optimizer picks per group-by), on (force shredded), off (force materialized)")
 		backend    = flag.String("backend", "sim", "execution backend: sim (per-run simulator) or proc (run the sim-vs-process-pool A/B comparison)")
 		workers    = flag.Int("workers", 0, "worker process count for -backend proc (0 = min(4, NumCPU))")
+		procChaos  = flag.Bool("procchaos", false, "with -backend proc: run the self-healing soak (seeded worker kills; respawn-on must match the reference, respawn-off must abort)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -179,7 +185,7 @@ func run() int {
 		chaos: *chaos, mtbf: *mtbf, seed: *seed, tenants: *tenants, policy: *policy,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		explain: *explain, trace: *trace, batchStats: *batchStats,
-		backend: *backend, workers: *workers, nofuse: *nofuse,
+		backend: *backend, workers: *workers, procChaos: *procChaos, nofuse: *nofuse,
 		skew: *skew, shred: *shred}); err != nil {
 		fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 		flag.Usage()
@@ -236,7 +242,11 @@ func run() int {
 	}
 
 	if *backend == "proc" {
-		out, err := bench.ProcAB(sc, *workers)
+		runProc := bench.ProcAB
+		if *procChaos {
+			runProc = bench.ProcChaos
+		}
+		out, err := runProc(sc, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "matbench: %v\n", err)
 			return 1

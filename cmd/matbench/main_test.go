@@ -35,6 +35,8 @@ func TestValidateFlags(t *testing.T) {
 		{name: "batchstats with trace", k: knobs{policy: "fair", batchStats: "bounce-rate", trace: "pagerank"}, wantErr: "-batchstats"},
 		{name: "proc backend", k: knobs{backend: "proc", policy: "fair"}},
 		{name: "proc backend with workers", k: knobs{backend: "proc", workers: 2, policy: "fair"}},
+		{name: "proc chaos soak", k: knobs{backend: "proc", procChaos: true, policy: "fair"}},
+		{name: "procchaos without proc", k: knobs{backend: "sim", procChaos: true, policy: "fair"}, wantErr: "-procchaos"},
 		{name: "unknown backend", k: knobs{backend: "spark", policy: "fair"}, wantErr: "-backend"},
 		{name: "empty backend", k: knobs{policy: "fair"}, wantErr: "-backend"},
 		{name: "workers negative", k: knobs{backend: "proc", workers: -1, policy: "fair"}, wantErr: "-workers"},

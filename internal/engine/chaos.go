@@ -116,12 +116,21 @@ func (j *job) registerOutput(n *node) {
 func (j *job) rewindLost(f *stageFailure) (string, bool) {
 	// Probe every registered output so one rewind covers the whole crash.
 	var lost []*node
-	for n, id := range j.outputs {
-		if j.s.resid.CheckFetch(id) != nil {
-			lost = append(lost, n)
+	if j.s.resid != nil {
+		for n, id := range j.outputs {
+			if j.s.resid.CheckFetch(id) != nil {
+				lost = append(lost, n)
+			}
 		}
 	}
 	if len(lost) == 0 {
+		if f.lost == nil {
+			// A fleet-level failure (worker quorum lost) names no parent
+			// and left no probe-able lost outputs: there is nothing to
+			// rewind selectively, so escalate straight to the bounded
+			// from-scratch job retry.
+			return j.retryJob(f)
+		}
 		lost = []*node{f.lost}
 	}
 	sort.Slice(lost, func(a, b int) bool { return lost[a].id < lost[b].id })
@@ -180,14 +189,18 @@ func (j *job) retryJob(f *stageFailure) (string, bool) {
 	}
 	j.jobRetries++
 	backoff := fetchBackoffBase * math.Pow(2, float64(j.jobRetries-1))
-	j.s.resid.Advance(backoff)
+	if j.s.resid != nil {
+		j.s.resid.Advance(backoff)
+	}
 	for n, cp := range j.front {
 		if !cp.adopted {
 			delete(j.front, n)
 		}
 	}
 	for n, id := range j.outputs {
-		j.s.resid.DropOutput(id)
+		if j.s.resid != nil {
+			j.s.resid.DropOutput(id)
+		}
 		delete(j.outputs, n)
 	}
 	j.blocks = map[*dep][]Batch{}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,11 @@ import (
 type job struct {
 	s  *Session
 	ep *execPlan // the bound physical plan (rebuilt on recovery replans)
+	// ctx is the submission context (SubmitJobCtx): cancellation stops
+	// launching stages and propagates into the RemoteRunner so a pool
+	// stops dispatching the job's queued tasks. Background when the job
+	// was submitted without one.
+	ctx context.Context
 	// front is the job's stage frontier: the checkpoint of every stage
 	// root materialized so far, with the cost provenance of the attempt
 	// that produced it.
@@ -107,6 +113,7 @@ func (s *Session) runJob(target *node) ([]Batch, error) {
 	defer s.mu.Unlock()
 	j := &job{
 		s:          s,
+		ctx:        s.jobCtx(),
 		front:      map[*node]*checkpoint{},
 		blocks:     map[*dep][]Batch{},
 		bcast:      map[*dep]Batch{},
@@ -290,13 +297,16 @@ func (j *job) launchStageRemote(n *node, st *plan.Stage) (stageResult, bool) {
 	if err := j.stagePortable(n); err != nil {
 		return driverLocal(err)
 	}
-	spec, err := j.buildRemoteSpec(n, j.s.remote.PutBlock)
+	spec, owners, err := j.buildRemoteSpec(n, j.s.remote.PutBlock)
 	if err != nil {
 		return driverLocal(err)
 	}
 	wallStart := time.Now()
-	res, err := j.s.remote.RunRemoteStage(spec)
+	res, err := j.s.remote.RunRemoteStage(j.ctx, spec)
 	if err != nil {
+		if fail, hard := j.classifyRemoteErr(n, st, err, owners); hard {
+			return stageResult{fail: fail}, true
+		}
 		return driverLocal(err)
 	}
 	if len(res.Parts) != n.parts {
@@ -336,6 +346,59 @@ func (j *job) launchStageRemote(n *node, st *plan.Stage) (stageResult, bool) {
 		n.cacheMu.Unlock()
 	}
 	return stageResult{rep: rep}, true
+}
+
+// classifyRemoteErr decides what a RunRemoteStage error means for the
+// stage. hard=true returns a typed stageFailure instead of falling back
+// driver-local:
+//
+//   - *BlockLostError: a stored block failed its integrity check. The
+//     failure is pinned on the block's producing node (owners map) as a
+//     fetch failure, so lineage recomputation rebuilds exactly that
+//     output — corrupt bytes never reach results.
+//   - *QuorumLostError: the pool is below its live-worker quorum. Also a
+//     fetch-style failure (no specific lost parent), so the bounded job
+//     retry — not an infinite driver wait — decides the job's fate.
+//   - *PoisonTaskError: the task destroys workers deterministically;
+//     running it driver-local would kill the driver. Hard abort, with
+//     the operator chain in the message.
+//   - ctx cancellation: the submitting caller gave up; hard abort.
+//
+// Anything else (codec trouble, unregistered ops reported late, pool
+// shutdown) keeps the existing contract: run the stage driver-local.
+func (j *job) classifyRemoteErr(n *node, st *plan.Stage, err error, owners map[uint64]*node) (*stageFailure, bool) {
+	var blockLost *BlockLostError
+	var quorum *QuorumLostError
+	var poison *PoisonTaskError
+	switch {
+	case errors.As(err, &blockLost):
+		owner := owners[blockLost.Block]
+		ff := &cluster.FetchFailedError{Machine: -1, Parts: []int{0}, Total: 1}
+		if owner != nil {
+			ff.Total = owner.parts
+		}
+		return &stageFailure{
+			root: n, st: st, fetch: ff, lost: owner,
+			err: fmt.Errorf("engine: stage %q (%s): %w", n.label, j.chainOf(st), err),
+		}, true
+	case errors.As(err, &quorum):
+		return &stageFailure{
+			root: n, st: st,
+			fetch: &cluster.FetchFailedError{Machine: -1, Total: n.parts},
+			err:   fmt.Errorf("engine: stage %q (%s): %w", n.label, j.chainOf(st), err),
+		}, true
+	case errors.As(err, &poison):
+		return &stageFailure{
+			root: n, st: st,
+			err: fmt.Errorf("engine: stage %q (%s): %w", n.label, j.chainOf(st), err),
+		}, true
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return &stageFailure{
+			root: n, st: st,
+			err: fmt.Errorf("engine: stage %q cancelled: %w", n.label, err),
+		}, true
+	}
+	return nil, false
 }
 
 // chainOf renders the stage's pipelined operator chain with record

@@ -22,8 +22,11 @@ package engine
 // those stages and records the reason in the optimizer decision log.
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -31,6 +34,111 @@ import (
 // some operator in its task chain has no registered portable form. The
 // executor treats it as "run this stage driver-local", never as a failure.
 var ErrNotPortable = errors.New("engine: stage is not portable")
+
+// QuorumLostError reports that a RemoteRunner fell below its minimum live
+// worker quorum and could not restore it within its bounded wait. The
+// executor converts it into a fetch-style stage failure so the lineage
+// recovery loop and the bounded job retry decide the job's fate — a stage
+// never deadlocks waiting for workers that will not come back.
+type QuorumLostError struct {
+	Stage string // stage label, for diagnostics
+	Live  int    // live workers observed
+	Min   int    // configured quorum
+}
+
+func (e *QuorumLostError) Error() string {
+	return fmt.Sprintf("engine: stage %q: worker quorum lost (%d live < %d required)", e.Stage, e.Live, e.Min)
+}
+
+// PoisonTaskError reports a task that was quarantined: it killed (or
+// deadline-timed-out) K distinct workers, so dispatching it again would
+// serially destroy the fleet. The stage fails fast with the operator
+// chain named; the pool itself stays live for subsequent jobs. The
+// executor treats it as a hard job failure — never as a driver-local
+// fallback, since a worker-killing compute would take the driver down
+// with it.
+type PoisonTaskError struct {
+	Stage   string // stage label
+	Part    int    // output partition of the quarantined task
+	Ops     string // operator chain of the task's RemoteNode tree
+	Workers int    // distinct workers it destroyed
+}
+
+func (e *PoisonTaskError) Error() string {
+	return fmt.Sprintf("engine: stage %q task %d quarantined: operator chain [%s] killed %d distinct workers",
+		e.Stage, e.Part, e.Ops, e.Workers)
+}
+
+// blockLostMark prefixes every BlockLostError message. A worker that hits
+// a corrupt block reports the failure as a plain error string over the
+// wire; ParseBlockLost recovers the typed identity on the driver side by
+// scanning for this marker.
+const blockLostMark = "lost block "
+
+// BlockLostError reports that a stored block could not be served intact —
+// its spill file failed the integrity checksum, was truncated, or
+// vanished. The executor surfaces it as a lost shuffle output of the
+// block's producing stage, so lineage recomputation rebuilds the data;
+// the corrupt bytes are never returned.
+type BlockLostError struct {
+	Block  uint64
+	Reason string
+}
+
+func (e *BlockLostError) Error() string {
+	return fmt.Sprintf("%s%d: %s", blockLostMark, e.Block, e.Reason)
+}
+
+// ParseBlockLost scans an error message (possibly wrapped by worker-side
+// prefixes and a wire crossing) for a BlockLostError marker and returns
+// the lost block id plus the trailing reason text.
+func ParseBlockLost(msg string) (id uint64, reason string, ok bool) {
+	i := strings.LastIndex(msg, blockLostMark)
+	if i < 0 {
+		return 0, "", false
+	}
+	rest := msg[i+len(blockLostMark):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if j == 0 {
+		return 0, "", false
+	}
+	id, err := strconv.ParseUint(rest[:j], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	reason = strings.TrimPrefix(rest[j:], ": ")
+	return id, reason, true
+}
+
+// OpChain renders the operator names of a task tree, root-last, for
+// quarantine diagnostics ("which compute is killing my workers").
+func (t *RemoteTask) OpChain() string {
+	var ops []string
+	var walk func(rn *RemoteNode)
+	walk = func(rn *RemoteNode) {
+		if rn == nil {
+			return
+		}
+		var desc func(in *RemoteInput)
+		desc = func(in *RemoteInput) {
+			if in.Node != nil {
+				walk(in.Node)
+			}
+			for i := range in.Concat {
+				desc(&in.Concat[i])
+			}
+		}
+		for i := range rn.Inputs {
+			desc(&rn.Inputs[i])
+		}
+		ops = append(ops, rn.Op)
+	}
+	walk(t.Root)
+	return strings.Join(ops, " → ")
+}
 
 // portableMark names a node's entry in the portable-op registry plus the
 // serialized argument its factory rebuilds the UDF from.
@@ -156,12 +264,15 @@ type RemoteStageResult struct {
 // execute their tasks locally. PutBlock stores one encoded batch in the
 // backend's block store (spilling to disk over its budget) and returns the
 // id workers fetch it by. RunRemoteStage distributes the spec's tasks over
-// live workers, retrying tasks whose worker died mid-stage; it returns an
-// error only for infrastructure failure (e.g. no live workers), in which
-// case the driver runs the stage locally.
+// live workers, retrying tasks whose worker died mid-stage; ctx
+// cancellation must stop dispatching promptly. Error semantics the
+// executor relies on: *QuorumLostError and *BlockLostError become
+// fetch-style stage failures (lineage recovery / bounded job retry),
+// *PoisonTaskError and ctx errors fail the stage hard, and any other
+// error means "run this stage driver-local".
 type RemoteRunner interface {
 	PutBlock(b Batch) (uint64, error)
-	RunRemoteStage(spec *RemoteStageSpec) (*RemoteStageResult, error)
+	RunRemoteStage(ctx context.Context, spec *RemoteStageSpec) (*RemoteStageResult, error)
 }
 
 // stagePortable reports whether the stage rooted at n can ship: every
@@ -204,10 +315,13 @@ func (j *job) stagePortable(n *node) error {
 // tasks — broadcasts, fan-in reads — dedupe on identity). It mirrors
 // evalPartDirect's unfused input assembly exactly; fusion never applies
 // remotely, which the NoFuse bit-identity suite proves is invisible to
-// results.
-func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*RemoteStageSpec, error) {
+// results. The returned owners map records which plan node produced each
+// stored block, so a BlockLostError from the runner can be pinned on its
+// producing stage for lineage recomputation.
+func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*RemoteStageSpec, map[uint64]*node, error) {
 	ids := map[Batch]uint64{}
-	blockInput := func(b Batch) (RemoteInput, error) {
+	owners := map[uint64]*node{}
+	blockInput := func(owner *node, b Batch) (RemoteInput, error) {
 		if b == nil || b == zeroBatch {
 			return RemoteInput{Kind: "empty"}, nil
 		}
@@ -219,6 +333,7 @@ func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*Remote
 			return RemoteInput{}, err
 		}
 		ids[b] = id
+		owners[id] = owner
 		return RemoteInput{Kind: "block", Block: id}, nil
 	}
 
@@ -226,13 +341,13 @@ func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*Remote
 	var inputFor func(nd *node, pp int) (RemoteInput, error)
 	inputFor = func(nd *node, pp int) (RemoteInput, error) {
 		if cp, ok := j.front[nd]; ok {
-			return blockInput(cp.data[pp])
+			return blockInput(nd, cp.data[pp])
 		}
 		if len(nd.deps) == 0 {
 			// In-chain source (Parallelize, readers): its partitions are
 			// built from driver-captured state, so evaluate here and ship
 			// the batch rather than the closure.
-			return blockInput(nd.compute(&Ctx{}, pp, nil))
+			return blockInput(nd, nd.compute(&Ctx{}, pp, nil))
 		}
 		rn, err := buildNode(nd, pp)
 		if err != nil {
@@ -267,9 +382,9 @@ func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*Remote
 					in = RemoteInput{Kind: "concat", Concat: sub}
 				}
 			case depShuffle:
-				in, err = blockInput(j.blocks[d][p])
+				in, err = blockInput(d.parent, j.blocks[d][p])
 			case depBroadcast:
-				in, err = blockInput(j.bcast[d])
+				in, err = blockInput(d.parent, j.bcast[d])
 			}
 			if err != nil {
 				return nil, err
@@ -283,11 +398,11 @@ func (j *job) buildRemoteSpec(n *node, put func(Batch) (uint64, error)) (*Remote
 	for p := 0; p < n.parts; p++ {
 		root, err := buildNode(n, p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		spec.Tasks = append(spec.Tasks, RemoteTask{Part: p, Root: root})
 	}
-	return spec, nil
+	return spec, owners, nil
 }
 
 // FetchFunc resolves a block id to its batch. The worker's implementation

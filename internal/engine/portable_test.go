@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -64,7 +65,7 @@ func (f *fakeRemoteRunner) PutBlock(b Batch) (uint64, error) {
 	return f.next, nil
 }
 
-func (f *fakeRemoteRunner) RunRemoteStage(spec *RemoteStageSpec) (*RemoteStageResult, error) {
+func (f *fakeRemoteRunner) RunRemoteStage(_ context.Context, spec *RemoteStageSpec) (*RemoteStageResult, error) {
 	parts := make([]Batch, len(spec.Tasks))
 	for i := range spec.Tasks {
 		b, err := RunRemoteTask(&spec.Tasks[i], func(id uint64) (Batch, error) {

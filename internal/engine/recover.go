@@ -72,8 +72,14 @@ func (j *job) recover(f *stageFailure, target *node) (*node, bool) {
 		// rewind the frontier along lineage and recompute the lost stages
 		// (chaos.go). Not a plan change, so it does not spend the
 		// re-lowering budget; it is bounded by its own recompute caps.
-		rec.What = fmt.Sprintf("fetch-failed(m%d): lost %d/%d partitions of %q",
-			f.fetch.Machine, len(f.fetch.Parts), f.fetch.Total, f.lost.label)
+		// f.lost is nil for fleet-level failures (worker quorum lost) that
+		// name no specific parent; those rewind via the full job retry.
+		lostLabel := "(no specific stage)"
+		if f.lost != nil {
+			lostLabel = fmt.Sprintf("%q", f.lost.label)
+		}
+		rec.What = fmt.Sprintf("fetch-failed(m%d): lost %d/%d partitions of %s",
+			f.fetch.Machine, len(f.fetch.Parts), f.fetch.Total, lostLabel)
 		rec.Action, ok = j.rewindLost(f)
 	case f.oom == nil || j.relowered >= maxJobRecoveries:
 		// Not a memory failure, or the job already spent its re-lowering

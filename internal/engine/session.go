@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"hash/maphash"
 	"reflect"
 	"runtime"
@@ -132,7 +133,24 @@ type Session struct {
 	// non-nil; it only receives entries when Config.Recover is on.
 	feedback *Feedback
 
+	// submitCtx is the context of the SubmitJobCtx submission currently
+	// running its closure (guarded by ctxMu, not mu: runJob reads it
+	// while already holding mu). Jobs started while it is set inherit it;
+	// nil means Background.
+	ctxMu     sync.Mutex
+	submitCtx context.Context
+
 	mu sync.Mutex
+}
+
+// jobCtx returns the context jobs started right now should run under.
+func (s *Session) jobCtx() context.Context {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	if s.submitCtx != nil {
+		return s.submitCtx
+	}
+	return context.Background()
 }
 
 // Feedback is the session-level channel from the executor's adaptive

@@ -76,9 +76,12 @@ func (h *JobHandle) Err() error {
 
 // WaitCtx is Wait with a deadline: it returns the job's result, or
 // ctx.Err() when the context expires first. The job itself keeps running —
-// engine jobs are not cancellable mid-stage — and its result stays
-// retrievable: a later Wait (or WaitCtx) on the same handle returns it, so
-// nothing leaks when a caller gives up early.
+// WaitCtx only abandons the future — and its result stays retrievable: a
+// later Wait (or WaitCtx) on the same handle returns it, so nothing leaks
+// when a caller gives up early. To actually stop the job when the context
+// dies, submit it with SubmitJobCtx using the same context: cancellation
+// then aborts the job between stages and a process-pool backend stops
+// dispatching its queued tasks.
 func (h *JobHandle) WaitCtx(ctx context.Context) (any, error) {
 	select {
 	case <-h.done:
@@ -121,4 +124,32 @@ func (s *Session) SubmitJob(run func() (any, error)) (*JobHandle, error) {
 		h.val, h.err = run()
 	}()
 	return h, nil
+}
+
+// SubmitJobCtx is SubmitJob with a cancellation scope: jobs the closure
+// starts run under ctx. When ctx is cancelled the engine stops launching
+// further stages and a process-pool backend stops dispatching the job's
+// queued tasks and drops its pending task replies — the job returns the
+// cancellation error instead of running to completion.
+//
+// The scope attaches to jobs started while the closure runs; since a
+// session serializes jobs, interleaving several SubmitJobCtx submissions
+// on one session can attribute a stage to the most recently submitted
+// context. Submit sequentially (or use one context) when exact
+// attribution matters.
+func (s *Session) SubmitJobCtx(ctx context.Context, run func() (any, error)) (*JobHandle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.SubmitJob(func() (any, error) {
+		s.ctxMu.Lock()
+		s.submitCtx = ctx
+		s.ctxMu.Unlock()
+		defer func() {
+			s.ctxMu.Lock()
+			s.submitCtx = nil
+			s.ctxMu.Unlock()
+		}()
+		return run()
+	})
 }

@@ -412,13 +412,22 @@ func (r *Recorder) Report() string {
 	}
 
 	if faults := r.Faults(); len(faults) > 0 {
-		crashes := 0
+		// Count per kind, rendering the classic pair first (crash/rejoin,
+		// the simulator's vocabulary) and any further kinds — the process
+		// pool's respawn/quarantine/corrupt-block — in first-seen order.
+		counts := map[string]int{}
+		var extra []string
 		for _, e := range faults {
-			if e.Kind == "crash" {
-				crashes++
+			if e.Kind != "crash" && e.Kind != "rejoin" && counts[e.Kind] == 0 {
+				extra = append(extra, e.Kind)
 			}
+			counts[e.Kind]++
 		}
-		fmt.Fprintf(&b, "\nFault events: %d crashes, %d rejoins\n", crashes, len(faults)-crashes)
+		fmt.Fprintf(&b, "\nFault events: %d crashes, %d rejoins", counts["crash"], counts["rejoin"])
+		for _, kind := range extra {
+			fmt.Fprintf(&b, ", %d %ss", counts[kind], kind)
+		}
+		b.WriteString("\n")
 		for _, e := range faults {
 			fmt.Fprintf(&b, "  [t=%s] machine %d %-6s %s\n", secs(e.At), e.Machine, e.Kind, e.Detail)
 		}

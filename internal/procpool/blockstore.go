@@ -1,10 +1,14 @@
 package procpool
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"matryoshka/internal/engine"
 )
 
 // blockStore holds the encoded batch frames workers fetch by id: shuffle
@@ -14,6 +18,13 @@ import (
 // and are the ones about to be fetched). Ids are monotonic for the life of
 // the store, so a worker-side cache can never alias two different blocks
 // across jobs even though clear() empties the store between them.
+//
+// Spill files are integrity-checked: each is a u32 big-endian CRC-32C of
+// the frame followed by the frame bytes. A read that fails the checksum —
+// disk corruption, a truncated write, fault injection — comes back as
+// engine.BlockLostError, which the driver surfaces as a lost shuffle
+// output so lineage recomputation rebuilds the data; corrupt bytes are
+// never served.
 type blockStore struct {
 	mu     sync.Mutex
 	dir    string
@@ -27,6 +38,11 @@ type blockStore struct {
 
 	spilledBlocks int
 	spilledBytes  int64
+
+	// damage, when non-nil, is invoked after every spill write with the
+	// file path and the 1-based spill sequence number — the FaultPlan's
+	// hook for deterministic corruption/truncation (tests and -procchaos).
+	damage func(path string, seq int)
 }
 
 func newBlockStore(dir string, budget int64) *blockStore {
@@ -56,7 +72,10 @@ func (s *blockStore) put(frame []byte) (uint64, error) {
 			continue
 		}
 		path := filepath.Join(s.dir, fmt.Sprintf("blk-%d", old))
-		if err := os.WriteFile(path, data, 0o600); err != nil {
+		buf := make([]byte, 4+len(data))
+		binary.BigEndian.PutUint32(buf, crc32.Checksum(data, wireCRC))
+		copy(buf[4:], data)
+		if err := os.WriteFile(path, buf, 0o600); err != nil {
 			return 0, fmt.Errorf("procpool: spill block %d: %w", old, err)
 		}
 		delete(s.mem, old)
@@ -64,13 +83,19 @@ func (s *blockStore) put(frame []byte) (uint64, error) {
 		s.disk[old] = path
 		s.spilledBlocks++
 		s.spilledBytes += int64(len(data))
+		if s.damage != nil {
+			s.damage(path, s.spilledBlocks)
+		}
 	}
 	return id, nil
 }
 
 // get returns the encoded frame for id, reading it back from its spill
 // file if it left memory (without re-admitting it: a spilled block is
-// usually fetched once per worker and cached there).
+// usually fetched once per worker and cached there). A spill file that is
+// missing, truncated, or fails its checksum is reported as
+// engine.BlockLostError — a lost block for lineage to recompute — never
+// as data.
 func (s *blockStore) get(id uint64) ([]byte, error) {
 	s.mu.Lock()
 	if data, ok := s.mem[id]; ok {
@@ -82,9 +107,17 @@ func (s *blockStore) get(id uint64) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("procpool: unknown block %d", id)
 	}
-	data, err := os.ReadFile(path)
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("procpool: read spilled block %d: %w", id, err)
+		return nil, &engine.BlockLostError{Block: id, Reason: fmt.Sprintf("spill file unreadable: %v", err)}
+	}
+	if len(buf) < 4 {
+		return nil, &engine.BlockLostError{Block: id, Reason: fmt.Sprintf("spill file truncated to %d bytes", len(buf))}
+	}
+	want := binary.BigEndian.Uint32(buf)
+	data := buf[4:]
+	if got := crc32.Checksum(data, wireCRC); got != want {
+		return nil, &engine.BlockLostError{Block: id, Reason: fmt.Sprintf("spill checksum mismatch over %d bytes (%08x != %08x)", len(data), got, want)}
 	}
 	return data, nil
 }

@@ -1,0 +1,200 @@
+package procpool
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"matryoshka/internal/cluster"
+	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
+	"matryoshka/internal/tasks"
+)
+
+// TestFaultPlanDeterministic: every fault decision must be a pure
+// function of (Seed, counter) — two plans with the same seed agree on
+// every draw, and the derived choices stay in range.
+func TestFaultPlanDeterministic(t *testing.T) {
+	a := FaultPlan{Seed: 42, KillEveryTasks: 7, DelayEveryFrames: 3, DropEveryFrames: 5, ResetEveryFrames: 11}
+	b := FaultPlan{Seed: 42, KillEveryTasks: 7, DelayEveryFrames: 3, DropEveryFrames: 5, ResetEveryFrames: 11}
+	other := FaultPlan{Seed: 43}
+	sawDiff := false
+	for n := uint64(1); n <= 1000; n++ {
+		if a.frameFaultAt(n) != b.frameFaultAt(n) {
+			t.Fatalf("frame fault diverged at %d", n)
+		}
+		if a.killsAt(n) != b.killsAt(n) {
+			t.Fatalf("kill decision diverged at %d", n)
+		}
+		if a.draw(1, n) != b.draw(1, n) {
+			t.Fatalf("draw diverged at %d", n)
+		}
+		if a.draw(1, n) != other.draw(1, n) {
+			sawDiff = true
+		}
+		if tp := a.tearPoint(n, 100); tp < 1 || tp > 99 {
+			t.Fatalf("tear point %d of frame 100 out of range", tp)
+		}
+		if cb := a.corruptByte(n, 64); cb < 0 || cb > 63 {
+			t.Fatalf("corrupt byte %d of size 64 out of range", cb)
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different seeds never produced a different draw")
+	}
+	// Cadence arithmetic: reset beats drop beats delay on collisions.
+	p := FaultPlan{DelayEveryFrames: 2, DropEveryFrames: 4, ResetEveryFrames: 8}
+	if got := p.frameFaultAt(8); got != frameReset {
+		t.Fatalf("frame 8: got %d, want reset", got)
+	}
+	if got := p.frameFaultAt(4); got != frameDrop {
+		t.Fatalf("frame 4: got %d, want drop", got)
+	}
+	if got := p.frameFaultAt(2); got != frameDelay {
+		t.Fatalf("frame 2: got %d, want delay", got)
+	}
+	if got := p.frameFaultAt(3); got != frameClean {
+		t.Fatalf("frame 3: got %d, want clean", got)
+	}
+	if (FaultPlan{}).Active() {
+		t.Fatal("zero plan claims to be active")
+	}
+}
+
+// TestBlockStoreDetectsDamage spills a frame and vandalizes the file in
+// each of the three ways: flipped byte, truncation, deletion. Every read
+// must come back as engine.BlockLostError — the corrupt bytes never as
+// data.
+func TestBlockStoreDetectsDamage(t *testing.T) {
+	frame := []byte("the quick brown fox jumps over the lazy dog")
+	vandalize := func(f func(path string)) error {
+		s := newBlockStore(t.TempDir(), 1) // everything spills
+		id, err := s.put(append([]byte(nil), frame...))
+		if err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		s.mu.Lock()
+		path := s.disk[id]
+		s.mu.Unlock()
+		if path == "" {
+			t.Fatal("frame never spilled under a 1-byte budget")
+		}
+		f(path)
+		_, err = s.get(id)
+		return err
+	}
+	cases := []struct {
+		name string
+		f    func(path string)
+		want string
+	}{
+		{"flipped byte", func(p string) {
+			data, _ := os.ReadFile(p)
+			data[len(data)-1] ^= 0x01
+			os.WriteFile(p, data, 0o600)
+		}, "checksum mismatch"},
+		{"flipped stored crc", func(p string) {
+			data, _ := os.ReadFile(p)
+			data[0] ^= 0x80
+			os.WriteFile(p, data, 0o600)
+		}, "checksum mismatch"},
+		{"truncated", func(p string) { os.Truncate(p, 2) }, "truncated"},
+		{"deleted", func(p string) { os.Remove(p) }, "unreadable"},
+	}
+	for _, tc := range cases {
+		err := vandalize(tc.f)
+		if err == nil {
+			t.Fatalf("%s: damaged spill read back as data", tc.name)
+		}
+		var bl *engine.BlockLostError
+		if !errors.As(err, &bl) {
+			t.Fatalf("%s: got %v, want BlockLostError", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Undamaged control: the spill round-trips.
+	s := newBlockStore(t.TempDir(), 1)
+	id, _ := s.put(append([]byte(nil), frame...))
+	got, err := s.get(id)
+	if err != nil {
+		t.Fatalf("clean spill: %v", err)
+	}
+	if !reflect.DeepEqual(got, frame) {
+		t.Fatal("clean spill corrupted the frame")
+	}
+}
+
+// TestCorruptSpillRecovery is the integrity-checked-spill acceptance
+// test: a 1-byte store budget spills every block, the fault plan flips a
+// seeded byte in every 17th spill file, and the workload must STILL
+// produce reference results — each corrupt read surfaces as a lost block,
+// lineage recomputes the producing stage, and EXPLAIN ANALYZE shows the
+// recovery. Fully deterministic: same seed, same spill sequence, same
+// flipped bytes.
+func TestCorruptSpillRecovery(t *testing.T) {
+	rec := obs.NewRecorder()
+	pool := startPool(t, Config{
+		Workers:      2,
+		MemoryBudget: 1,
+		Faults:       FaultPlan{Seed: 7, CorruptSpillEvery: 17},
+		Events:       rec,
+	})
+	sp := tasks.ChaosSpec{Records: 1500, Keys: 32, Parts: 3, Rounds: 1}
+
+	oldObs := tasks.Obs
+	tasks.Obs = rec
+	defer func() { tasks.Obs = oldObs }()
+
+	var out tasks.Outcome
+	withBackend(t, pool, func() { out = sp.Run(cluster.Config{}) })
+	if out.Err != nil {
+		t.Fatalf("run over corrupt spills: %v", out.Err)
+	}
+	if want := sp.Reference(); !reflect.DeepEqual(out.Value, want) {
+		t.Fatalf("value %+v != reference %+v", out.Value, want)
+	}
+	if got := pool.Stats().FetchFailures; got == 0 {
+		t.Fatal("no fetch failure recorded: corruption never bit or was served as data")
+	}
+	report := rec.Report()
+	if !strings.Contains(report, "corrupt-block") {
+		t.Fatalf("no corrupt-block fault event:\n%s", report)
+	}
+	if !strings.Contains(report, "Recovery") {
+		t.Fatalf("EXPLAIN ANALYZE shows no Recovery line:\n%s", report)
+	}
+}
+
+// TestFrameFaultsStillCorrect runs the chaos workload through a transport
+// that delays, drops, and tears data-plane frames on seeded cadences. The
+// task deadline unwedges dropped frames, torn frames kill connections and
+// trigger respawn — and the results must still match the reference.
+func TestFrameFaultsStillCorrect(t *testing.T) {
+	pool := startPool(t, Config{
+		Workers:        2,
+		TaskDeadline:   2 * time.Second,
+		RespawnBackoff: 10 * time.Millisecond,
+		Faults: FaultPlan{
+			Seed:             3,
+			DelayEveryFrames: 7,
+			Delay:            time.Millisecond,
+			DropEveryFrames:  23,
+			ResetEveryFrames: 41,
+		},
+	})
+	sp := tasks.ChaosSpec{Records: 2000, Keys: 32, Parts: 4, Rounds: 2}
+
+	var out tasks.Outcome
+	withBackend(t, pool, func() { out = sp.Run(cluster.Config{}) })
+	if out.Err != nil {
+		t.Fatalf("run under frame faults: %v", out.Err)
+	}
+	if want := sp.Reference(); !reflect.DeepEqual(out.Value, want) {
+		t.Fatalf("value %+v != reference %+v", out.Value, want)
+	}
+}

@@ -1,6 +1,8 @@
 package procpool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -13,12 +15,15 @@ import (
 
 	"matryoshka/internal/cluster"
 	"matryoshka/internal/engine"
+	"matryoshka/internal/obs"
 )
 
 // Config sizes a Pool. The zero value means defaults.
 type Config struct {
-	// Workers is how many worker processes to spawn (default
-	// min(4, NumCPU)).
+	// Workers is how many worker slots the pool maintains (default
+	// min(4, NumCPU)). A slot whose process dies is refilled by respawn
+	// (unless DisableRespawn), so the fleet does not monotonically shrink
+	// under sustained faults.
 	Workers int
 	// MemoryBudget bounds the driver-side block store in bytes before
 	// frames spill to per-block temp files (default 256 MiB).
@@ -28,10 +33,54 @@ type Config struct {
 	// before it is declared crashed (default 3s).
 	HeartbeatEvery   time.Duration
 	HeartbeatTimeout time.Duration
+	// HeartbeatCheck is how often the driver-side monitor scans for stale
+	// workers (default HeartbeatTimeout/4, clamped to [10ms, 1s]).
+	// Staleness itself is governed by HeartbeatTimeout; this interval
+	// only bounds detection latency, so it deliberately does not track
+	// HeartbeatEvery — a short beat period must not make the driver poll
+	// needlessly hot.
+	HeartbeatCheck time.Duration
+	// TaskDeadline bounds how long one dispatched task may run (0 = no
+	// deadline). A task that exceeds it on a live, heartbeating worker is
+	// cancelled — the worker is killed and respawned, the task requeued —
+	// so a wedged compute cannot stall a stage forever.
+	TaskDeadline time.Duration
+	// DisableRespawn turns worker respawn off: a dead worker stays dead,
+	// as in the pre-self-healing pool. The crash-recovery tests use it to
+	// pin the fleet size.
+	DisableRespawn bool
+	// RespawnBudget caps replacement workers over the pool's lifetime
+	// (default 32); past it the pool degrades to quorum failure instead
+	// of respawning a crash loop forever.
+	RespawnBudget int
+	// RespawnBackoff is the delay before refilling a dead slot (default
+	// 50ms). It doubles per consecutive fast death of that slot (capped
+	// at 2s); an incarnation that survived a while resets the doubling.
+	RespawnBackoff time.Duration
+	// MinLive is the dispatch quorum (default 1): a stage waits up to
+	// QuorumWait (default 2s) for respawn to restore at least MinLive
+	// workers, then fails with engine.QuorumLostError — which the engine
+	// turns into a fetch-style failure for the bounded job retry, never a
+	// deadlock.
+	MinLive    int
+	QuorumWait time.Duration
+	// DrainTimeout bounds Close's graceful drain: workers get msgShutdown
+	// and this long to exit before SIGKILL (default 2s).
+	DrainTimeout time.Duration
 	// KillAfterTasks, when >0, SIGKILLs the assigned worker immediately
 	// after the Nth task dispatch of the pool's lifetime (1-based) — the
-	// deterministic mid-stage crash the recovery tests inject.
+	// deterministic mid-stage crash the recovery tests inject. For
+	// repeating kills and transport faults, use Faults.
 	KillAfterTasks int
+	// Faults is the seeded fault-injection plan (chaos.go): repeating
+	// worker kills, delayed/dropped/torn data-plane frames, spill-file
+	// corruption. Zero value injects nothing.
+	Faults FaultPlan
+	// Events, when non-nil, receives the pool's fault events — kinds
+	// "crash", "respawn", "quarantine", "corrupt-block" — timed on the
+	// pool clock, so EXPLAIN ANALYZE renders real process churn next to
+	// the simulator's crash/rejoin vocabulary.
+	Events *obs.Recorder
 }
 
 func (c *Config) defaults() {
@@ -53,27 +102,66 @@ func (c *Config) defaults() {
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 3 * time.Second
 	}
+	if c.RespawnBudget <= 0 {
+		c.RespawnBudget = 32
+	}
+	if c.RespawnBackoff <= 0 {
+		c.RespawnBackoff = 50 * time.Millisecond
+	}
+	if c.MinLive <= 0 {
+		c.MinLive = 1
+	}
+	if c.QuorumWait <= 0 {
+		c.QuorumWait = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
 }
 
-// maxTaskAttempts bounds per-task re-dispatch after worker deaths; a task
-// that outlives this many workers fails the stage (which then runs
-// driver-local).
-const maxTaskAttempts = 3
+// heartbeatCheck is the monitor's scan interval (see Config.HeartbeatCheck).
+func (c *Config) heartbeatCheck() time.Duration {
+	if c.HeartbeatCheck > 0 {
+		return c.HeartbeatCheck
+	}
+	d := c.HeartbeatTimeout / 4
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// quarantineAfter is K in the poison-task rule: a task that kills (or
+// deadline-times-out on) this many distinct worker incarnations is
+// quarantined — the stage fails fast with the operator chain named instead
+// of the task serially destroying the fleet.
+const quarantineAfter = 3
 
 // taskReply is what a dispatched task resolves to: a batch frame or an
-// error message (from the worker, or synthesized when it died).
+// error message. died distinguishes a worker death while the task was in
+// flight (synthesized by markDead; the task takes the blame) from an error
+// the worker itself reported (deterministic compute failure).
 type taskReply struct {
 	payload []byte
 	errMsg  string
+	died    bool
 }
 
-// workerProc is the driver's handle on one worker process.
+// workerProc is the driver's handle on one worker incarnation. A respawn
+// installs a fresh workerProc (new gen) into the same slot; the old one
+// stays dead forever, so in-flight dispatch goroutines holding it observe
+// a stable corpse.
 type workerProc struct {
-	idx  int
-	pid  int
-	cmd  *exec.Cmd
-	conn net.Conn
-	wmu  sync.Mutex // serializes frame writes to conn
+	idx    int    // slot index (stable across respawns)
+	gen    uint64 // pool-unique incarnation id (quarantine blame tracking)
+	pid    int
+	cmd    *exec.Cmd
+	conn   net.Conn
+	wmu    sync.Mutex    // serializes frame writes to conn
+	exited chan struct{} // closed once cmd.Wait returned (process reaped)
 
 	mu       sync.Mutex
 	dead     bool
@@ -94,6 +182,16 @@ func (w *workerProc) isDead() bool {
 	return w.dead
 }
 
+// pendingSpawn is a worker process that has been started but has not yet
+// completed the socket handshake. handshake resolves done with the
+// installed workerProc, or nil when the handshake failed.
+type pendingSpawn struct {
+	idx  int
+	pid  int
+	cmd  *exec.Cmd
+	done chan *workerProc
+}
+
 // poolOutput mirrors the simulator's shuffle-residency bookkeeping: each
 // partition records the worker index that "holds" it, or -(idx+1) once
 // that worker crashed. The actual bytes stay on the driver's frontier —
@@ -110,9 +208,15 @@ type poolOutput struct {
 // Create with Start, stop with Close. A Pool may serve many sequential
 // sessions (the engine runs one stage at a time per session; Pools are
 // not meant to be shared by concurrent sessions).
+//
+// The pool self-heals: dead workers are re-exec'd with backoff (health.go)
+// up to a budget, so sustained faults churn the fleet instead of shrinking
+// it to zero.
 type Pool struct {
 	cfg   Config
 	dir   string
+	exe   string // re-exec path for respawns
+	sock  string
 	ln    net.Listener
 	store *blockStore
 	start time.Time
@@ -120,16 +224,25 @@ type Pool struct {
 	stopOnce sync.Once
 	stopCh   chan struct{}
 
-	taskSeq    uint64 // atomic: wire task ids
-	nDispatch  int64  // atomic: lifetime dispatch count (KillAfterTasks)
-	shipped    int64  // atomic: bytes served to + returned by workers
-	remoteSt   int64  // atomic: remote stages completed
-	remoteTk   int64  // atomic: remote tasks completed
-	localPut   int64  // atomic: blocks stored via PutBlock
-	workerList []*workerProc
+	taskSeq   uint64 // atomic: wire task ids
+	genSeq    uint64 // atomic: worker incarnation ids
+	frameSeq  uint64 // atomic: data-plane frames sent (fault-plan cadence)
+	nDispatch int64  // atomic: lifetime dispatch count (kill hooks)
+	shipped   int64  // atomic: bytes served to + returned by workers
+	remoteSt  int64  // atomic: remote stages completed
+	remoteTk  int64  // atomic: remote tasks completed
+	localPut  int64  // atomic: blocks stored via PutBlock
 
 	mu          sync.Mutex
 	closed      bool
+	workerList  []*workerProc // fixed-size slots; entries replaced on respawn
+	spawning    map[int]*pendingSpawn
+	slotDeaths  []int // consecutive fast deaths per slot (backoff doubling)
+	slotBorn    []time.Time
+	respawnsIn  int // respawns in flight (quorum wait looks at this)
+	respawnsUse int // respawns spent against the budget
+	respawns    int // respawns completed
+	quarantines int
 	stats       cluster.Stats
 	clockOffset float64
 	lastClock   float64
@@ -165,33 +278,29 @@ func Start(cfg Config) (*Pool, error) {
 		return nil, fmt.Errorf("procpool: %w", err)
 	}
 	p := &Pool{
-		cfg:     cfg,
-		dir:     dir,
-		ln:      ln,
-		store:   newBlockStore(dir, cfg.MemoryBudget),
-		start:   time.Now(),
-		stopCh:  make(chan struct{}),
-		outputs: map[cluster.OutputID]*poolOutput{},
+		cfg:        cfg,
+		dir:        dir,
+		exe:        exe,
+		sock:       sock,
+		ln:         ln,
+		store:      newBlockStore(dir, cfg.MemoryBudget),
+		start:      time.Now(),
+		stopCh:     make(chan struct{}),
+		workerList: make([]*workerProc, cfg.Workers),
+		spawning:   map[int]*pendingSpawn{},
+		slotDeaths: make([]int, cfg.Workers),
+		slotBorn:   make([]time.Time, cfg.Workers),
+		outputs:    map[cluster.OutputID]*poolOutput{},
 	}
-	cmds := make(map[int]*exec.Cmd, cfg.Workers)
+	p.store.damage = p.spillDamage()
 	fail := func(err error) (*Pool, error) {
-		for _, cmd := range cmds {
-			if cmd.Process != nil {
-				cmd.Process.Kill()
-			}
-		}
-		ln.Close()
-		os.RemoveAll(dir)
+		p.Close()
 		return nil, err
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), socketEnv+"="+sock)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			return fail(fmt.Errorf("procpool: spawn worker %d: %w", i, err))
+		if _, err := p.spawnInto(i); err != nil {
+			return fail(err)
 		}
-		cmds[cmd.Process.Pid] = cmd
 	}
 	ul := ln.(*net.UnixListener)
 	for i := 0; i < cfg.Workers; i++ {
@@ -200,46 +309,20 @@ func Start(cfg Config) (*Pool, error) {
 		if err != nil {
 			return fail(fmt.Errorf("procpool: worker %d never connected: %w", i, err))
 		}
-		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-		typ, body, err := readFrame(conn)
-		if err != nil || typ != msgHello {
-			conn.Close()
-			return fail(fmt.Errorf("procpool: worker %d bad hello (type %d): %v", i, typ, err))
+		if _, err := p.handshake(conn); err != nil {
+			return fail(err)
 		}
-		pid, err := parseHello(body)
-		if err != nil {
-			conn.Close()
-			return fail(fmt.Errorf("procpool: worker %d hello: %w", i, err))
-		}
-		conn.SetReadDeadline(time.Time{})
-		w := &workerProc{
-			idx:      i,
-			pid:      pid,
-			cmd:      cmds[pid], // nil only if something else dialed our socket
-			conn:     conn,
-			lastBeat: time.Now(),
-			pending:  map[uint64]chan taskReply{},
-		}
-		if w.cmd == nil {
-			conn.Close()
-			return fail(fmt.Errorf("procpool: connection from unknown pid %d", pid))
-		}
-		if err := w.send(msgHelloAck, encodeHelloAck(i, cfg.HeartbeatEvery)); err != nil {
-			conn.Close()
-			return fail(fmt.Errorf("procpool: worker %d ack: %w", i, err))
-		}
-		p.workerList = append(p.workerList, w)
 	}
 	ul.SetDeadline(time.Time{})
-	for _, w := range p.workerList {
-		go p.readLoop(w)
-		go p.waitWorker(w)
-	}
 	go p.monitor()
+	go p.acceptLoop()
 	return p, nil
 }
 
-// Close shuts the pool down: workers get a shutdown frame, then SIGKILL.
+// Close shuts the pool down gracefully: every live worker gets a shutdown
+// frame and DrainTimeout to exit on its own; stragglers are SIGKILLed.
+// Every spawned process is reaped before Close returns (no orphans, no
+// zombies), spilled block files and the socket directory are removed.
 // Teardown deaths are not counted as crashes.
 func (p *Pool) Close() {
 	p.mu.Lock()
@@ -248,17 +331,48 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	workers := make([]*workerProc, 0, len(p.workerList))
+	for _, w := range p.workerList {
+		if w != nil {
+			workers = append(workers, w)
+		}
+	}
+	spawning := p.spawning
+	p.spawning = map[int]*pendingSpawn{}
 	p.mu.Unlock()
 	p.stopOnce.Do(func() { close(p.stopCh) })
-	for _, w := range p.workerList {
-		w.send(msgShutdown, nil)
-	}
 	p.ln.Close()
-	for _, w := range p.workerList {
+	// Processes that never completed the handshake just die (and are
+	// reaped — they have no waitWorker goroutine).
+	for _, ps := range spawning {
+		if ps.cmd.Process != nil {
+			ps.cmd.Process.Kill()
+		}
+		go ps.cmd.Wait()
+	}
+	// Graceful drain: ask, then wait bounded.
+	for _, w := range workers {
+		if !w.isDead() {
+			w.send(msgShutdown, nil)
+		}
+	}
+	deadline := time.Now().Add(p.cfg.DrainTimeout)
+	for _, w := range workers {
+		select {
+		case <-w.exited:
+		case <-time.After(time.Until(deadline)):
+		}
+	}
+	// The hard way for stragglers; then wait for the reap so no zombie
+	// outlives Close (SIGKILL cannot be ignored, so this terminates).
+	for _, w := range workers {
 		w.conn.Close()
 		if w.cmd.Process != nil {
 			w.cmd.Process.Kill()
 		}
+	}
+	for _, w := range workers {
+		<-w.exited
 	}
 	p.store.clear()
 	os.RemoveAll(p.dir)
@@ -288,12 +402,23 @@ func (p *Pool) readLoop(w *workerProc) {
 			data, gerr := p.store.get(id)
 			var out []byte
 			if gerr != nil {
+				var bl *engine.BlockLostError
+				if errors.As(gerr, &bl) {
+					// Integrity failure on a spilled block: count it like
+					// a failed shuffle fetch and let the error string
+					// cross the wire — the driver re-types it via
+					// ParseBlockLost and lineage recomputes the block.
+					p.mu.Lock()
+					p.stats.FetchFailures++
+					p.mu.Unlock()
+					p.event("corrupt-block", w.idx, gerr.Error())
+				}
 				out = encodeTagged(id, false, []byte(gerr.Error()))
 			} else {
 				out = encodeTagged(id, true, data)
 				atomic.AddInt64(&p.shipped, int64(len(data)))
 			}
-			if w.send(msgBlockData, out) != nil {
+			if p.sendData(w, msgBlockData, out) != nil {
 				return // the write error side will mark it dead via next read
 			}
 		case msgTaskResult:
@@ -321,34 +446,14 @@ func (p *Pool) readLoop(w *workerProc) {
 func (p *Pool) waitWorker(w *workerProc) {
 	err := w.cmd.Wait()
 	p.markDead(w, fmt.Errorf("procpool: worker %d exited: %v", w.idx, err))
-}
-
-// monitor declares workers dead when their heartbeats stop — the hung or
-// stopped process case SIGKILL'd crashes don't exercise.
-func (p *Pool) monitor() {
-	t := time.NewTicker(p.cfg.HeartbeatEvery)
-	defer t.Stop()
-	for {
-		select {
-		case <-p.stopCh:
-			return
-		case <-t.C:
-			for _, w := range p.workerList {
-				w.mu.Lock()
-				stale := !w.dead && time.Since(w.lastBeat) > p.cfg.HeartbeatTimeout
-				w.mu.Unlock()
-				if stale {
-					p.markDead(w, fmt.Errorf("procpool: worker %d heartbeat timed out", w.idx))
-				}
-			}
-		}
-	}
+	close(w.exited)
 }
 
 // markDead records a worker crash exactly once: fail its in-flight tasks,
-// cut the connection, make sure the process is gone, and mark every
-// shuffle partition registered on it lost — the state CheckFetch turns
-// into the FetchFailedError lineage recovery rewinds from.
+// cut the connection, make sure the process is gone, mark every shuffle
+// partition registered on it lost — the state CheckFetch turns into the
+// FetchFailedError lineage recovery rewinds from — and schedule a
+// replacement worker for the slot (health.go).
 func (p *Pool) markDead(w *workerProc, reason error) {
 	w.mu.Lock()
 	if w.dead {
@@ -366,11 +471,12 @@ func (p *Pool) markDead(w *workerProc, reason error) {
 		w.cmd.Process.Kill()
 	}
 	for _, ch := range pend {
-		ch <- taskReply{errMsg: reason.Error()} // buffered, never blocks
+		ch <- taskReply{errMsg: reason.Error(), died: true} // buffered, never blocks
 	}
 
 	p.mu.Lock()
-	if !p.closed {
+	closed := p.closed
+	if !closed {
 		p.stats.MachineCrashes++
 		for _, out := range p.outputs {
 			for i, loc := range out.locs {
@@ -379,25 +485,55 @@ func (p *Pool) markDead(w *workerProc, reason error) {
 				}
 			}
 		}
+		if !p.cfg.DisableRespawn {
+			p.scheduleRespawnLocked(w.idx)
+		}
 	}
 	p.mu.Unlock()
+	if !closed {
+		p.event("crash", w.idx, reason.Error())
+	}
 }
 
+// liveWorkers snapshots the currently live workers under the pool lock.
 func (p *Pool) liveWorkers() []*workerProc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.liveLocked()
+}
+
+func (p *Pool) liveLocked() []*workerProc {
 	live := make([]*workerProc, 0, len(p.workerList))
 	for _, w := range p.workerList {
-		if !w.isDead() {
+		if w != nil && !w.isDead() {
 			live = append(live, w)
 		}
 	}
 	return live
 }
 
-// LiveWorkers reports how many workers are still up.
+// snapshotWorkers copies the current slot contents (dead or alive).
+func (p *Pool) snapshotWorkers() []*workerProc {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := make([]*workerProc, 0, len(p.workerList))
+	for _, w := range p.workerList {
+		if w != nil {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+// LiveWorkers reports how many workers are currently up.
 func (p *Pool) LiveWorkers() int { return len(p.liveWorkers()) }
 
-// Workers reports how many workers were spawned.
-func (p *Pool) Workers() int { return len(p.workerList) }
+// Workers reports the pool's slot count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workerList)
+}
 
 // RemoteStages and RemoteTasks count what actually ran in worker
 // processes (the A/B tests assert they are nonzero: a silently
@@ -413,6 +549,20 @@ func (p *Pool) BytesShipped() int64 { return atomic.LoadInt64(&p.shipped) }
 // Spills reports blocks (and bytes) the driver store spilled to disk.
 func (p *Pool) Spills() (blocks int, bytes int64) { return p.store.spillStats() }
 
+// Respawns reports how many replacement workers completed their handshake.
+func (p *Pool) Respawns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.respawns
+}
+
+// Quarantines reports how many poison tasks were quarantined.
+func (p *Pool) Quarantines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantines
+}
+
 // ---- engine.RemoteRunner ----
 
 // PutBlock frames b with the batch codec and stores it for workers to
@@ -426,18 +576,36 @@ func (p *Pool) PutBlock(b engine.Batch) (uint64, error) {
 	return p.store.put(frame)
 }
 
+// taskVerdict classifies one runTaskOn outcome for the dispatch loop.
+type taskVerdict int
+
+const (
+	taskOK            taskVerdict = iota
+	taskFailed                    // worker-reported deterministic error: fails the stage
+	taskDied                      // worker died mid-task (crash or deadline): blame + requeue
+	taskNotDispatched             // worker was already dead: requeue blame-free
+	taskCancelled                 // submission context cancelled
+)
+
 // RunRemoteStage distributes the spec's tasks round-robin over live
-// workers and collects the decoded result partitions. Tasks whose worker
-// dies mid-flight are re-dispatched on surviving workers (bounded by
-// maxTaskAttempts); deterministic task errors and worker exhaustion fail
-// the stage, which the engine then runs driver-local.
-func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStageResult, error) {
+// workers and collects the decoded result partitions. A task whose worker
+// dies mid-flight takes the blame and is re-dispatched on a survivor —
+// until quarantineAfter distinct worker incarnations died under it, at
+// which point it is quarantined (engine.PoisonTaskError; the pool stays
+// live). A dead worker's untouched share requeues blame-free. When live
+// workers fall below the quorum the stage waits bounded for respawn, then
+// fails with engine.QuorumLostError. Ctx cancellation stops dispatching
+// queued tasks and drops the pending replies.
+func (p *Pool) RunRemoteStage(ctx context.Context, spec *engine.RemoteStageSpec) (*engine.RemoteStageResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(spec.Tasks) == 0 {
 		return &engine.RemoteStageResult{}, nil
 	}
 	shippedBefore := atomic.LoadInt64(&p.shipped)
 	parts := make([]engine.Batch, len(spec.Tasks))
-	attempts := make([]int, len(spec.Tasks))
+	failedOn := make([]map[uint64]bool, len(spec.Tasks)) // task -> worker gens it died on
 	queue := make([]int, len(spec.Tasks))
 	for i := range queue {
 		queue[i] = i
@@ -445,9 +613,12 @@ func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStage
 	var resMu sync.Mutex
 	ranOn := map[int]bool{}
 	for len(queue) > 0 {
-		live := p.liveWorkers()
-		if len(live) == 0 {
-			return nil, fmt.Errorf("procpool: stage %q: no live workers", spec.Label)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		live, err := p.waitQuorum(ctx, spec.Label)
+		if err != nil {
+			return nil, err
 		}
 		assign := make([][]int, len(live))
 		for k, ti := range queue {
@@ -455,6 +626,11 @@ func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStage
 		}
 		var requeue []int
 		var permErr error
+		setPermErr := func(err error) {
+			if permErr == nil {
+				permErr = err
+			}
+		}
 		var wg sync.WaitGroup
 		for wi := range live {
 			if len(assign[wi]) == 0 {
@@ -464,44 +640,71 @@ func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStage
 			go func(w *workerProc, list []int) {
 				defer wg.Done()
 				for li, ti := range list {
-					payload, err := p.runTaskOn(w, &spec.Tasks[ti])
-					if err != nil {
+					payload, verdict, err := p.runTaskOn(ctx, w, &spec.Tasks[ti])
+					switch verdict {
+					case taskOK:
+						b, _, derr := engine.DecodeBatch(payload)
+						if derr != nil {
+							resMu.Lock()
+							setPermErr(fmt.Errorf("procpool: stage %q task %d result: %v", spec.Label, spec.Tasks[ti].Part, derr))
+							resMu.Unlock()
+							return
+						}
+						atomic.AddInt64(&p.shipped, int64(len(payload)))
 						resMu.Lock()
-						if w.isDead() {
-							// Requeue this worker's remaining share on the
-							// survivors, bounding how many crashes one task
-							// may ride out.
-							for _, rest := range list[li:] {
-								attempts[rest]++
-								if attempts[rest] >= maxTaskAttempts {
-									permErr = fmt.Errorf("procpool: stage %q task %d died %d times: %v", spec.Label, spec.Tasks[rest].Part, attempts[rest], err)
-								} else {
-									requeue = append(requeue, rest)
-								}
-							}
+						parts[ti] = b
+						ranOn[w.idx] = true
+						resMu.Unlock()
+					case taskDied:
+						// Blame exactly the in-flight task; this worker's
+						// untouched share requeues without penalty.
+						resMu.Lock()
+						if failedOn[ti] == nil {
+							failedOn[ti] = map[uint64]bool{}
+						}
+						failedOn[ti][w.gen] = true
+						if len(failedOn[ti]) >= quarantineAfter {
+							setPermErr(&engine.PoisonTaskError{
+								Stage:   spec.Label,
+								Part:    spec.Tasks[ti].Part,
+								Ops:     spec.Tasks[ti].OpChain(),
+								Workers: len(failedOn[ti]),
+							})
 						} else {
-							permErr = fmt.Errorf("procpool: stage %q task %d: %v", spec.Label, spec.Tasks[ti].Part, err)
+							requeue = append(requeue, ti)
+						}
+						requeue = append(requeue, list[li+1:]...)
+						resMu.Unlock()
+						return
+					case taskNotDispatched:
+						resMu.Lock()
+						requeue = append(requeue, list[li:]...)
+						resMu.Unlock()
+						return
+					case taskCancelled:
+						resMu.Lock()
+						setPermErr(err)
+						resMu.Unlock()
+						return
+					default: // taskFailed
+						resMu.Lock()
+						if id, reason, ok := engine.ParseBlockLost(err.Error()); ok {
+							setPermErr(&engine.BlockLostError{Block: id, Reason: reason})
+						} else {
+							setPermErr(fmt.Errorf("procpool: stage %q task %d: %v", spec.Label, spec.Tasks[ti].Part, err))
 						}
 						resMu.Unlock()
 						return
 					}
-					b, _, derr := engine.DecodeBatch(payload)
-					if derr != nil {
-						resMu.Lock()
-						permErr = fmt.Errorf("procpool: stage %q task %d result: %v", spec.Label, spec.Tasks[ti].Part, derr)
-						resMu.Unlock()
-						return
-					}
-					atomic.AddInt64(&p.shipped, int64(len(payload)))
-					resMu.Lock()
-					parts[ti] = b
-					ranOn[w.idx] = true
-					resMu.Unlock()
 				}
 			}(live[wi], assign[wi])
 		}
 		wg.Wait()
 		if permErr != nil {
+			var pe *engine.PoisonTaskError
+			if errors.As(permErr, &pe) {
+				p.noteQuarantine(pe)
+			}
 			return nil, permErr
 		}
 		queue = requeue
@@ -515,38 +718,71 @@ func (p *Pool) RunRemoteStage(spec *engine.RemoteStageSpec) (*engine.RemoteStage
 	}, nil
 }
 
-// runTaskOn ships one task to w and waits for its reply (or w's death,
-// which resolves the reply with an error). The KillAfterTasks hook fires
+// runTaskOn ships one task to w and waits for its reply, the worker's
+// death (which resolves the reply with died=true), the task deadline, or
+// ctx cancellation. The kill hooks (KillAfterTasks, FaultPlan) fire
 // synchronously here so the crash — and the lost-output bookkeeping — is
 // ordered before any later stage of the run, making recovery tests
 // deterministic.
-func (p *Pool) runTaskOn(w *workerProc, t *engine.RemoteTask) ([]byte, error) {
+func (p *Pool) runTaskOn(ctx context.Context, w *workerProc, t *engine.RemoteTask) ([]byte, taskVerdict, error) {
 	id := atomic.AddUint64(&p.taskSeq, 1)
 	body, err := encodeTask(id, t)
 	if err != nil {
-		return nil, err
+		return nil, taskFailed, err
 	}
 	ch := make(chan taskReply, 1)
 	w.mu.Lock()
 	if w.dead {
 		err := w.deadErr
 		w.mu.Unlock()
-		return nil, err
+		return nil, taskNotDispatched, err
 	}
 	w.pending[id] = ch
 	w.mu.Unlock()
-	if err := w.send(msgTask, body); err != nil {
+	if err := p.sendData(w, msgTask, body); err != nil {
 		p.markDead(w, fmt.Errorf("procpool: worker %d send failed: %v", w.idx, err))
-		return nil, err
+		return nil, taskNotDispatched, err
 	}
-	if k := p.cfg.KillAfterTasks; k > 0 && atomic.AddInt64(&p.nDispatch, 1) == int64(k) {
+	n := atomic.AddInt64(&p.nDispatch, 1)
+	if k := p.cfg.KillAfterTasks; k > 0 && n == int64(k) {
 		p.markDead(w, fmt.Errorf("procpool: worker %d killed by test hook after task %d", w.idx, k))
 	}
-	r := <-ch
-	if r.errMsg != "" {
-		return nil, fmt.Errorf("%s", r.errMsg)
+	if p.cfg.Faults.killsAt(uint64(n)) {
+		p.markDead(w, fmt.Errorf("procpool: worker %d killed by fault plan at dispatch %d", w.idx, n))
 	}
-	return r.payload, nil
+	var deadlineC <-chan time.Time
+	if p.cfg.TaskDeadline > 0 {
+		tm := time.NewTimer(p.cfg.TaskDeadline)
+		defer tm.Stop()
+		deadlineC = tm.C
+	}
+	select {
+	case r := <-ch:
+		switch {
+		case r.errMsg == "":
+			return r.payload, taskOK, nil
+		case r.died:
+			return nil, taskDied, fmt.Errorf("%s", r.errMsg)
+		default:
+			return nil, taskFailed, fmt.Errorf("%s", r.errMsg)
+		}
+	case <-ctx.Done():
+		// The job is cancelled: drop the pending reply — nobody wants it
+		// — and leave the worker alone (it finishes or dies on its own).
+		w.mu.Lock()
+		delete(w.pending, id)
+		w.mu.Unlock()
+		return nil, taskCancelled, ctx.Err()
+	case <-deadlineC:
+		// The worker heartbeats but the task overran its deadline. A
+		// single-threaded worker has no task-level cancel, so the only
+		// reliable one is killing the process: respawn replaces it, the
+		// task takes the blame (and is quarantined if it keeps doing
+		// this), the worker's other queued tasks requeue blame-free.
+		reason := fmt.Errorf("procpool: worker %d: task %d exceeded its %v deadline; cancelled and requeued", w.idx, t.Part, p.cfg.TaskDeadline)
+		p.markDead(w, reason)
+		return nil, taskDied, reason
+	}
 }
 
 // ---- engine.Backend ----
@@ -632,15 +868,18 @@ func (p *Pool) Stats() cluster.Stats {
 // the currently live workers, mirroring the simulator's machine
 // placement. If every worker is down the output is born lost; the next
 // CheckFetch fails and recovery (or the job's error path) takes over.
+// Liveness is sampled under the pool lock: markDead marks lost partitions
+// under the same lock, so an output can never land on a worker whose
+// death sweep already ran (it would be stranded "live" on a corpse).
 func (p *Pool) RegisterOutput(parts int) cluster.OutputID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	liveIdx := []int{}
 	for _, w := range p.workerList {
-		if !w.isDead() {
+		if w != nil && !w.isDead() {
 			liveIdx = append(liveIdx, w.idx)
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.nextOut++
 	id := p.nextOut
 	locs := make([]int, parts)

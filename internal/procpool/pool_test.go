@@ -107,7 +107,9 @@ func TestKMeansInnerABBitIdentical(t *testing.T) {
 func TestWorkerCrashRecovery(t *testing.T) {
 	// Task 10 of the pool's lifetime lands in the chaos diamond's
 	// group-count stage, after the reduce parent's outputs registered.
-	pool := startPool(t, Config{Workers: 2, KillAfterTasks: 10})
+	// Respawn is off so the fleet stays shrunk and the LiveWorkers
+	// assertion is deterministic (health_test.go covers respawn).
+	pool := startPool(t, Config{Workers: 2, KillAfterTasks: 10, DisableRespawn: true})
 	sp := tasks.ChaosSpec{Records: 2000, Keys: 50, Parts: 4, Rounds: 2}
 
 	rec := obs.NewRecorder()
@@ -166,7 +168,7 @@ func TestSpillToDisk(t *testing.T) {
 // (the connection stays open, no process exit), so only the heartbeat
 // timeout can catch it.
 func TestHeartbeatDetectsStoppedWorker(t *testing.T) {
-	pool := startPool(t, Config{Workers: 2, HeartbeatEvery: 20 * time.Millisecond, HeartbeatTimeout: 300 * time.Millisecond})
+	pool := startPool(t, Config{Workers: 2, HeartbeatEvery: 20 * time.Millisecond, HeartbeatTimeout: 300 * time.Millisecond, DisableRespawn: true})
 	w := pool.workerList[0]
 	if err := syscall.Kill(w.pid, syscall.SIGSTOP); err != nil {
 		t.Fatalf("SIGSTOP: %v", err)

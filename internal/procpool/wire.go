@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -25,11 +26,14 @@ import (
 
 // The driver/worker wire protocol: framed messages over a unix socket.
 // Every frame is a u32 big-endian payload length followed by the payload;
-// the payload's first byte is the message type. Numbers inside bodies are
-// big-endian. The framing is deliberately dumb — all structure lives in
-// the per-type bodies, each parsed by a bounds-checked reader that fails
-// loud on truncation (fuzzed in wire_test.go: arbitrary bytes must error,
-// never panic).
+// the payload is a message-type byte, a u32 CRC-32C checksum of the body,
+// then the body itself. Numbers inside bodies are big-endian. The framing
+// is deliberately dumb — all structure lives in the per-type bodies, each
+// parsed by a bounds-checked reader that fails loud on truncation (fuzzed
+// in wire_test.go: arbitrary bytes must error, never panic). The checksum
+// turns a flipped bit anywhere in a body — kernel buffer reuse, a torn
+// write racing a crash, fault injection — into a loud framing error
+// instead of a silently wrong batch.
 const (
 	msgHello      byte = iota + 1 // worker → driver: u64 pid
 	msgHelloAck                   // driver → worker: u32 index | u64 heartbeat period (ns)
@@ -46,23 +50,38 @@ const (
 // cannot make the reader allocate unboundedly (mirrors batchio's cap).
 const maxWireFrame = 1 << 30
 
+// frameOverhead is the payload's fixed prefix: type byte + body checksum.
+const frameOverhead = 5
+
+// wireCRC is the Castagnoli polynomial table shared by the wire framing
+// and the spill files (hardware-accelerated on amd64/arm64).
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one encoded frame (length, type, checksum, body) to
+// dst — shared by writeFrame and the fault injector's torn-write path so
+// both produce byte-identical frames.
+func appendFrame(dst []byte, typ byte, body []byte) []byte {
+	var head [9]byte
+	binary.BigEndian.PutUint32(head[:], uint32(frameOverhead+len(body)))
+	head[4] = typ
+	binary.BigEndian.PutUint32(head[5:], crc32.Checksum(body, wireCRC))
+	return append(append(dst, head[:]...), body...)
+}
+
 // writeFrame sends one frame as a single Write (callers still serialize
 // concurrent writers per connection: large writes may be split by the
 // kernel, and interleaved partial writes would corrupt the stream).
 func writeFrame(w io.Writer, typ byte, body []byte) error {
-	buf := make([]byte, 5+len(body))
-	binary.BigEndian.PutUint32(buf, uint32(1+len(body)))
-	buf[4] = typ
-	copy(buf[5:], body)
-	_, err := w.Write(buf)
+	_, err := w.Write(appendFrame(make([]byte, 0, 9+len(body)), typ, body))
 	return err
 }
 
-// readFrame reads one frame. io.EOF at a frame boundary passes through
-// clean (the peer hung up); a partial frame is a distinct error.
+// readFrame reads one frame, verifying the body checksum. io.EOF at a
+// frame boundary passes through clean (the peer hung up); a partial frame
+// is a distinct error.
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var head [5]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
+	var head [9]byte
+	if _, err := io.ReadFull(r, head[:4]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
@@ -72,15 +91,22 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 	if n == 0 {
 		return 0, nil, fmt.Errorf("procpool: empty wire frame")
 	}
+	if n < frameOverhead {
+		return 0, nil, fmt.Errorf("procpool: runt wire frame (%d bytes, need ≥%d for type+checksum)", n, frameOverhead)
+	}
 	if n > maxWireFrame {
 		return 0, nil, fmt.Errorf("procpool: wire frame length %d exceeds cap %d", n, maxWireFrame)
 	}
+	if _, err := io.ReadFull(r, head[4:]); err != nil {
+		return 0, nil, fmt.Errorf("procpool: truncated frame header: %w", err)
+	}
+	want := binary.BigEndian.Uint32(head[5:])
 	// Grow the body buffer as bytes actually arrive (geometric, from
 	// 1 MiB): a lying length prefix must not make the reader allocate
 	// its full declared size — up to the cap above — before the stream
 	// proves it has the payload.
 	const grow = 1 << 20
-	need := int(n - 1)
+	need := int(n - frameOverhead)
 	body := make([]byte, 0, min(need, grow))
 	for len(body) < need {
 		if len(body) == cap(body) {
@@ -93,6 +119,9 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, fmt.Errorf("procpool: truncated wire frame: %w", err)
 		}
+	}
+	if got := crc32.Checksum(body, wireCRC); got != want {
+		return 0, nil, fmt.Errorf("procpool: wire frame checksum mismatch (type %d, %d bytes: %08x != %08x)", head[4], need, got, want)
 	}
 	return head[4], body, nil
 }
